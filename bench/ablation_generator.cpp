@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the generator stack —
+ * design-choice ablations DESIGN.md calls out: solver backend (z3 vs
+ * native), forward/backward insertion mix, binning on/off and k, model
+ * size scaling, plus interpreter and value-search throughput.
+ */
+#include <benchmark/benchmark.h>
+
+#include "autodiff/grad_search.h"
+#include "exec/interpreter.h"
+#include "gen/generator.h"
+#include "solver/solver.h"
+
+namespace {
+
+using namespace nnsmith;
+
+void
+BM_GenerateModel(benchmark::State& state, solver::SolverKind kind)
+{
+    if (kind == solver::SolverKind::kZ3 && !solver::haveZ3()) {
+        state.SkipWithError("z3 not available");
+        return;
+    }
+    gen::GeneratorConfig config;
+    config.targetOpNodes = static_cast<int>(state.range(0));
+    config.solverKind = kind;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        gen::GraphGenerator generator(config, seed++);
+        benchmark::DoNotOptimize(generator.generate());
+    }
+}
+BENCHMARK_CAPTURE(BM_GenerateModel, z3, solver::SolverKind::kZ3)
+    ->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GenerateModel, native, solver::SolverKind::kNative)
+    ->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void
+BM_InsertionMix(benchmark::State& state)
+{
+    gen::GeneratorConfig config;
+    config.targetOpNodes = 10;
+    config.forwardProb = static_cast<double>(state.range(0)) / 100.0;
+    uint64_t seed = 1;
+    size_t produced = 0;
+    for (auto _ : state) {
+        gen::GraphGenerator generator(config, seed++);
+        produced += generator.generate().has_value();
+    }
+    state.counters["yield"] = benchmark::Counter(
+        static_cast<double>(produced), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InsertionMix)
+    ->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BinningK(benchmark::State& state)
+{
+    gen::GeneratorConfig config;
+    config.targetOpNodes = 10;
+    config.enableBinning = state.range(0) > 0;
+    config.binningK = std::max<int>(1, static_cast<int>(state.range(0)));
+    uint64_t seed = 9;
+    for (auto _ : state) {
+        gen::GraphGenerator generator(config, seed++);
+        benchmark::DoNotOptimize(generator.generate());
+    }
+}
+BENCHMARK(BM_BinningK)->Arg(0)->Arg(3)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Interpreter(benchmark::State& state)
+{
+    gen::GeneratorConfig config;
+    config.targetOpNodes = static_cast<int>(state.range(0));
+    gen::GraphGenerator generator(config, 77);
+    const auto model = generator.generate();
+    if (!model) {
+        state.SkipWithError("generation failed");
+        return;
+    }
+    Rng rng(1);
+    const auto leaves = exec::randomLeaves(model->graph, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec::execute(model->graph, leaves));
+}
+BENCHMARK(BM_Interpreter)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ValueSearch(benchmark::State& state, autodiff::SearchMethod method)
+{
+    gen::GeneratorConfig config;
+    config.targetOpNodes = 10;
+    gen::GraphGenerator generator(config, 123);
+    const auto model = generator.generate();
+    if (!model) {
+        state.SkipWithError("generation failed");
+        return;
+    }
+    Rng rng(3);
+    autodiff::SearchConfig search;
+    search.method = method;
+    search.timeBudgetMs = 8.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            autodiff::search(model->graph, rng, search));
+}
+BENCHMARK_CAPTURE(BM_ValueSearch, sampling,
+                  autodiff::SearchMethod::kSampling)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ValueSearch, gradient_proxy,
+                  autodiff::SearchMethod::kGradientProxy)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --seed N        campaign seed (default 2023)
+ *   --iters N       per-fuzzer real-iteration cap (figure benches)
+ *   --minutes N     virtual budget in minutes (default 240, as in the
+ *                   paper's 4-hour runs)
+ *
+ * Virtual time: iteration costs follow the calibrated CostModel in
+ * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
+ * TVM compiles slower than ORT) match §5.2. Real iterations are capped
+ * because substrate coverage converges quickly; once the cap is hit
+ * the series holds its converged value to the end of the virtual
+ * window (noted in EXPERIMENTS.md).
+ */
+#ifndef NNSMITH_BENCH_BENCH_UTIL_H
+#define NNSMITH_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/graphfuzzer.h"
+#include "baselines/lemon.h"
+#include "baselines/tzer.h"
+#include "fuzz/campaign.h"
+
+namespace nnsmith::bench {
+
+/** Parsed common CLI options. */
+struct BenchOptions {
+    uint64_t seed = 2023;
+    size_t iters = 600;
+    int minutes = 240;
+};
+
+inline BenchOptions
+parseArgs(int argc, char** argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char* flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (want("--seed"))
+            options.seed = std::stoull(argv[++i]);
+        else if (want("--iters"))
+            options.iters = std::stoull(argv[++i]);
+        else if (want("--minutes"))
+            options.minutes = std::stoi(argv[++i]);
+    }
+    return options;
+}
+
+/** A backend-under-test selector. */
+struct SystemUnderTest {
+    const char* label;      ///< "ONNXRuntime" / "TVM"
+    const char* component;  ///< coverage prefix
+    int backendIndex;       ///< index into makeAllBackends()
+};
+
+inline std::vector<SystemUnderTest>
+coverageSystems()
+{
+    return {{"ONNXRuntime", "ortlite", 0}, {"TVM", "tvmlite", 1}};
+}
+
+/** Make the standard fuzzer by name with figure-default options. */
+inline std::unique_ptr<fuzz::Fuzzer>
+makeFuzzer(const std::string& name, uint64_t seed)
+{
+    if (name == "NNSmith") {
+        fuzz::NNSmithFuzzer::Options options;
+        options.generator.targetOpNodes = 10; // §5.1 default size
+        options.search.timeBudgetMs = 8.0;
+        return std::make_unique<fuzz::NNSmithFuzzer>(options, seed);
+    }
+    if (name == "GraphFuzzer") {
+        baselines::GraphFuzzerLite::Options options;
+        options.targetOps = 10;
+        return std::make_unique<baselines::GraphFuzzerLite>(options, seed);
+    }
+    if (name == "LEMON")
+        return std::make_unique<baselines::LemonFuzzer>(seed);
+    if (name == "Tzer")
+        return std::make_unique<baselines::TzerFuzzer>(seed);
+    fatal("unknown fuzzer " + name);
+}
+
+/** Run one fuzzer against one system under test. */
+inline fuzz::CampaignResult
+runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
+       const BenchOptions& options, size_t iter_cap)
+{
+    auto owned = difftest::makeAllBackends();
+    std::vector<backends::Backend*> backend_list = {
+        owned[static_cast<size_t>(sut.backendIndex)].get()};
+    auto fuzzer = makeFuzzer(fuzzer_name, options.seed);
+    fuzz::CampaignConfig config;
+    config.virtualBudget =
+        static_cast<VirtualMs>(options.minutes) * 60 * 1000;
+    config.maxIterations = iter_cap;
+    config.coverageComponent = sut.component;
+    config.sampleEveryMinutes = 10;
+    // Tzer needs no backend (it feeds TIR straight into the passes).
+    if (fuzzer_name == "Tzer")
+        backend_list.clear();
+    return fuzz::runCampaign(*fuzzer, backend_list, config);
+}
+
+/** Per-fuzzer iteration caps (LEMON's virtual cost bounds it anyway). */
+inline size_t
+iterCapFor(const std::string& fuzzer, size_t base)
+{
+    if (fuzzer == "LEMON")
+        return base / 2;
+    if (fuzzer == "Tzer")
+        return base * 4; // TIR cases are much cheaper
+    return base;
+}
+
+/** Print a coverage series table: one row per sample. */
+inline void
+printSeries(const char* figure, const char* system,
+            const std::vector<fuzz::CampaignResult>& results,
+            bool pass_only, bool by_iterations)
+{
+    std::printf("\n%s — %s (%s branch coverage)\n", figure, system,
+                pass_only ? "pass-only" : "total");
+    std::printf("%-12s", by_iterations ? "iteration" : "minute");
+    for (const auto& r : results)
+        std::printf("%16s", r.fuzzer.c_str());
+    std::printf("\n");
+    size_t rows = 0;
+    for (const auto& r : results)
+        rows = std::max(rows, r.series.size());
+    for (size_t i = 0; i < rows; ++i) {
+        bool printed_key = false;
+        for (const auto& r : results) {
+            const auto& s =
+                r.series[std::min(i, r.series.size() - 1)];
+            if (!printed_key) {
+                if (by_iterations)
+                    std::printf("%-12zu", s.iterations);
+                else
+                    std::printf("%-12.0f", s.minutes);
+                printed_key = true;
+            }
+            std::printf("%16zu", pass_only ? s.coveragePass
+                                           : s.coverageAll);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Print a 3-set Venn decomposition like the paper's Fig. 7. */
+inline void
+printVenn3(const char* title, const fuzz::CampaignResult& a,
+           const fuzz::CampaignResult& b, const fuzz::CampaignResult& c)
+{
+    using coverage::CoverageMap;
+    const CoverageMap& A = a.coverAll;
+    const CoverageMap& B = b.coverAll;
+    const CoverageMap& C = c.coverAll;
+    std::printf("\n%s\n", title);
+    std::printf("  %s total: %zu; %s total: %zu; %s total: %zu\n",
+                a.fuzzer.c_str(), A.count(), b.fuzzer.c_str(), B.count(),
+                c.fuzzer.c_str(), C.count());
+    const auto only = [](const CoverageMap& x, const CoverageMap& y,
+                         const CoverageMap& z) {
+        return x.minus(y.unionWith(z)).count();
+    };
+    std::printf("  unique(%s)=%zu unique(%s)=%zu unique(%s)=%zu\n",
+                a.fuzzer.c_str(), only(A, B, C), b.fuzzer.c_str(),
+                only(B, A, C), c.fuzzer.c_str(), only(C, A, B));
+    std::printf("  common(all three)=%zu\n",
+                A.intersect(B).intersect(C).count());
+}
+
+} // namespace nnsmith::bench
+
+#endif // NNSMITH_BENCH_BENCH_UTIL_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 4: total branch coverage over (virtual) time on
+ * ONNXRuntime-like and TVM-like systems for NNSmith vs GraphFuzzer vs
+ * LEMON. Expected shape: NNSmith on top, with a much larger margin on
+ * ONNXRuntime (paper: 1.8x) than on TVM (1.08x); LEMON lowest (slow,
+ * restricted diversity).
+ */
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith::bench;
+    const BenchOptions options = parseArgs(argc, argv);
+    std::printf("== Figure 4: total branch coverage over time ==\n");
+    std::printf("(virtual minutes; 4-hour campaigns as in the paper)\n");
+
+    for (const auto& sut : coverageSystems()) {
+        std::vector<nnsmith::fuzz::CampaignResult> results;
+        for (const char* fuzzer : {"NNSmith", "GraphFuzzer", "LEMON"}) {
+            results.push_back(runOne(fuzzer, sut, options,
+                                     iterCapFor(fuzzer, options.iters)));
+        }
+        printSeries("Fig. 4", sut.label, results, /*pass_only=*/false,
+                    /*by_iterations=*/false);
+        auto& registry = nnsmith::coverage::CoverageRegistry::instance();
+        const size_t total = registry.declaredTotal(sut.component) > 0
+                                 ? registry.declaredTotal(sut.component)
+                                 : registry.sitesRegistered(sut.component);
+        const auto& best = results[0];
+        const auto& second = results[1];
+        std::printf("  NNSmith final %zu of %zu instrumented branches "
+                    "(%.1f%%); improvement over 2nd best (%s): %.2fx\n",
+                    best.coverAll.count(), total,
+                    100.0 * static_cast<double>(best.coverAll.count()) /
+                        static_cast<double>(std::max<size_t>(total, 1)),
+                    second.fuzzer.c_str(),
+                    static_cast<double>(best.coverAll.count()) /
+                        static_cast<double>(
+                            std::max<size_t>(second.coverAll.count(), 1)));
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Figure 6: *pass-only* branch coverage over time — the
+ * transformation-pass subset of each system's instrumentation
+ * (onnxruntime/core/optimizer and TVM's transforms folders in the
+ * paper; the "/optimizer", "/transform" and "/tir" components here).
+ */
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith::bench;
+    const BenchOptions options = parseArgs(argc, argv);
+    std::printf("== Figure 6: pass-only branch coverage over time ==\n");
+
+    for (const auto& sut : coverageSystems()) {
+        std::vector<nnsmith::fuzz::CampaignResult> results;
+        for (const char* fuzzer : {"NNSmith", "GraphFuzzer", "LEMON"}) {
+            results.push_back(runOne(fuzzer, sut, options,
+                                     iterCapFor(fuzzer, options.iters)));
+        }
+        printSeries("Fig. 6", sut.label, results, /*pass_only=*/true,
+                    /*by_iterations=*/false);
+        const auto& best = results[0];
+        const auto& second = results[1];
+        std::printf("  NNSmith pass-only improvement over %s: %.2fx\n",
+                    second.fuzzer.c_str(),
+                    static_cast<double>(best.coverPass.count()) /
+                        static_cast<double>(std::max<size_t>(
+                            second.coverPass.count(), 1)));
+    }
+    return 0;
+}

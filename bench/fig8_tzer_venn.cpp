@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 8: NNSmith vs Tzer on the TVM-like system, over
+ * (a) all instrumented branches and (b) pass-only branches. Expected
+ * shape: NNSmith ahead overall; Tzer keeps an exclusive low-level
+ * region (it mutates TIR directly, reaching expression shapes graph
+ * lowering never emits) but barely touches graph-level passes, so the
+ * pass-only panel is even more lopsided (paper: 123x unique).
+ */
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith::bench;
+    const BenchOptions options = parseArgs(argc, argv);
+    std::printf("== Figure 8: NNSmith vs Tzer on TVM ==\n");
+
+    const SystemUnderTest tvm{"TVM", "tvmlite", 1};
+    const auto nnsmith =
+        runOne("NNSmith", tvm, options, iterCapFor("NNSmith", options.iters));
+    const auto tzer =
+        runOne("Tzer", tvm, options, iterCapFor("Tzer", options.iters));
+
+    auto report = [&](const char* panel,
+                      const nnsmith::coverage::CoverageMap& a,
+                      const nnsmith::coverage::CoverageMap& b) {
+        std::printf("\n(%s) NNSmith=%zu Tzer=%zu | unique(NNSmith)=%zu "
+                    "unique(Tzer)=%zu common=%zu\n",
+                    panel, a.count(), b.count(), a.minus(b).count(),
+                    b.minus(a).count(), a.intersect(b).count());
+        std::printf("  NNSmith/Tzer total ratio: %.2fx; unique ratio: "
+                    "%.1fx\n",
+                    static_cast<double>(a.count()) /
+                        static_cast<double>(std::max<size_t>(b.count(), 1)),
+                    static_cast<double>(a.minus(b).count()) /
+                        static_cast<double>(
+                            std::max<size_t>(b.minus(a).count(), 1)));
+    };
+    report("a: all files", nnsmith.coverAll, tzer.coverAll);
+    report("b: pass-only files", nnsmith.coverPass, tzer.coverPass);
+    return 0;
+}

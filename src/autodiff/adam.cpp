@@ -1,0 +1,62 @@
+#include "autodiff/adam.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nnsmith::autodiff {
+
+using tensor::DType;
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+}
+
+bool
+Adam::step(exec::LeafValues& leaves, const std::map<int, Tensor>& grads)
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    bool changed = false;
+    for (const auto& [value_id, grad] : grads) {
+        auto leaf_it = leaves.find(value_id);
+        if (leaf_it == leaves.end())
+            continue;
+        Tensor& param = leaf_it->second;
+        if (!tensor::isFloat(param.dtype()))
+            continue;
+        auto& m = m_.try_emplace(value_id,
+                                 Tensor::zeros(DType::kF64, param.shape()))
+                      .first->second;
+        auto& v = v_.try_emplace(value_id,
+                                 Tensor::zeros(DType::kF64, param.shape()))
+                      .first->second;
+        for (int64_t i = 0; i < param.numel(); ++i) {
+            const double g = grad.scalarAt(i);
+            if (g == 0.0 || std::isnan(g) || std::isinf(g))
+                continue;
+            const double mi = beta1_ * m.scalarAt(i) + (1 - beta1_) * g;
+            const double vi = beta2_ * v.scalarAt(i) + (1 - beta2_) * g * g;
+            m.setScalar(i, mi);
+            v.setScalar(i, vi);
+            const double update =
+                lr_ * (mi / bc1) / (std::sqrt(vi / bc2) + eps_);
+            const double before = param.scalarAt(i);
+            param.setScalar(i, before - update);
+            changed |= param.scalarAt(i) != before;
+        }
+    }
+    return changed;
+}
+
+void
+Adam::reset()
+{
+    t_ = 0;
+    m_.clear();
+    v_.clear();
+}
+
+} // namespace nnsmith::autodiff

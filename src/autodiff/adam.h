@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Adam optimizer over leaf tensors (paper §3.3: "we use Adam, an
+ * adaptive learning rate scheduling algorithm", resetting state when
+ * the loss function switches operators).
+ */
+#ifndef NNSMITH_AUTODIFF_ADAM_H
+#define NNSMITH_AUTODIFF_ADAM_H
+
+#include <map>
+
+#include "exec/interpreter.h"
+#include "tensor/tensor.h"
+
+namespace nnsmith::autodiff {
+
+using tensor::Tensor;
+
+/** Standard Adam with per-leaf first/second moment state. */
+class Adam {
+  public:
+    explicit Adam(double lr = 0.5, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8);
+
+    /**
+     * Apply one descent step to every leaf present in @p grads.
+     * @return true iff at least one parameter actually changed
+     *         (Algorithm 3 line 10 restarts on all-zero updates).
+     */
+    bool step(exec::LeafValues& leaves,
+              const std::map<int, Tensor>& grads);
+
+    /** Drop moment state (used when the active loss switches). */
+    void reset();
+
+    double learningRate() const { return lr_; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    int64_t t_ = 0;
+    std::map<int, Tensor> m_;
+    std::map<int, Tensor> v_;
+};
+
+} // namespace nnsmith::autodiff
+
+#endif // NNSMITH_AUTODIFF_ADAM_H

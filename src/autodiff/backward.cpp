@@ -1,0 +1,101 @@
+#include "autodiff/backward.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nnsmith::autodiff {
+
+using graph::NodeKind;
+using tensor::DType;
+
+namespace {
+
+/** Accumulate @p grad into @p slot (sum when already present). */
+void
+accumulate(std::map<int, Tensor>& grads, int value_id, const Tensor& grad)
+{
+    if (!grad.defined())
+        return; // sentinel: no gradient for this input
+    auto it = grads.find(value_id);
+    if (it == grads.end()) {
+        grads.emplace(value_id, grad);
+        return;
+    }
+    Tensor& acc = it->second;
+    for (int64_t i = 0; i < acc.numel(); ++i)
+        acc.setScalar(i, acc.scalarAt(i) + grad.scalarAt(i));
+}
+
+} // namespace
+
+LeafGrads
+backpropagate(const Graph& graph, const exec::ExecResult& exec_result,
+              int target_node, const std::vector<Tensor>& grad_at_inputs)
+{
+    const auto order = graph.topoOrder();
+    const auto target_pos =
+        std::find(order.begin(), order.end(), target_node);
+    NNSMITH_ASSERT(target_pos != order.end(), "target node not in graph");
+
+    // Cotangent per value id.
+    std::map<int, Tensor> grads;
+    const auto& target = graph.node(target_node);
+    NNSMITH_ASSERT(grad_at_inputs.size() == target.inputs.size(),
+                   "cotangent arity mismatch");
+    for (size_t i = 0; i < target.inputs.size(); ++i)
+        accumulate(grads, target.inputs[i], grad_at_inputs[i]);
+
+    // Walk the strict prefix of the target in reverse topological
+    // order, pulling cotangents through each operator.
+    for (auto it = std::make_reverse_iterator(target_pos);
+         it != order.rend(); ++it) {
+        const auto& node = graph.node(*it);
+        if (node.kind != NodeKind::kOp)
+            continue;
+        // Gather output cotangents; skip nodes no gradient reaches.
+        bool any = false;
+        std::vector<Tensor> grad_outputs;
+        for (int v : node.outputs) {
+            auto found = grads.find(v);
+            if (found != grads.end()) {
+                grad_outputs.push_back(found->second);
+                any = true;
+            } else {
+                const auto& t = graph.value(v).type;
+                grad_outputs.push_back(
+                    Tensor::zeros(t.dtype(), t.concreteShape()));
+            }
+        }
+        if (!any)
+            continue;
+        std::vector<Tensor> inputs;
+        std::vector<Tensor> outputs;
+        for (int v : node.inputs)
+            inputs.push_back(exec_result.values.at(v));
+        for (int v : node.outputs)
+            outputs.push_back(exec_result.values.at(v));
+        const auto grad_inputs = node.op->backward(inputs, outputs,
+                                                   grad_outputs);
+        if (grad_inputs.empty())
+            continue; // non-differentiable: cotangent absorbed
+        NNSMITH_ASSERT(grad_inputs.size() == node.inputs.size(),
+                       node.op->name(), " backward arity mismatch");
+        for (size_t i = 0; i < node.inputs.size(); ++i)
+            accumulate(grads, node.inputs[i], grad_inputs[i]);
+    }
+
+    LeafGrads leaf_grads;
+    for (const auto& node : graph.nodes()) {
+        if (node.dead ||
+            (node.kind != NodeKind::kInput && node.kind != NodeKind::kWeight))
+            continue;
+        auto found = grads.find(node.outputs[0]);
+        if (found != grads.end() &&
+            tensor::isFloat(found->second.dtype()))
+            leaf_grads.emplace(node.outputs[0], found->second);
+    }
+    return leaf_grads;
+}
+
+} // namespace nnsmith::autodiff

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Graph-level reverse-mode differentiation.
+ *
+ * Given an executed graph and a loss gradient at one operator's inputs
+ * (from losses.h), propagate cotangents back to the model's inputs and
+ * weights so Adam can update them (Algorithm 3, line 9).
+ */
+#ifndef NNSMITH_AUTODIFF_BACKWARD_H
+#define NNSMITH_AUTODIFF_BACKWARD_H
+
+#include <map>
+
+#include "exec/interpreter.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace nnsmith::autodiff {
+
+using graph::Graph;
+using tensor::Tensor;
+
+/** Gradients for leaf values (inputs + weights), keyed by value id. */
+using LeafGrads = std::map<int, Tensor>;
+
+/**
+ * Backpropagate from node @p target_node whose per-input cotangents
+ * are @p grad_at_inputs (aligned with the node's inputs; empty Tensor
+ * = none) through every upstream node, using the forward tensors from
+ * @p exec_result. Non-differentiable operators (backward() returning
+ * {}) absorb their cotangent.
+ *
+ * @return cotangents for every float leaf reached by gradient flow.
+ */
+LeafGrads
+backpropagate(const Graph& graph, const exec::ExecResult& exec_result,
+              int target_node, const std::vector<Tensor>& grad_at_inputs);
+
+} // namespace nnsmith::autodiff
+
+#endif // NNSMITH_AUTODIFF_BACKWARD_H

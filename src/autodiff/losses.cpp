@@ -1,0 +1,216 @@
+#include "autodiff/losses.h"
+
+#include <cmath>
+
+#include "ops/broadcast.h"
+#include "support/logging.h"
+
+namespace nnsmith::autodiff {
+
+using tensor::DType;
+
+namespace {
+
+/**
+ * Accumulate L = sum max(f(x), 0) and dL/dx = f'(x) * [f(x) > 0] into
+ * a LossEval for one input tensor.
+ */
+template <typename F, typename DF>
+void
+hingeLoss(LossEval& eval, size_t input_index, const Tensor& x, F&& f,
+          DF&& df)
+{
+    Tensor grad = Tensor::zeros(x.dtype(), x.shape());
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        const double v = x.scalarAt(i);
+        // NaN inputs give no useful gradient; push them down gently so
+        // Adam still moves (the search also re-randomizes NaNs).
+        if (std::isnan(v) || std::isinf(v)) {
+            eval.loss += 1.0;
+            grad.setScalar(i, v > 0 ? 1.0 : -1.0);
+            continue;
+        }
+        const double fx = f(v);
+        if (fx > 0) {
+            eval.loss += fx;
+            grad.setScalar(i, df(v));
+        }
+    }
+    eval.gradInputs[input_index] = std::move(grad);
+}
+
+LossEval
+makeEval(const std::string& predicate, size_t arity)
+{
+    LossEval eval;
+    eval.predicate = predicate;
+    eval.gradInputs.assign(arity, Tensor{});
+    return eval;
+}
+
+/** |X| <= 1 (Asin/Acos):  L = sum max(|x| - 1, 0). */
+std::optional<LossEval>
+domainAbsLeqOne(const std::vector<Tensor>& inputs)
+{
+    LossEval eval = makeEval("|X| <= 1", inputs.size());
+    hingeLoss(eval, 0, inputs[0],
+              [](double x) { return std::abs(x) - 1.0; },
+              [](double x) { return x >= 0 ? 1.0 : -1.0; });
+    if (eval.loss <= 0)
+        return std::nullopt;
+    return eval;
+}
+
+/** X > 0 (Log/Log2/Sqrt* — sqrt uses >= 0 but eps keeps it uniform). */
+std::optional<LossEval>
+domainPositive(const std::vector<Tensor>& inputs)
+{
+    LossEval eval = makeEval("X > 0", inputs.size());
+    hingeLoss(eval, 0, inputs[0],
+              [](double x) { return -x + kStrictEps; },
+              [](double) { return -1.0; });
+    if (eval.loss <= 0)
+        return std::nullopt;
+    return eval;
+}
+
+/** |Y| > 0 (Div): L = sum max(eps - |y|, 0) on input 1. */
+std::optional<LossEval>
+domainDivisorNonZero(const std::vector<Tensor>& inputs)
+{
+    LossEval eval = makeEval("|Y| > 0", inputs.size());
+    hingeLoss(eval, 1, inputs[1],
+              [](double y) { return kStrictEps - std::abs(y); },
+              [](double y) { return y >= 0 ? -1.0 : 1.0; });
+    if (eval.loss <= 0)
+        return std::nullopt;
+    return eval;
+}
+
+/** X <= 40 (Exp overflow guard). */
+std::optional<LossEval>
+domainExpBounded(const std::vector<Tensor>& inputs)
+{
+    LossEval eval = makeEval("X <= 40", inputs.size());
+    hingeLoss(eval, 0, inputs[0],
+              [](double x) { return x - kExpBound; },
+              [](double) { return 1.0; });
+    if (eval.loss <= 0)
+        return std::nullopt;
+    return eval;
+}
+
+/**
+ * Pow(X, Y): X > 0  and  Y*log(X) <= 40 (paper Table 1; the log keeps
+ * the loss itself finite).
+ */
+std::optional<LossEval>
+domainPow(const std::vector<Tensor>& inputs)
+{
+    // First predicate: X > 0.
+    {
+        LossEval eval = makeEval("X > 0", inputs.size());
+        hingeLoss(eval, 0, inputs[0],
+                  [](double x) { return -x + kStrictEps; },
+                  [](double) { return -1.0; });
+        if (eval.loss > 0)
+            return eval;
+    }
+    // Second: Y log X <= 40. Gradient w.r.t. both inputs.
+    const Tensor& x = inputs[0];
+    const Tensor& y = inputs[1];
+    LossEval eval = makeEval("Y*log(X) <= 40", inputs.size());
+    // Broadcast-aware: evaluate on the broadcast shape, then reduce.
+    const auto out_shape = ops::broadcastShapes(x.shape(), y.shape());
+    Tensor gx_full = Tensor::zeros(DType::kF64, out_shape);
+    Tensor gy_full = Tensor::zeros(DType::kF64, out_shape);
+    const ops::BroadcastIndexer ix(x.shape(), out_shape);
+    const ops::BroadcastIndexer iy(y.shape(), out_shape);
+    for (int64_t i = 0; i < out_shape.numel(); ++i) {
+        const double xv = x.scalarAt(ix.map(i));
+        const double yv = y.scalarAt(iy.map(i));
+        if (xv <= 0)
+            continue; // handled by the first predicate
+        const double f = yv * std::log(xv) - kExpBound;
+        if (f > 0) {
+            eval.loss += f;
+            gx_full.setScalar(i, yv / xv);
+            gy_full.setScalar(i, std::log(xv));
+        }
+    }
+    if (eval.loss <= 0)
+        return std::nullopt;
+    eval.gradInputs[0] =
+        ops::reduceGradToShape(gx_full, x.shape()).castTo(x.dtype());
+    eval.gradInputs[1] =
+        ops::reduceGradToShape(gy_full, y.shape()).castTo(y.dtype());
+    return eval;
+}
+
+/** BatchNorm: running var >= 0 (input index 4). */
+std::optional<LossEval>
+domainBatchNormVar(const std::vector<Tensor>& inputs)
+{
+    LossEval eval = makeEval("var >= 0", inputs.size());
+    hingeLoss(eval, 4, inputs[4],
+              [](double v) { return -v; },
+              [](double) { return -1.0; });
+    if (eval.loss <= 0)
+        return std::nullopt;
+    return eval;
+}
+
+} // namespace
+
+std::optional<LossEval>
+firstPositiveLoss(const OpBase& op, const std::vector<Tensor>& inputs)
+{
+    const std::string name = op.name();
+    if (name == "Asin" || name == "Acos")
+        return domainAbsLeqOne(inputs);
+    if (name == "Log" || name == "Log2" || name == "Sqrt")
+        return domainPositive(inputs);
+    if (name == "Div")
+        return domainDivisorNonZero(inputs);
+    if (name == "Exp")
+        return domainExpBounded(inputs);
+    if (name == "Pow")
+        return domainPow(inputs);
+    if (name == "BatchNorm")
+        return domainBatchNormVar(inputs);
+    return std::nullopt;
+}
+
+LossEval
+magnitudeLoss(const std::vector<Tensor>& inputs, double bound)
+{
+    LossEval eval = makeEval("|X| <= " + std::to_string(bound),
+                             inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (!tensor::isFloat(inputs[i].dtype()))
+            continue;
+        hingeLoss(eval, i, inputs[i],
+                  [bound](double x) { return std::abs(x) - bound; },
+                  [](double x) { return x >= 0 ? 1.0 : -1.0; });
+    }
+    return eval;
+}
+
+bool
+isVulnerableOp(const std::string& op_name)
+{
+    for (const auto& name : vulnerableOpNames()) {
+        if (name == op_name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+vulnerableOpNames()
+{
+    return {"Asin", "Acos", "Log", "Log2", "Sqrt",
+            "Div",  "Exp",  "Pow", "BatchNorm"};
+}
+
+} // namespace nnsmith::autodiff

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Numeric-validity loss functions (paper §3.3, Tables 1 and 2).
+ *
+ * Each vulnerable operator carries tensor inequalities describing its
+ * numerically valid input domain; every inequality is rewritten to the
+ * canonical form f(X) <= 0 / f(X) < 0 and converted to a scalar loss
+ *   L = sum_x max(f(x), 0)        (resp. + eps inside the max)
+ * which is positive iff the predicate is violated. The search uses the
+ * first positive loss of the first operator that emitted NaN/Inf.
+ */
+#ifndef NNSMITH_AUTODIFF_LOSSES_H
+#define NNSMITH_AUTODIFF_LOSSES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ops/op_base.h"
+#include "tensor/tensor.h"
+
+namespace nnsmith::autodiff {
+
+using ops::OpBase;
+using tensor::Tensor;
+
+/** Epsilon for strict inequalities (paper §5.1: 1e-10). */
+inline constexpr double kStrictEps = 1e-10;
+
+/** Magnitude bound used by log-domain overflow guards (Table 1: 40). */
+inline constexpr double kExpBound = 40.0;
+
+/** A evaluated loss: scalar value + gradient w.r.t. each op input. */
+struct LossEval {
+    std::string predicate;       ///< which inequality was violated
+    double loss = 0.0;
+    std::vector<Tensor> gradInputs; ///< same arity as the op's inputs;
+                                    ///< empty Tensor{} = no gradient
+};
+
+/**
+ * Evaluate the *first positive* loss of @p op on @p inputs (Algorithm
+ * 3, line 8). Returns nullopt when the operator has no loss functions
+ * or none is positive — the caller then falls back to the generic
+ * magnitude loss below.
+ */
+std::optional<LossEval>
+firstPositiveLoss(const OpBase& op, const std::vector<Tensor>& inputs);
+
+/**
+ * Generic fallback: penalize |x| > bound on every float input. Covers
+ * overflow in operators without a Table-1 entry (e.g. long Mul/Add
+ * chains whose products explode).
+ */
+LossEval magnitudeLoss(const std::vector<Tensor>& inputs,
+                       double bound = 1e4);
+
+/** True if this operator has dedicated loss functions (Table 1). */
+bool isVulnerableOp(const std::string& op_name);
+
+/** Names of all operators with dedicated losses (for tests/benches). */
+std::vector<std::string> vulnerableOpNames();
+
+} // namespace nnsmith::autodiff
+
+#endif // NNSMITH_AUTODIFF_LOSSES_H

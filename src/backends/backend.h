@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The compiler-under-test interface.
+ *
+ * Each backend compiles an OnnxLite model (import -> optimization
+ * passes -> executable) and runs it on given leaf tensors. `kO0`
+ * skips all transformation passes — the paper's fault-localization
+ * recompilation mode (§4).
+ */
+#ifndef NNSMITH_BACKENDS_BACKEND_H
+#define NNSMITH_BACKENDS_BACKEND_H
+
+#include <memory>
+
+#include "backends/defects.h"
+#include "exec/interpreter.h"
+#include "onnx/onnx_lite.h"
+
+namespace nnsmith::backends {
+
+/** Optimization level. */
+enum class OptLevel { kO0, kO3 };
+
+/** Result of one compile+run. */
+struct RunResult {
+    enum class Status { kOk, kCrash } status = Status::kOk;
+    std::vector<tensor::Tensor> outputs; ///< in model.outputs order
+    std::string crashKind;    ///< stable id for crash deduplication
+    std::string crashMessage; ///< human-readable diagnostic
+};
+
+/** A compiler under test. */
+class Backend {
+  public:
+    virtual ~Backend() = default;
+
+    virtual std::string name() const = 0;
+    virtual System system() const = 0;
+
+    /** Compile and run; catches BackendError into kCrash results. */
+    RunResult run(const onnx::OnnxModel& model,
+                  const exec::LeafValues& leaves, OptLevel level);
+
+  protected:
+    /**
+     * Backend-specific compile+run; throws BackendError on crash.
+     * @param fired_semantic collects semantic defect ids whose trigger
+     * matched; run() perturbs the outputs for each.
+     */
+    virtual std::vector<tensor::Tensor>
+    runImpl(const onnx::OnnxModel& model, const exec::LeafValues& leaves,
+            OptLevel level, std::vector<std::string>& fired_semantic) = 0;
+};
+
+std::unique_ptr<Backend> makeOrtLite();
+std::unique_ptr<Backend> makeTvmLite();
+std::unique_ptr<Backend> makeTrtLite();
+
+/**
+ * Mark @p fraction of TVMLite's pattern-insensitive shared runtime
+ * branches covered. Importing any model covers all of it; the Tzer
+ * baseline (which links the compiler but skips the frontend) covers a
+ * large fraction — reproducing Fig. 8a's big common region.
+ */
+void hitTvmSharedInfra(double fraction);
+
+// ---- shared backend plumbing (model_query) --------------------------------
+
+/** Producer node of an OnnxLite value, or nullptr for leaves. */
+const onnx::OnnxNode* producerOf(const onnx::OnnxModel& model, int value_id);
+
+/** Consumer nodes of an OnnxLite value. */
+std::vector<const onnx::OnnxNode*>
+consumersOf(const onnx::OnnxModel& model, int value_id);
+
+/** Is the value a weight (constant) leaf? */
+bool isWeight(const onnx::OnnxModel& model, int value_id);
+
+/**
+ * Execute the imported graph with the given leaves (keyed by OnnxLite
+ * value ids) and return outputs in model.outputs order.
+ */
+std::vector<tensor::Tensor>
+executeImported(const onnx::OnnxModel& model, const graph::Graph& graph,
+                const std::unordered_map<int, int>& id_map,
+                const exec::LeafValues& leaves);
+
+/**
+ * Deterministic semantic-defect output corruption: scales floats,
+ * offsets ints, flips bools — always beyond difftest tolerance.
+ */
+void perturbOutputs(std::vector<tensor::Tensor>& outputs,
+                    const std::string& defect_id);
+
+} // namespace nnsmith::backends
+
+#endif // NNSMITH_BACKENDS_BACKEND_H

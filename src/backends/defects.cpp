@@ -1,0 +1,269 @@
+#include "backends/defects.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nnsmith::backends {
+
+std::string
+systemName(System system)
+{
+    switch (system) {
+      case System::kOrtLite: return "ONNXRuntime";
+      case System::kTvmLite: return "TVM";
+      case System::kTrtLite: return "TensorRT";
+      case System::kExporter: return "PyTorch Exporter";
+    }
+    NNSMITH_PANIC("bad System");
+}
+
+std::string
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::kTransformation: return "Transformation";
+      case Phase::kConversion: return "Conversion";
+      case Phase::kUnclassified: return "Unclassified";
+    }
+    NNSMITH_PANIC("bad Phase");
+}
+
+std::string
+symptomName(Symptom symptom)
+{
+    return symptom == Symptom::kCrash ? "Crash" : "Semantic";
+}
+
+DefectRegistry&
+DefectRegistry::instance()
+{
+    static DefectRegistry registry;
+    return registry;
+}
+
+namespace {
+
+constexpr Phase kT = Phase::kTransformation;
+constexpr Phase kC = Phase::kConversion;
+constexpr Phase kU = Phase::kUnclassified;
+constexpr Symptom kCr = Symptom::kCrash;
+constexpr Symptom kSe = Symptom::kSemantic;
+
+} // namespace
+
+DefectRegistry::DefectRegistry()
+{
+    auto add = [this](const char* id, System sys, Phase phase,
+                      Symptom symptom, const char* desc) {
+        defects_.push_back(Defect{id, sys, phase, symptom, desc});
+    };
+
+    // ---- ONNXRuntime analogue: 10 transformation + 2 unclassified ----
+    constexpr System ORT = System::kOrtLite;
+    add("ort.fuse.matmul_scale_1x1", ORT, kT, kCr,
+        "FuseMatMulScale rewrites (sa*A)@(sb*B); a 1x1 matrix B is "
+        "mistaken for a scalar and MatMul rejects it (paper §5.4)");
+    add("ort.fuse.relu_clip_double", ORT, kT, kSe,
+        "Wrong fusion of a double-precision Relu->Clip connection "
+        "(the one bug GraphFuzzer also finds, §5.4)");
+    add("ort.simplify.add_zero_broadcast", ORT, kT, kCr,
+        "Add-with-ones simplification drops a broadcast");
+    add("ort.simplify.double_neg", ORT, kT, kCr,
+        "Neg(Neg(x)) elimination crashes on rank-0 input");
+    add("ort.fuse.bias_softmax", ORT, kT, kCr,
+        "Add+Softmax -> BiasSoftmax fusion assumes last-axis softmax");
+    add("ort.fuse.conv_bn", ORT, kT, kCr,
+        "Conv+BatchNorm folding mishandles stride>1 with padding");
+    add("ort.simplify.transpose_transpose", ORT, kT, kCr,
+        "Transpose-pair elimination assumes composed identity");
+    add("ort.fuse.matmul_add_gemm", ORT, kT, kCr,
+        "MatMul+Add -> Gemm rewrite with broadcast bias");
+    add("ort.simplify.slice_noop", ORT, kT, kSe,
+        "Full-extent Slice removed as a no-op even when stride > 1");
+    add("ort.fuse.reduce_squeeze", ORT, kT, kCr,
+        "Reduce(keepdims)+Squeeze fusion breaks on axis 0");
+    add("ort.misc.memory_arena", ORT, kU, kCr,
+        "Arena allocator bug on models with many values");
+    add("ort.misc.parallel_reorder", ORT, kU, kSe,
+        "Nondeterministic reordering when one value has >=3 consumers");
+
+    // ---- TVM analogue: 29 transformation + 11 conversion --------------
+    constexpr System TVM = System::kTvmLite;
+    // Layout family (7, all crashes; paper: "7 layout transformation
+    // bugs related to broadcasting, reduce and slicing").
+    add("tvm.layout.nchw4c_slice", TVM, kT, kCr,
+        "NCHW4c rewrite + channel Slice with stride>1 crashes (§5.4)");
+    add("tvm.layout.nchw4c_broadcast", TVM, kT, kCr,
+        "NCHW4c rewrite cannot adapt a broadcast Add after Conv2d");
+    add("tvm.layout.nchw4c_reduce", TVM, kT, kCr,
+        "NCHW4c rewrite vs channel reduction");
+    add("tvm.layout.nchw4c_concat", TVM, kT, kCr,
+        "NCHW4c rewrite vs channel Concat");
+    add("tvm.layout.nchw4c_pad", TVM, kT, kCr,
+        "NCHW4c rewrite vs channel padding");
+    add("tvm.layout.nchw4c_transpose", TVM, kT, kCr,
+        "NCHW4c rewrite vs Transpose consumer");
+    add("tvm.layout.nchw4c_resize", TVM, kT, kCr,
+        "NCHW4c rewrite vs Resize consumer");
+    // int32/int64 family (9 crashes; paper: "9 bugs stopping the
+    // compilation due to int32-int64 mismatch").
+    add("tvm.i64.reshape", TVM, kT, kCr,
+        "i64 shape attr of Reshape meets an i32 index expression");
+    add("tvm.i64.broadcastto", TVM, kT, kCr, "i64 BroadcastTo dims");
+    add("tvm.i64.argmax_consumer", TVM, kT, kCr,
+        "ArgMax's i64 output consumed by arithmetic");
+    add("tvm.i64.cast_arith", TVM, kT, kCr, "Cast-to-i64 feeding Add/Mul");
+    add("tvm.i64.slice_bounds", TVM, kT, kCr, "i64 Slice bounds");
+    add("tvm.i64.concat_axis", TVM, kT, kCr, "i64 Concat on axis 0");
+    add("tvm.i64.squeeze", TVM, kT, kCr, "Squeeze of i64 tensor");
+    add("tvm.i64.flatten", TVM, kT, kCr, "Flatten of i64 tensor");
+    add("tvm.i64.where", TVM, kT, kCr, "Where over i64 branches");
+    // Arithmetic simplification (semantic; the div/mul reorder, §5.4).
+    add("tvm.simplify.divmul_reorder", TVM, kT, kSe,
+        "floor(x%y/i)*i%z simplified to (x%y)%z — wrong order (§5.4)");
+    // Operator fusion family (4).
+    add("tvm.fuse.injective_chain", TVM, kT, kCr,
+        "Fusing >2 chained injective ops into one group");
+    add("tvm.fuse.broadcast_output", TVM, kT, kSe,
+        "Fused group whose output broadcasts computes stale shape");
+    add("tvm.fuse.conv_elemwise", TVM, kT, kCr,
+        "Conv2d + long elementwise epilogue fusion");
+    add("tvm.fuse.multi_consumer", TVM, kT, kSe,
+        "Fusion duplicates a node consumed twice, diverging results");
+    // Constant folding family (3).
+    add("tvm.fold.weight_pad", TVM, kT, kCr,
+        "Folding Pad of a constant weight with negative padding");
+    add("tvm.fold.constant_where", TVM, kT, kCr,
+        "Folding Where whose three inputs are all constant");
+    add("tvm.fold.reshape_const", TVM, kT, kSe,
+        "Folded constant Reshape materializes the wrong layout");
+    // Low-level (TIRLite) family (5).
+    add("tvm.tir.unroll_offset", TVM, kT, kCr,
+        "Loop unrolling with a nonzero base offset");
+    add("tvm.tir.vectorize_rem", TVM, kT, kCr,
+        "Vectorization of loops whose extent % 4 != 0");
+    add("tvm.tir.simplify_mod", TVM, kT, kCr,
+        "Index mod-simplification on nested mod");
+    add("tvm.tir.dead_store", TVM, kT, kSe,
+        "Dead-store elimination removes a live store");
+    add("tvm.tir.cse_load", TVM, kT, kCr,
+        "CSE merges loads across a store");
+    // Conversion family (11; 9 crash + 2 semantic).
+    add("tvm.import.scalar_reduce_sum", TVM, kC, kCr,
+        "Importing ReduceSum producing a scalar (§5.4 scalar family)");
+    add("tvm.import.scalar_reduce_mean", TVM, kC, kCr,
+        "Importing ReduceMean producing a scalar");
+    add("tvm.import.scalar_reduce_max", TVM, kC, kCr,
+        "Importing ReduceMax producing a scalar");
+    add("tvm.import.scalar_reduce_min", TVM, kC, kCr,
+        "Importing ReduceMin producing a scalar");
+    add("tvm.import.scalar_reduce_prod", TVM, kC, kCr,
+        "Importing ReduceProd producing a scalar");
+    add("tvm.import.scalar_argmax", TVM, kC, kCr,
+        "Importing ArgMax producing a scalar");
+    add("tvm.import.where_broadcast", TVM, kC, kCr,
+        "Where(C[1,1],T[3,1],F[2]): low-rank input ignored in shape "
+        "inference (§5.4)");
+    add("tvm.import.matmul_vector", TVM, kC, kCr,
+        "MatMul with single-rank broadcasting (vector operand, §5.4)");
+    add("tvm.import.negative_pad", TVM, kC, kCr,
+        "Importing ConstPad with negative (cropping) padding");
+    add("tvm.import.bool_where", TVM, kC, kSe,
+        "Where with constant bool condition mis-imported");
+    add("tvm.import.cast_bool", TVM, kC, kSe,
+        "Cast-to-bool feeding arithmetic imports as identity");
+
+    // ---- TensorRT analogue: 4 + 2 + 4 ---------------------------------
+    constexpr System TRT = System::kTrtLite;
+    add("trt.fuse.pointwise", TRT, kT, kCr,
+        "Pointwise-fusion of >=4 chained unary ops");
+    add("trt.kernel.pool_pad", TRT, kT, kCr,
+        "MaxPool kernel selection with pad>0 and stride>1");
+    add("trt.fp.fastmath_pow", TRT, kT, kSe,
+        "Fast-math Pow drops precision beyond tolerance");
+    add("trt.fuse.matmul_relu", TRT, kT, kCr,
+        "MatMul+Relu tactic crash");
+    add("trt.import.clip_i32", TRT, kC, kSe,
+        "int32 Clip (invalid opset-11 model) compiled anyway with "
+        "misread attributes (§5.4 data-type mismatch)");
+    add("trt.import.rank0", TRT, kC, kCr,
+        "Rank-0 model inputs rejected by the network definition");
+    add("trt.misc.workspace", TRT, kU, kCr,
+        "Workspace sizing failure on large graphs");
+    add("trt.misc.tactic", TRT, kU, kCr,
+        "Tactic selection failure for wide convolutions");
+    add("trt.misc.precision", TRT, kU, kSe,
+        "f64 silently downcast to f32 mid-graph");
+    add("trt.misc.builder_flag", TRT, kU, kSe,
+        "BatchNorm+Conv2d coexistence flips a builder flag");
+
+    // ---- PyTorch exporter analogue: 10 conversion ----------------------
+    constexpr System EXP = System::kExporter;
+    add("exp.scalar.log2", EXP, kC, kSe,
+        "Scalar Log2 exported as rank-1 tensor (§5.4)");
+    add("exp.scalar.sqrt", EXP, kC, kCr, "Scalar Sqrt exporter assert");
+    add("exp.scalar.exp", EXP, kC, kCr, "Scalar Exp exporter assert");
+    add("exp.scalar.sin", EXP, kC, kCr, "Scalar Sin exporter assert");
+    add("exp.scalar.neg", EXP, kC, kCr, "Scalar Neg exporter assert");
+    add("exp.clip.i32", EXP, kC, kSe,
+        "int32 Clip silently exported though unsupported (§5.4)");
+    add("exp.attr.pad_drop", EXP, kC, kCr,
+        "Zero-length replicate padding trips exporter assert");
+    add("exp.dtype.bool_concat", EXP, kC, kSe,
+        "bool Concat exported with i32 element type");
+    add("exp.perm.transpose_reverse", EXP, kC, kCr,
+        "Reversed rank-4 permutation cannot be legalized");
+    add("exp.squeeze.axis0", EXP, kC, kCr,
+        "Squeeze(axes=[0]) of rank-2 input rejected");
+
+    NNSMITH_ASSERT(defects_.size() == 72, "defect table must mirror "
+                   "Table 3's 72 bugs, got ", defects_.size());
+}
+
+const Defect*
+DefectRegistry::find(const std::string& id) const
+{
+    for (const auto& d : defects_) {
+        if (d.id == id)
+            return &d;
+    }
+    return nullptr;
+}
+
+void
+DefectRegistry::setEnabled(const std::string& id, bool enabled)
+{
+    NNSMITH_ASSERT(find(id) != nullptr, "unknown defect ", id);
+    const auto it = std::find(disabled_.begin(), disabled_.end(), id);
+    if (enabled && it != disabled_.end())
+        disabled_.erase(it);
+    else if (!enabled && it == disabled_.end())
+        disabled_.push_back(id);
+}
+
+bool
+DefectRegistry::isEnabled(const std::string& id) const
+{
+    return std::find(disabled_.begin(), disabled_.end(), id) ==
+           disabled_.end();
+}
+
+bool
+DefectRegistry::trigger(const std::string& id)
+{
+    NNSMITH_ASSERT(find(id) != nullptr, "unknown defect ", id);
+    if (!isEnabled(id))
+        return false;
+    if (std::find(trace_.begin(), trace_.end(), id) == trace_.end())
+        trace_.push_back(id);
+    return true;
+}
+
+void
+DefectRegistry::clearTrace()
+{
+    trace_.clear();
+}
+
+} // namespace nnsmith::backends

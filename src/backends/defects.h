@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The injected-defect registry.
+ *
+ * Our substrate compilers cannot have TVM/ONNXRuntime/TensorRT's real
+ * bugs, so we transcribe the paper's bug study (§5.4, Table 3) into 72
+ * seeded defects: each has a system, a phase (transformation vs
+ * conversion), a symptom (crash vs semantic), and a structural trigger
+ * implemented inside the corresponding backend code. Differential
+ * testing must *discover* them; Table 3's shape falls out of which
+ * fuzzers can generate the triggering patterns.
+ *
+ * Defects ship enabled (they are "real" bugs of the substrate). The
+ * paper's fault-localization protocol is reproduced by OptLevel::kO0
+ * compiles skipping all transformation passes, hence never triggering
+ * transformation defects.
+ */
+#ifndef NNSMITH_BACKENDS_DEFECTS_H
+#define NNSMITH_BACKENDS_DEFECTS_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nnsmith::backends {
+
+/** Which substrate system carries the defect (Table 3 rows). */
+enum class System { kOrtLite, kTvmLite, kTrtLite, kExporter };
+
+/** Compilation phase (Table 3 columns). */
+enum class Phase { kTransformation, kConversion, kUnclassified };
+
+/** Observable symptom. */
+enum class Symptom { kCrash, kSemantic };
+
+/** One seeded defect. */
+struct Defect {
+    std::string id;          ///< stable, e.g. "tvm.layout.nchw4c_slice"
+    System system;
+    Phase phase;
+    Symptom symptom;
+    std::string description; ///< which paper bug pattern it transcribes
+};
+
+std::string systemName(System system);
+std::string phaseName(Phase phase);
+std::string symptomName(Symptom symptom);
+
+/** Global defect table + per-test-case trigger trace. */
+class DefectRegistry {
+  public:
+    static DefectRegistry& instance();
+
+    const std::vector<Defect>& all() const { return defects_; }
+    const Defect* find(const std::string& id) const;
+
+    /** Globally disable a defect (used by tests and ablations). */
+    void setEnabled(const std::string& id, bool enabled);
+    bool isEnabled(const std::string& id) const;
+
+    /**
+     * Report that @p id's structural trigger matched during the
+     * current compile/run. Returns true iff the defect is enabled (the
+     * caller then misbehaves accordingly).
+     */
+    bool trigger(const std::string& id);
+
+    /** Trigger trace management (one test case = one trace window). */
+    void clearTrace();
+    const std::vector<std::string>& trace() const { return trace_; }
+
+  private:
+    DefectRegistry();
+
+    std::vector<Defect> defects_;
+    std::vector<std::string> disabled_;
+    std::vector<std::string> trace_;
+};
+
+/** Exception thrown by backends on crash-symptom defects (and on
+ *  genuine unsupported-construct rejections). */
+class BackendError : public std::runtime_error {
+  public:
+    BackendError(std::string kind, const std::string& message)
+        : std::runtime_error(message), kind_(std::move(kind)) {}
+
+    /** Short machine-usable kind, used for crash deduplication. */
+    const std::string& kind() const { return kind_; }
+
+  private:
+    std::string kind_;
+};
+
+} // namespace nnsmith::backends
+
+#endif // NNSMITH_BACKENDS_DEFECTS_H

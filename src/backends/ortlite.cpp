@@ -1,0 +1,376 @@
+/**
+ * @file
+ * OrtLite — the ONNXRuntime analogue: a graph-optimizing runtime with
+ * many *pattern-specific* rewrite passes ("over 130 source files on
+ * various graph optimizations", §5.1). Its coverage is therefore very
+ * sensitive to the structural diversity of input models — the property
+ * behind NNSmith's 1.8x coverage win on ONNXRuntime (Fig. 4a).
+ */
+#include <algorithm>
+#include <set>
+
+#include "backends/backend.h"
+#include "coverage/coverage.h"
+#include "support/logging.h"
+
+namespace nnsmith::backends {
+
+using onnx::OnnxModel;
+using onnx::OnnxNode;
+using tensor::DType;
+
+namespace {
+
+constexpr const char* kImport = "ortlite/import";
+constexpr const char* kOpt = "ortlite/optimizer";
+
+void
+covImport(const std::string& key)
+{
+    coverage::CoverageRegistry::instance().hitDynamic(kImport, key, false);
+}
+
+void
+covOpt(const std::string& pass, const std::string& key)
+{
+    coverage::CoverageRegistry::instance().hitDynamic(
+        std::string(kOpt) + "/" + pass, key, /*pass_only=*/true);
+}
+
+std::string
+dtypeSig(const OnnxNode& node)
+{
+    std::string sig;
+    for (auto t : node.inDTypes)
+        sig += tensor::dtypeName(t) + ",";
+    return sig;
+}
+
+bool
+isUnaryEltwise(const std::string& op)
+{
+    static const char* kUnary[] = {
+        "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Sin", "Cos", "Asin",
+        "Acos", "Atan", "Abs", "Neg", "Exp", "Log", "Log2", "Sqrt",
+        "Floor", "Ceil", "Round", "Clip", "Softmax", "Not"};
+    return std::find_if(std::begin(kUnary), std::end(kUnary),
+                        [&](const char* u) { return op == u; }) !=
+           std::end(kUnary);
+}
+
+bool
+isArith(const std::string& op)
+{
+    return op == "Add" || op == "Sub" || op == "Mul" || op == "Div" ||
+           op == "Pow" || op == "Max" || op == "Min";
+}
+
+/** OrtLite backend implementation. */
+class OrtLite final : public Backend {
+  public:
+    std::string name() const override { return "OrtLite"; }
+    System system() const override { return System::kOrtLite; }
+
+  protected:
+    std::vector<tensor::Tensor>
+    runImpl(const OnnxModel& model, const exec::LeafValues& leaves,
+            OptLevel level,
+            std::vector<std::string>& fired_semantic) override
+    {
+        importChecks(model);
+        std::unordered_map<int, int> id_map;
+        graph::Graph graph = onnx::importToGraph(model, &id_map);
+        if (level == OptLevel::kO3)
+            optimize(model, fired_semantic);
+        return executeImported(model, graph, id_map, leaves);
+    }
+
+  private:
+    /** Conversion stage (coverage + structural validation). */
+    void
+    importChecks(const OnnxModel& model)
+    {
+        // Pattern-insensitive session/allocator/registry plumbing any
+        // model exercises (smaller than TVM's: ORT does no codegen).
+        coverage::CoverageRegistry::instance().hitRange("ortlite/runtime",
+                                                        1800, 1.0);
+        for (const auto& n : model.nodes) {
+            covImport("op/" + n.opName);
+            covImport("op/" + n.opName + "/" + dtypeSig(n));
+            for (int v : n.inputs) {
+                const auto& shape = model.value(v).shape;
+                covImport("rank/" + n.opName + "/" +
+                          std::to_string(shape.rank()));
+                // Generic kernel-selection plumbing, reachable by any
+                // well-formed model (shape-size buckets).
+                for (int64_t d : shape.dims) {
+                    int bucket = 0;
+                    while ((1 << bucket) < d && bucket < 8)
+                        ++bucket;
+                    covImport("dimbucket/" + std::to_string(bucket));
+                }
+            }
+        }
+    }
+
+    /**
+     * The pattern-based optimizer: one sub-pass per rewrite family,
+     * each with per-(pattern, dtype, attribute-bucket) branches.
+     */
+    void
+    optimize(const OnnxModel& model,
+             std::vector<std::string>& fired_semantic)
+    {
+        auto& defects = DefectRegistry::instance();
+
+        for (const auto& n : model.nodes) {
+            // ---- fusion passes scan producer/consumer pairs --------
+            for (int v : n.inputs) {
+                const OnnxNode* producer = producerOf(model, v);
+                if (producer == nullptr)
+                    continue;
+                covOpt("pairs", producer->opName + "+" + n.opName);
+                covOpt("pairs", producer->opName + "+" + n.opName + "/" +
+                                    dtypeSig(n));
+            }
+
+            // FuseMatMulScale (ort.fuse.matmul_scale_1x1, crash).
+            if (n.opName == "MatMul") {
+                covOpt("matmul_scale", dtypeSig(n));
+                const auto& rhs = model.value(n.inputs[1]).shape;
+                const OnnxNode* p0 = producerOf(model, n.inputs[0]);
+                const OnnxNode* p1 = producerOf(model, n.inputs[1]);
+                const bool scaled =
+                    (p0 != nullptr && p0->opName == "Mul") ||
+                    (p1 != nullptr && p1->opName == "Mul");
+                if (scaled)
+                    covOpt("matmul_scale", "scaled");
+                if (scaled && rhs.rank() == 2 && rhs.numel() == 1 &&
+                    defects.trigger("ort.fuse.matmul_scale_1x1")) {
+                    throw BackendError(
+                        "ort.fuse.matmul_scale_1x1",
+                        "FuseMatMulScale: MatMul does not accept "
+                        "scalar operands after rewrite");
+                }
+                // MatMul+Add -> Gemm (ort.fuse.matmul_add_gemm).
+                for (const auto* consumer :
+                     consumersOf(model, n.outputs[0])) {
+                    if (consumer->opName != "Add")
+                        continue;
+                    covOpt("gemm", "matmul_add");
+                    const int other = consumer->inputs[0] == n.outputs[0]
+                                          ? consumer->inputs[1]
+                                          : consumer->inputs[0];
+                    if (model.value(other).shape.rank() <= 1 &&
+                        defects.trigger("ort.fuse.matmul_add_gemm")) {
+                        throw BackendError(
+                            "ort.fuse.matmul_add_gemm",
+                            "Gemm rewrite: broadcast bias rank 1 "
+                            "unsupported");
+                    }
+                }
+            }
+
+            // Relu->Clip fusion (ort.fuse.relu_clip_double, semantic).
+            if (n.opName == "Relu") {
+                for (const auto* consumer :
+                     consumersOf(model, n.outputs[0])) {
+                    if (consumer->opName != "Clip")
+                        continue;
+                    covOpt("relu_clip", dtypeSig(n));
+                    if (!n.inDTypes.empty() &&
+                        n.inDTypes[0] == DType::kF64 &&
+                        defects.trigger("ort.fuse.relu_clip_double"))
+                        fired_semantic.push_back(
+                            "ort.fuse.relu_clip_double");
+                }
+            }
+
+            // Add simplifications (ort.simplify.add_zero_broadcast).
+            if (n.opName == "Add") {
+                covOpt("add_simplify", dtypeSig(n));
+                for (int v : n.inputs) {
+                    if (!isWeight(model, v))
+                        continue;
+                    const auto& w = model.value(v).shape;
+                    covOpt("add_simplify",
+                           "weight_rank" + std::to_string(w.rank()));
+                    const int other =
+                        n.inputs[0] == v ? n.inputs[1] : n.inputs[0];
+                    if (w.numel() == 1 &&
+                        model.value(other).shape.rank() >= 2 &&
+                        w.rank() != model.value(other).shape.rank() &&
+                        defects.trigger(
+                            "ort.simplify.add_zero_broadcast")) {
+                        throw BackendError(
+                            "ort.simplify.add_zero_broadcast",
+                            "ConstantFolding: broadcast shape lost "
+                            "while folding trivial addend");
+                    }
+                }
+            }
+
+            // Neg(Neg(x)) elimination (ort.simplify.double_neg).
+            if (n.opName == "Neg") {
+                const OnnxNode* producer = producerOf(model, n.inputs[0]);
+                if (producer != nullptr && producer->opName == "Neg") {
+                    covOpt("double_neg", dtypeSig(n));
+                    if (model.value(n.inputs[0]).shape.rank() == 0 &&
+                        defects.trigger("ort.simplify.double_neg")) {
+                        throw BackendError(
+                            "ort.simplify.double_neg",
+                            "NegNeg elimination: 0-d tensor "
+                            "dereference");
+                    }
+                }
+            }
+
+            // Add+Softmax -> BiasSoftmax (ort.fuse.bias_softmax).
+            if (n.opName == "Softmax") {
+                covOpt("bias_softmax",
+                       "axis" + std::to_string(n.attrs.at("axis")));
+                const OnnxNode* producer = producerOf(model, n.inputs[0]);
+                if (producer != nullptr && producer->opName == "Add") {
+                    covOpt("bias_softmax", "fused");
+                    // The fused kernel mishandles a *broadcast* bias
+                    // on a non-last axis (rank-aligned Adds — all
+                    // GraphFuzzer's repair produces — take the safe
+                    // path).
+                    const bool broadcast_bias =
+                        model.value(producer->inputs[0]).shape.rank() !=
+                        model.value(producer->inputs[1]).shape.rank();
+                    if (broadcast_bias &&
+                        n.attrs.at("axis") != n.attrs.at("rank") - 1 &&
+                        defects.trigger("ort.fuse.bias_softmax")) {
+                        throw BackendError(
+                            "ort.fuse.bias_softmax",
+                            "BiasSoftmax: only last-axis softmax "
+                            "supported by the fused kernel");
+                    }
+                }
+            }
+
+            // Conv+BN folding (ort.fuse.conv_bn).
+            if (n.opName == "BatchNorm") {
+                const OnnxNode* producer = producerOf(model, n.inputs[0]);
+                if (producer != nullptr && producer->opName == "Conv2d") {
+                    covOpt("conv_bn", dtypeSig(n));
+                    if (producer->attrs.at("stride") > 1 &&
+                        producer->attrs.at("pad") > 0 &&
+                        defects.trigger("ort.fuse.conv_bn")) {
+                        throw BackendError(
+                            "ort.fuse.conv_bn",
+                            "ConvBNFusion: strided padded conv "
+                            "mis-folded");
+                    }
+                }
+            }
+
+            // Transpose pair elimination.
+            if (n.opName == "Transpose") {
+                covOpt("transpose_opt",
+                       "rank" + std::to_string(n.attrs.at("rank")));
+                const OnnxNode* producer = producerOf(model, n.inputs[0]);
+                if (producer != nullptr &&
+                    producer->opName == "Transpose") {
+                    covOpt("transpose_opt", "pair");
+                    // Compose the two permutations; identity is safe.
+                    const int rank =
+                        static_cast<int>(n.attrs.at("rank"));
+                    bool identity =
+                        producer->attrs.at("rank") == rank;
+                    if (identity) {
+                        for (int i = 0; i < rank; ++i) {
+                            const int64_t inner = producer->attrs.at(
+                                "p" + std::to_string(i));
+                            if (n.attrs.at("p" + std::to_string(
+                                               inner)) != i)
+                                identity = false;
+                        }
+                    }
+                    if (!identity &&
+                        defects.trigger(
+                            "ort.simplify.transpose_transpose")) {
+                        throw BackendError(
+                            "ort.simplify.transpose_transpose",
+                            "TransposeOptimizer: pair assumed "
+                            "identity");
+                    }
+                }
+            }
+
+            // Full-extent slice removal (ort.simplify.slice_noop).
+            if (n.opName == "Slice") {
+                covOpt("slice_opt",
+                       "stride" + std::to_string(std::min<int64_t>(
+                           n.attrs.at("stride"), 4)));
+                const auto& in_shape = model.value(n.inputs[0]).shape;
+                const auto axis =
+                    static_cast<size_t>(n.attrs.at("axis"));
+                if (n.attrs.at("len") == in_shape.dims[axis] &&
+                    n.attrs.at("stride") > 1 &&
+                    defects.trigger("ort.simplify.slice_noop"))
+                    fired_semantic.push_back("ort.simplify.slice_noop");
+            }
+
+            // Reduce+Squeeze fusion (ort.fuse.reduce_squeeze).
+            if (n.opName == "Squeeze") {
+                const OnnxNode* producer = producerOf(model, n.inputs[0]);
+                if (producer != nullptr &&
+                    producer->opName.rfind("Reduce", 0) == 0 &&
+                    producer->attrs.at("keepdims") == 1) {
+                    covOpt("reduce_squeeze", producer->opName);
+                    if (producer->attrs.at("axis") == 0 &&
+                        n.attrs.at("axis") == 0 &&
+                        defects.trigger("ort.fuse.reduce_squeeze")) {
+                        throw BackendError(
+                            "ort.fuse.reduce_squeeze",
+                            "ReduceSqueeze fusion: axis-0 pair "
+                            "rejected by kernel registry");
+                    }
+                }
+            }
+
+            // Per-op attribute-bucket branches (unary/elementwise).
+            if (isUnaryEltwise(n.opName))
+                covOpt("eltwise", n.opName + "/" + dtypeSig(n));
+            if (isArith(n.opName))
+                covOpt("arith", n.opName + "/" + dtypeSig(n));
+        }
+
+        // ---- whole-model (unclassified) defects ----------------------
+        const size_t live_values = model.values.size();
+        std::set<tensor::DType> dtypes_used;
+        for (const auto& v : model.values)
+            dtypes_used.insert(v.dtype);
+        covOpt("arena", "values" + std::to_string(live_values / 8));
+        covOpt("arena", "dtypes" + std::to_string(dtypes_used.size()));
+        // Mixed-element-size allocation patterns on larger models
+        // overflow the arena's bin accounting.
+        if (live_values >= 22 && dtypes_used.size() >= 3 &&
+            defects.trigger("ort.misc.memory_arena")) {
+            throw BackendError("ort.misc.memory_arena",
+                               "BFCArena: allocation pattern overflow");
+        }
+        for (const auto& v : model.values) {
+            if (consumersOf(model, v.id).size() >= 3) {
+                covOpt("scheduler", "fanout3");
+                if (defects.trigger("ort.misc.parallel_reorder"))
+                    fired_semantic.push_back("ort.misc.parallel_reorder");
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeOrtLite()
+{
+    // Paper §5.1: ONNXRuntime's instrumented branch population is ~65k.
+    coverage::CoverageRegistry::instance().declareTotal("ortlite", 64854);
+    return std::make_unique<OrtLite>();
+}
+
+} // namespace nnsmith::backends

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * TrtLite — the TensorRT analogue: a closed-source-style builder. No
+ * coverage instrumentation is exported (the paper excludes TensorRT
+ * from coverage because it is closed source, §5.1); it participates in
+ * bug finding only.
+ */
+#include <algorithm>
+
+#include "backends/backend.h"
+#include "support/logging.h"
+
+namespace nnsmith::backends {
+
+using onnx::OnnxModel;
+using onnx::OnnxNode;
+using onnx::ValueKind;
+using tensor::DType;
+
+namespace {
+
+bool
+isUnaryEltwise(const std::string& op)
+{
+    static const char* kUnary[] = {
+        "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Sin", "Cos", "Asin",
+        "Acos", "Atan", "Abs", "Neg", "Exp", "Log", "Log2", "Sqrt",
+        "Floor", "Ceil", "Round", "Clip"};
+    return std::find_if(std::begin(kUnary), std::end(kUnary),
+                        [&](const char* u) { return op == u; }) !=
+           std::end(kUnary);
+}
+
+class TrtLite final : public Backend {
+  public:
+    std::string name() const override { return "TrtLite"; }
+    System system() const override { return System::kTrtLite; }
+
+  protected:
+    std::vector<tensor::Tensor>
+    runImpl(const OnnxModel& model, const exec::LeafValues& leaves,
+            OptLevel level,
+            std::vector<std::string>& fired_semantic) override
+    {
+        auto& defects = DefectRegistry::instance();
+
+        // ---- network definition (conversion) --------------------------
+        for (const auto& v : model.values) {
+            if (v.kind == ValueKind::kInput && v.shape.rank() == 0 &&
+                defects.trigger("trt.import.rank0")) {
+                throw BackendError("trt.import.rank0",
+                                   "INetworkDefinition: 0-d input "
+                                   "tensors are not supported");
+            }
+        }
+        for (const auto& n : model.nodes) {
+            // int32 Clip: an invalid opset-11 model the exporter let
+            // through; TrtLite compiles it anyway and misreads the
+            // bounds (semantic, §5.4 "Data type mismatch").
+            if (n.opName == "Clip" && !n.inDTypes.empty() &&
+                n.inDTypes[0] == DType::kI32 &&
+                defects.trigger("trt.import.clip_i32"))
+                fired_semantic.push_back("trt.import.clip_i32");
+        }
+
+        if (level == OptLevel::kO3)
+            builderPasses(model, fired_semantic);
+
+        std::unordered_map<int, int> id_map;
+        graph::Graph graph = onnx::importToGraph(model, &id_map);
+        return executeImported(model, graph, id_map, leaves);
+    }
+
+  private:
+    void
+    builderPasses(const OnnxModel& model,
+                  std::vector<std::string>& fired_semantic)
+    {
+        auto& defects = DefectRegistry::instance();
+
+        // Pointwise fusion tactic (>= 4 chained unary ops).
+        int chain = 0;
+        for (const auto& n : model.nodes) {
+            chain = isUnaryEltwise(n.opName) ? chain + 1 : 0;
+            if (chain >= 4 && defects.trigger("trt.fuse.pointwise")) {
+                throw BackendError("trt.fuse.pointwise",
+                                   "PointWiseFusion: kernel generation "
+                                   "failed for deep chains");
+            }
+        }
+
+        bool has_conv = false;
+        bool has_bn = false;
+        bool has_f64_heavy = false;
+        for (const auto& n : model.nodes) {
+            has_conv |= n.opName == "Conv2d";
+            has_bn |= n.opName == "BatchNorm";
+            if ((n.opName == "Conv2d" || n.opName == "MatMul") &&
+                !n.inDTypes.empty() && n.inDTypes[0] == DType::kF64)
+                has_f64_heavy = true;
+
+            if (n.opName == "MaxPool2d" && n.attrs.at("pad") > 0 &&
+                n.attrs.at("stride") > 1 &&
+                defects.trigger("trt.kernel.pool_pad")) {
+                throw BackendError("trt.kernel.pool_pad",
+                                   "CaskPooling: no kernel for padded "
+                                   "strided max-pool");
+            }
+            if (n.opName == "Pow" && !n.inDTypes.empty() &&
+                n.inDTypes[0] == DType::kF32 &&
+                defects.trigger("trt.fp.fastmath_pow"))
+                fired_semantic.push_back("trt.fp.fastmath_pow");
+            if (n.opName == "MatMul") {
+                for (const auto* consumer :
+                     consumersOf(model, n.outputs[0])) {
+                    if (consumer->opName == "Relu" &&
+                        defects.trigger("trt.fuse.matmul_relu")) {
+                        throw BackendError(
+                            "trt.fuse.matmul_relu",
+                            "MatMul+Relu tactic: cublasLt epilogue "
+                            "failure");
+                    }
+                }
+            }
+            if (n.opName == "Conv2d" &&
+                model.value(n.inputs[1]).shape.dims[0] >= 8 &&
+                defects.trigger("trt.misc.tactic")) {
+                throw BackendError("trt.misc.tactic",
+                                   "Builder: no tactic for wide "
+                                   "convolution");
+            }
+        }
+
+        if (model.nodes.size() >= 18 &&
+            defects.trigger("trt.misc.workspace")) {
+            throw BackendError("trt.misc.workspace",
+                               "Builder: insufficient workspace for "
+                               "large graph");
+        }
+        if (has_f64_heavy && defects.trigger("trt.misc.precision"))
+            fired_semantic.push_back("trt.misc.precision");
+        if (has_conv && has_bn &&
+            defects.trigger("trt.misc.builder_flag"))
+            fired_semantic.push_back("trt.misc.builder_flag");
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeTrtLite()
+{
+    return std::make_unique<TrtLite>();
+}
+
+} // namespace nnsmith::backends

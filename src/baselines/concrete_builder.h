@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Helpers for building *concrete* graphs directly (no solver) — used
+ * by the LEMON and GraphFuzzer baselines, which construct models from
+ * fixed/shape-preserving building blocks rather than constraint
+ * solving (§6.1).
+ */
+#ifndef NNSMITH_BASELINES_CONCRETE_BUILDER_H
+#define NNSMITH_BASELINES_CONCRETE_BUILDER_H
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "ops/binary.h"
+#include "ops/elementwise.h"
+#include "ops/nn_ops.h"
+#include "ops/shape_ops.h"
+
+namespace nnsmith::baselines {
+
+using graph::Graph;
+using graph::NodeKind;
+using tensor::DType;
+using tensor::Shape;
+using tensor::TensorType;
+
+/** Add an op node, deriving concrete output types via type transfer.
+ *  Returns the first output value id. */
+int addConcreteOp(Graph& graph, std::shared_ptr<ops::OpBase> op,
+                  const std::vector<int>& inputs);
+
+/** Append a shape-preserving unary activation; returns output id. */
+int appendUnary(Graph& graph, ops::UnaryKind kind, int value,
+                DType dtype = DType::kF32);
+
+/** Same-shape elementwise binary (caller guarantees equal shapes). */
+int appendBinary(Graph& graph, ops::BinaryKind kind, int a, int b);
+
+/**
+ * GraphFuzzer's repair rule: slice @p value down to @p target (same
+ * rank, per-axis start-0 stride-1 slices). Returns the aligned value.
+ */
+int appendSliceTo(Graph& graph, int value, const Shape& target);
+
+/** Shape-preserving Conv2d instance (1x1 kernel, stride 1, pad 0,
+ *  co == ci) — GraphFuzzer's trick for non-shape-preserving ops. */
+int appendConv1x1(Graph& graph, int value);
+
+/** Shape-preserving pooling instance (k=1, s=1, p=0). */
+int appendPool1x1(Graph& graph, int value, bool is_max);
+
+/** BatchNorm with fresh per-channel weight leaves. */
+int appendBatchNorm(Graph& graph, int value);
+
+/** A new input leaf of the given type. */
+int addInput(Graph& graph, DType dtype, const Shape& shape);
+
+/** A new weight leaf of the given type. */
+int addWeight(Graph& graph, DType dtype, const Shape& shape);
+
+} // namespace nnsmith::baselines
+
+#endif // NNSMITH_BASELINES_CONCRETE_BUILDER_H

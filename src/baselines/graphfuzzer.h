@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GraphFuzzer-lite baseline (§6.1): generates multi-operator graphs by
+ * randomly stitching blocks, fixing mismatched shapes with slice
+ * repairs (the M1 pattern of Listing 1) and using shape-preserving
+ * attribute instances for shape-changing operators (Conv2d with 1x1
+ * kernels, pools with k=s=1, stride-1 slices). This is precisely the
+ * bias that silences stride-sensitive and layout bugs.
+ */
+#ifndef NNSMITH_BASELINES_GRAPHFUZZER_H
+#define NNSMITH_BASELINES_GRAPHFUZZER_H
+
+#include "fuzz/fuzzer.h"
+
+namespace nnsmith::baselines {
+
+/** See file comment. */
+class GraphFuzzerLite final : public fuzz::Fuzzer {
+  public:
+    struct Options {
+        int targetOps = 10;
+        fuzz::CostModel cost;
+    };
+
+    GraphFuzzerLite(Options options, uint64_t seed);
+
+    std::string name() const override { return "GraphFuzzer"; }
+    fuzz::IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) override;
+
+  private:
+    graph::Graph buildModel();
+
+    Options options_;
+    Rng rng_;
+};
+
+} // namespace nnsmith::baselines
+
+#endif // NNSMITH_BASELINES_GRAPHFUZZER_H

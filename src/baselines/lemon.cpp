@@ -1,0 +1,101 @@
+#include "baselines/lemon.h"
+
+#include "baselines/concrete_builder.h"
+#include "exec/interpreter.h"
+#include "ops/registry.h"
+
+namespace nnsmith::baselines {
+
+using ops::UnaryKind;
+
+namespace {
+
+/** The LEMON-insertable layer kinds (shape-preserving, float). */
+const std::vector<UnaryKind>&
+lemonLayers()
+{
+    static const std::vector<UnaryKind> kLayers = {
+        UnaryKind::kRelu, UnaryKind::kLeakyRelu, UnaryKind::kSigmoid,
+        UnaryKind::kTanh, UnaryKind::kAbs,       UnaryKind::kNeg,
+        UnaryKind::kSin,  UnaryKind::kCos,       UnaryKind::kFloor,
+        UnaryKind::kCeil, UnaryKind::kRound,     UnaryKind::kAtan};
+    return kLayers;
+}
+
+} // namespace
+
+LemonFuzzer::LemonFuzzer(uint64_t seed, fuzz::CostModel cost)
+    : rng_(seed), cost_(cost)
+{
+}
+
+graph::Graph
+LemonFuzzer::buildMutant()
+{
+    Graph graph;
+    const int zoo_pick = static_cast<int>(rng_.index(kZooSize));
+    int cursor = -1;
+    // Seed models — pre-trained network analogues. Every mutation site
+    // is a point on the main chain where unary layers may be inserted.
+    auto mutate_here = [&]() {
+        while (rng_.chance(0.4)) {
+            cursor = appendUnary(graph, rng_.pick(lemonLayers()), cursor);
+        }
+    };
+    switch (zoo_pick) {
+      case 0: { // LeNet-style CNN
+        cursor = addInput(graph, DType::kF32, Shape{{1, 4, 8, 8}});
+        mutate_here();
+        cursor = appendConv1x1(graph, cursor);
+        mutate_here();
+        cursor = appendUnary(graph, UnaryKind::kRelu, cursor);
+        cursor = appendPool1x1(graph, cursor, true);
+        mutate_here();
+        cursor = appendBatchNorm(graph, cursor);
+        mutate_here();
+        break;
+      }
+      case 1: { // MLP on flat features
+        cursor = addInput(graph, DType::kF32, Shape{{2, 16}});
+        mutate_here();
+        // Dense layer with square weight keeps the shape.
+        const int w = addWeight(graph, DType::kF32, Shape{{16, 16}});
+        const int b = addWeight(graph, DType::kF32, Shape{{16}});
+        auto dense = std::make_shared<ops::DenseOp>(ops::AttrMap{});
+        dense->setDTypes({{DType::kF32, DType::kF32, DType::kF32},
+                          {DType::kF32}});
+        cursor = addConcreteOp(graph, std::move(dense), {cursor, w, b});
+        mutate_here();
+        cursor = appendUnary(graph, UnaryKind::kSigmoid, cursor);
+        mutate_here();
+        break;
+      }
+      default: { // deep activation tower
+        cursor = addInput(graph, DType::kF32, Shape{{1, 32}});
+        for (int i = 0; i < 4; ++i) {
+            cursor = appendUnary(graph, UnaryKind::kTanh, cursor);
+            mutate_here();
+        }
+        break;
+      }
+    }
+    return graph;
+}
+
+fuzz::IterationOutcome
+LemonFuzzer::iterate(const std::vector<backends::Backend*>& backend_list)
+{
+    const Graph graph = buildMutant();
+    // LEMON uses the seed models' trained weights + random inputs; it
+    // has no value search, so NaN-prone mutants are simply wasted.
+    const auto leaves = exec::randomLeaves(graph, rng_, 0.0, 1.0);
+    auto outcome =
+        fuzz::executeGraphCase(graph, leaves, backend_list, cost_);
+    // Real-model execution dominates LEMON's iteration cost (§5.2:
+    // "LEMON mutates real-world models which can be very costly",
+    // up to ~100x slower than NNSmith per case).
+    outcome.cost += 300000;
+    return outcome;
+}
+
+} // namespace nnsmith::baselines

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * LEMON-lite baseline (§6.1): mutates pre-trained real-world models by
+ * inserting/deleting *shape-preserving unary* layers only. Two
+ * signature properties are reproduced: (i) restricted structural
+ * diversity — no Conv2d insertion, no broadcasting, no shape-changing
+ * connections; and (ii) very low throughput, because each iteration
+ * runs a full real-world model (LEMON is "up to 103x slower", §5.2).
+ */
+#ifndef NNSMITH_BASELINES_LEMON_H
+#define NNSMITH_BASELINES_LEMON_H
+
+#include "fuzz/fuzzer.h"
+
+namespace nnsmith::baselines {
+
+/** See file comment. */
+class LemonFuzzer final : public fuzz::Fuzzer {
+  public:
+    explicit LemonFuzzer(uint64_t seed,
+                         fuzz::CostModel cost = fuzz::CostModel());
+
+    std::string name() const override { return "LEMON"; }
+    fuzz::IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) override;
+
+    /** The "model zoo" size (seed models mutated per iteration). */
+    static constexpr int kZooSize = 3;
+
+  private:
+    graph::Graph buildMutant();
+
+    Rng rng_;
+    fuzz::CostModel cost_;
+};
+
+} // namespace nnsmith::baselines
+
+#endif // NNSMITH_BASELINES_LEMON_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tzer-lite baseline (§5.2, Fig. 8): a coverage-guided mutation fuzzer
+ * over *low-level* TIRLite programs. It exercises TVMLite's TIR passes
+ * directly — including expression shapes no graph lowering produces
+ * (its unique branches in Fig. 8a) — but never touches graph-level
+ * import or transformation passes (hence Fig. 8b).
+ */
+#ifndef NNSMITH_BASELINES_TZER_H
+#define NNSMITH_BASELINES_TZER_H
+
+#include "fuzz/fuzzer.h"
+#include "tirlite/tir.h"
+
+namespace nnsmith::baselines {
+
+/** See file comment. */
+class TzerFuzzer final : public fuzz::Fuzzer {
+  public:
+    explicit TzerFuzzer(uint64_t seed,
+                        fuzz::CostModel cost = fuzz::CostModel());
+
+    std::string name() const override { return "Tzer"; }
+    fuzz::IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) override;
+
+    size_t corpusSize() const { return corpus_.size(); }
+
+  private:
+    Rng rng_;
+    fuzz::CostModel cost_;
+    std::vector<tirlite::TirProgram> corpus_;
+    size_t lastCoverage_ = 0;
+};
+
+} // namespace nnsmith::baselines
+
+#endif // NNSMITH_BASELINES_TZER_H

@@ -1,0 +1,169 @@
+#include "coverage/coverage.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nnsmith::coverage {
+
+CoverageMap
+CoverageMap::unionWith(const CoverageMap& other) const
+{
+    CoverageMap out = *this;
+    out.branches_.insert(other.branches_.begin(), other.branches_.end());
+    return out;
+}
+
+CoverageMap
+CoverageMap::intersect(const CoverageMap& other) const
+{
+    CoverageMap out;
+    std::set_intersection(branches_.begin(), branches_.end(),
+                          other.branches_.begin(), other.branches_.end(),
+                          std::inserter(out.branches_,
+                                        out.branches_.begin()));
+    return out;
+}
+
+CoverageMap
+CoverageMap::minus(const CoverageMap& other) const
+{
+    CoverageMap out;
+    std::set_difference(branches_.begin(), branches_.end(),
+                        other.branches_.begin(), other.branches_.end(),
+                        std::inserter(out.branches_, out.branches_.begin()));
+    return out;
+}
+
+CoverageRegistry&
+CoverageRegistry::instance()
+{
+    static CoverageRegistry registry;
+    return registry;
+}
+
+BranchId
+CoverageRegistry::registerSite(const std::string& component,
+                               const char* file, int line,
+                               int discriminator, bool pass_only)
+{
+    const std::string key = component + "|" + file + ":" +
+                            std::to_string(line) + "#" +
+                            std::to_string(discriminator);
+    auto it = byKey_.find(key);
+    if (it != byKey_.end())
+        return it->second;
+    const BranchId id = static_cast<BranchId>(sites_.size());
+    sites_.push_back(Site{component, pass_only, false});
+    byKey_.emplace(key, id);
+    return id;
+}
+
+void
+CoverageRegistry::hit(BranchId id)
+{
+    NNSMITH_ASSERT(id < sites_.size(), "unknown branch id ", id);
+    sites_[id].hit = true;
+}
+
+void
+CoverageRegistry::hitDynamic(const std::string& component,
+                             const std::string& key, bool pass_only)
+{
+    const std::string full_key = component + "|dyn|" + key;
+    auto it = byKey_.find(full_key);
+    if (it != byKey_.end()) {
+        hit(it->second);
+        return;
+    }
+    const BranchId id = static_cast<BranchId>(sites_.size());
+    sites_.push_back(Site{component, pass_only, true});
+    byKey_.emplace(full_key, id);
+}
+
+void
+CoverageRegistry::hitRange(const std::string& component, size_t count,
+                           double fraction, bool pass_only)
+{
+    auto it = ranges_.find(component);
+    if (it == ranges_.end()) {
+        const BranchId first = static_cast<BranchId>(sites_.size());
+        for (size_t i = 0; i < count; ++i)
+            sites_.push_back(Site{component, pass_only, false});
+        it = ranges_.emplace(component, std::pair(first, count)).first;
+    }
+    const auto [first, registered] = it->second;
+    const size_t n = std::min(
+        registered,
+        static_cast<size_t>(fraction * static_cast<double>(registered)));
+    for (size_t i = 0; i < n; ++i)
+        sites_[first + i].hit = true;
+}
+
+CoverageMap
+CoverageRegistry::snapshot() const
+{
+    return snapshot("");
+}
+
+CoverageMap
+CoverageRegistry::snapshot(const std::string& component_prefix) const
+{
+    CoverageMap map;
+    for (BranchId id = 0; id < sites_.size(); ++id) {
+        const Site& site = sites_[id];
+        if (site.hit && site.component.rfind(component_prefix, 0) == 0)
+            map.add(id);
+    }
+    return map;
+}
+
+CoverageMap
+CoverageRegistry::snapshotPassOnly(const std::string& component_prefix) const
+{
+    CoverageMap map;
+    for (BranchId id = 0; id < sites_.size(); ++id) {
+        const Site& site = sites_[id];
+        if (site.hit && site.passOnly &&
+            site.component.rfind(component_prefix, 0) == 0)
+            map.add(id);
+    }
+    return map;
+}
+
+void
+CoverageRegistry::resetHits()
+{
+    for (auto& site : sites_)
+        site.hit = false;
+}
+
+size_t
+CoverageRegistry::sitesRegistered(const std::string& component_prefix) const
+{
+    size_t count = 0;
+    for (const auto& site : sites_) {
+        if (site.component.rfind(component_prefix, 0) == 0)
+            ++count;
+    }
+    return count;
+}
+
+void
+CoverageRegistry::declareTotal(const std::string& component, size_t total)
+{
+    declaredTotals_[component] = total;
+}
+
+size_t
+CoverageRegistry::declaredTotal(const std::string& component_prefix) const
+{
+    size_t total = 0;
+    for (const auto& [component, n] : declaredTotals_) {
+        if (component.rfind(component_prefix, 0) == 0)
+            total += n;
+    }
+    return total;
+}
+
+} // namespace nnsmith::coverage

@@ -1,0 +1,81 @@
+#include "difftest/compare.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace nnsmith::difftest {
+
+namespace {
+
+bool
+elementsClose(const Tensor& a, const Tensor& b,
+              const CompareOptions& options, int64_t* bad_index)
+{
+    if (a.dtype() != b.dtype() || !(a.shape() == b.shape())) {
+        if (bad_index)
+            *bad_index = -1;
+        return false;
+    }
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const double x = a.scalarAt(i);
+        const double y = b.scalarAt(i);
+        if (std::isnan(x) && std::isnan(y))
+            continue;
+        if (std::abs(x - y) <= options.atol + options.rtol * std::abs(y))
+            continue;
+        if (bad_index)
+            *bad_index = i;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+allClose(const Tensor& a, const Tensor& b, const CompareOptions& options)
+{
+    return elementsClose(a, b, options, nullptr);
+}
+
+bool
+allClose(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
+         const CompareOptions& options)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (!elementsClose(a[i], b[i], options, nullptr))
+            return false;
+    }
+    return true;
+}
+
+std::string
+firstDifference(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
+                const CompareOptions& options)
+{
+    if (a.size() != b.size())
+        return "output arity differs";
+    for (size_t i = 0; i < a.size(); ++i) {
+        int64_t bad = 0;
+        if (!elementsClose(a[i], b[i], options, &bad)) {
+            std::ostringstream os;
+            if (bad < 0) {
+                os << "output " << i << ": type mismatch "
+                   << tensor::dtypeName(a[i].dtype())
+                   << a[i].shape().toString() << " vs "
+                   << tensor::dtypeName(b[i].dtype())
+                   << b[i].shape().toString();
+            } else {
+                os << "output " << i << "[" << bad
+                   << "]: " << a[i].scalarAt(bad) << " vs "
+                   << b[i].scalarAt(bad);
+            }
+            return os.str();
+        }
+    }
+    return "";
+}
+
+} // namespace nnsmith::difftest

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Output equivalence checking (paper §4 "False alarms"): relative +
+ * absolute tolerance, scaled by overall magnitude, with a deliberately
+ * high tolerance because FP-valid optimizations may legally perturb
+ * results.
+ */
+#ifndef NNSMITH_DIFFTEST_COMPARE_H
+#define NNSMITH_DIFFTEST_COMPARE_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nnsmith::difftest {
+
+using tensor::Tensor;
+
+/** Tolerances for output comparison. */
+struct CompareOptions {
+    double rtol = 1e-2; ///< high tolerance to avoid FP false alarms
+    double atol = 1e-3;
+};
+
+/** Elementwise |a-b| <= atol + rtol*|b|; shapes/dtypes must agree. */
+bool allClose(const Tensor& a, const Tensor& b,
+              const CompareOptions& options = CompareOptions());
+
+/** allClose over whole output lists. */
+bool allClose(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
+              const CompareOptions& options = CompareOptions());
+
+/** First differing element description (for reports); "" when equal. */
+std::string firstDifference(const std::vector<Tensor>& a,
+                            const std::vector<Tensor>& b,
+                            const CompareOptions& options = CompareOptions());
+
+} // namespace nnsmith::difftest
+
+#endif // NNSMITH_DIFFTEST_COMPARE_H

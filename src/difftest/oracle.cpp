@@ -1,0 +1,104 @@
+#include "difftest/oracle.h"
+
+#include "onnx/exporter.h"
+#include "support/logging.h"
+
+namespace nnsmith::difftest {
+
+using backends::Backend;
+using backends::BackendError;
+using backends::DefectRegistry;
+using backends::OptLevel;
+using backends::RunResult;
+
+std::string
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::kPass: return "pass";
+      case Verdict::kCrash: return "crash";
+      case Verdict::kWrongResult: return "wrong-result";
+      case Verdict::kSkippedNaN: return "skipped-nan";
+    }
+    NNSMITH_PANIC("bad Verdict");
+}
+
+bool
+CaseResult::anyBugSignal() const
+{
+    if (!exportOk)
+        return true;
+    for (const auto& v : verdicts) {
+        if (v.verdict == Verdict::kCrash ||
+            v.verdict == Verdict::kWrongResult)
+            return true;
+    }
+    return false;
+}
+
+CaseResult
+runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
+        const std::vector<Backend*>& backend_list,
+        const CompareOptions& options)
+{
+    CaseResult result;
+    DefectRegistry::instance().clearTrace();
+
+    // Reference (oracle) execution — a "free lunch" by-product of the
+    // gradient search (§4).
+    const auto reference = exec::execute(graph, leaves);
+    result.referenceValid = reference.numericallyValid();
+
+    // Export to OnnxLite; exporter bugs surface here.
+    onnx::OnnxModel model;
+    try {
+        model = onnx::exportGraph(graph);
+    } catch (const BackendError& error) {
+        result.exportOk = false;
+        result.exportCrashKind = error.kind();
+        result.triggeredDefects = DefectRegistry::instance().trace();
+        return result;
+    }
+
+    for (Backend* backend : backend_list) {
+        BackendVerdict verdict;
+        verdict.backend = backend->name();
+        const RunResult o3 = backend->run(model, leaves, OptLevel::kO3);
+        if (o3.status == RunResult::Status::kCrash) {
+            verdict.verdict = Verdict::kCrash;
+            verdict.crashKind = o3.crashKind;
+            verdict.detail = o3.crashMessage;
+        } else if (!result.referenceValid) {
+            // NaN/Inf anywhere in the reference: no comparison (§2.3's
+            // numeric-validity requirement).
+            verdict.verdict = Verdict::kSkippedNaN;
+        } else if (!allClose(o3.outputs, reference.outputs, options)) {
+            verdict.verdict = Verdict::kWrongResult;
+            verdict.detail =
+                firstDifference(o3.outputs, reference.outputs, options);
+            // Fault localization: recompile at O0 (paper §4). If O0
+            // disagrees with the optimized run, the optimization is
+            // wrong; otherwise suspect the conversion path.
+            const RunResult o0 =
+                backend->run(model, leaves, OptLevel::kO0);
+            verdict.localizedToOptimizer =
+                o0.status == RunResult::Status::kOk &&
+                !allClose(o0.outputs, o3.outputs, options);
+        }
+        result.verdicts.push_back(std::move(verdict));
+    }
+    result.triggeredDefects = DefectRegistry::instance().trace();
+    return result;
+}
+
+std::vector<std::unique_ptr<Backend>>
+makeAllBackends()
+{
+    std::vector<std::unique_ptr<Backend>> trio;
+    trio.push_back(nnsmith::backends::makeOrtLite());
+    trio.push_back(nnsmith::backends::makeTvmLite());
+    trio.push_back(nnsmith::backends::makeTrtLite());
+    return trio;
+}
+
+} // namespace nnsmith::difftest

@@ -1,0 +1,64 @@
+#include "exec/interpreter.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::exec {
+
+using graph::NodeKind;
+
+ExecResult
+execute(const Graph& graph, const LeafValues& leaves)
+{
+    NNSMITH_ASSERT(graph.isConcrete(), "execute() needs a concrete graph");
+    ExecResult result;
+    for (int node_id : graph.topoOrder()) {
+        const auto& node = graph.node(node_id);
+        if (node.kind == NodeKind::kInput || node.kind == NodeKind::kWeight) {
+            const int v = node.outputs[0];
+            auto it = leaves.find(v);
+            NNSMITH_ASSERT(it != leaves.end(), "missing leaf tensor for %",
+                           v);
+            const auto& type = graph.value(v).type;
+            NNSMITH_ASSERT(it->second.dtype() == type.dtype() &&
+                               it->second.shape() == type.concreteShape(),
+                           "leaf tensor mismatch for %", v);
+            result.values.emplace(v, it->second);
+            continue;
+        }
+        NNSMITH_ASSERT(node.kind == NodeKind::kOp,
+                       "unpromoted placeholder at execution");
+        std::vector<Tensor> inputs;
+        inputs.reserve(node.inputs.size());
+        for (int v : node.inputs)
+            inputs.push_back(result.values.at(v));
+        auto outputs = node.op->execute(inputs);
+        NNSMITH_ASSERT(outputs.size() == node.outputs.size(),
+                       node.op->name(), " produced wrong output count");
+        for (size_t i = 0; i < outputs.size(); ++i) {
+            if (result.firstInvalidNode == -1 && outputs[i].hasNaNOrInf())
+                result.firstInvalidNode = node_id;
+            result.values.emplace(node.outputs[i], std::move(outputs[i]));
+        }
+    }
+    for (int v : graph.outputValues())
+        result.outputs.push_back(result.values.at(v));
+    return result;
+}
+
+LeafValues
+randomLeaves(const Graph& graph, Rng& rng, double lo, double hi)
+{
+    LeafValues leaves;
+    for (const auto& node : graph.nodes()) {
+        if (node.dead ||
+            (node.kind != NodeKind::kInput && node.kind != NodeKind::kWeight))
+            continue;
+        const int v = node.outputs[0];
+        const auto& type = graph.value(v).type;
+        leaves.emplace(v, Tensor::random(type.dtype(), type.concreteShape(),
+                                         rng, lo, hi));
+    }
+    return leaves;
+}
+
+} // namespace nnsmith::exec

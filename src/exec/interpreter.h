@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reference interpreter over concrete computation graphs.
+ *
+ * Plays the role PyTorch plays in the paper (§4): the trusted oracle
+ * whose outputs ground differential testing, and the executor behind
+ * gradient-based value search. It tracks, per intermediate, whether a
+ * NaN/Inf appeared — needed both by Algorithm 3 (find the *first*
+ * offending operator) and by the "numerically valid output" definition
+ * (§2.3: internal exceptional values also disqualify a comparison).
+ */
+#ifndef NNSMITH_EXEC_INTERPRETER_H
+#define NNSMITH_EXEC_INTERPRETER_H
+
+#include <map>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+#include "tensor/tensor.h"
+
+namespace nnsmith::exec {
+
+using graph::Graph;
+using tensor::Tensor;
+
+/** Map from leaf value id to its concrete tensor. */
+using LeafValues = std::map<int, Tensor>;
+
+/** Execution outcome. */
+struct ExecResult {
+    /** Every value's tensor, keyed by value id. */
+    std::map<int, Tensor> values;
+
+    /** Output tensors in outputValues() order. */
+    std::vector<Tensor> outputs;
+
+    /**
+     * First node (in topological order) whose output contains NaN/Inf;
+     * -1 when execution was numerically valid throughout.
+     */
+    int firstInvalidNode = -1;
+
+    /** True iff no intermediate or output contained NaN/Inf. */
+    bool numericallyValid() const { return firstInvalidNode == -1; }
+};
+
+/**
+ * Execute @p graph given tensors for every input and weight value.
+ * Panics if a leaf binding is missing or of the wrong type.
+ */
+ExecResult execute(const Graph& graph, const LeafValues& leaves);
+
+/**
+ * Uniform-random leaf tensors in [lo, hi) — the paper's Sampling
+ * baseline draws from [1, 9] (§5.3).
+ */
+LeafValues randomLeaves(const Graph& graph, Rng& rng, double lo = 1.0,
+                        double hi = 9.0);
+
+} // namespace nnsmith::exec
+
+#endif // NNSMITH_EXEC_INTERPRETER_H

@@ -1,0 +1,79 @@
+#include "fuzz/campaign.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::fuzz {
+
+using coverage::CoverageRegistry;
+
+CampaignResult
+runCampaign(Fuzzer& fuzzer,
+            const std::vector<backends::Backend*>& backends,
+            const CampaignConfig& config)
+{
+    auto& registry = CoverageRegistry::instance();
+    registry.resetHits();
+
+    CampaignResult result;
+    result.fuzzer = fuzzer.name();
+    VirtualClock clock;
+    double next_sample = 0.0;
+
+    auto take_sample = [&]() {
+        CampaignPoint point;
+        point.minutes = clock.minutes();
+        point.iterations = result.iterations;
+        point.coverageAll =
+            registry.snapshot(config.coverageComponent).count();
+        point.coveragePass =
+            registry.snapshotPassOnly(config.coverageComponent).count();
+        result.series.push_back(point);
+    };
+    take_sample();
+    next_sample = config.sampleEveryMinutes;
+
+    while (clock.now() < config.virtualBudget &&
+           result.iterations < config.maxIterations) {
+        IterationOutcome outcome = fuzzer.iterate(backends);
+        ++result.iterations;
+        result.produced += outcome.produced ? 1 : 0;
+        clock.advance(std::max<VirtualMs>(outcome.cost, 1));
+        for (auto& bug : outcome.bugs) {
+            for (const auto& defect : bug.defects)
+                result.defectsFound.insert(defect);
+            result.bugs.emplace(bug.dedupKey, std::move(bug));
+        }
+        for (auto& key : outcome.instanceKeys)
+            result.instanceKeys.insert(std::move(key));
+        while (clock.minutes() >= next_sample) {
+            take_sample();
+            // Re-stamp the sample at its nominal bucket boundary so
+            // different fuzzers' series align on the x axis.
+            result.series.back().minutes = next_sample;
+            next_sample += config.sampleEveryMinutes;
+        }
+    }
+    result.activeTime = clock.now();
+    // If the real-iteration cap was hit before the virtual budget,
+    // fast-forward the converged plateau: coverage cannot grow without
+    // new test cases, so the remaining samples hold the final value
+    // (the paper notes curves "generally converge before" 4 hours).
+    // Bounded so iteration-capped campaigns with huge budgets stay
+    // cheap.
+    while (clock.now() < config.virtualBudget &&
+           result.series.size() < 4096) {
+        clock.advance(
+            static_cast<VirtualMs>(config.sampleEveryMinutes) * 60 * 1000);
+        take_sample();
+        result.series.back().minutes = next_sample;
+        next_sample += config.sampleEveryMinutes;
+    }
+    take_sample();
+    result.coverAll = registry.snapshot(config.coverageComponent);
+    result.coverPass =
+        registry.snapshotPassOnly(config.coverageComponent);
+    result.virtualTime = clock.now();
+    return result;
+}
+
+} // namespace nnsmith::fuzz

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Campaign driver: runs one fuzzer for a virtual-time budget against a
+ * set of backends, recording coverage time series (Figs. 4-6), final
+ * coverage sets (Figs. 7, 8, 10), instance-diversity keys (Fig. 9) and
+ * deduplicated bug records (Table 3, §5.4).
+ */
+#ifndef NNSMITH_FUZZ_CAMPAIGN_H
+#define NNSMITH_FUZZ_CAMPAIGN_H
+
+#include <map>
+#include <set>
+
+#include "coverage/coverage.h"
+#include "fuzz/fuzzer.h"
+#include "support/vclock.h"
+
+namespace nnsmith::fuzz {
+
+/** Campaign parameters. */
+struct CampaignConfig {
+    /** Virtual budget; the paper runs 4 hours (240 minutes). */
+    VirtualMs virtualBudget = 240ll * 60 * 1000;
+
+    /** Real-iteration safety cap (coverage saturates well before). */
+    size_t maxIterations = 4000;
+
+    /** Component prefix whose coverage is the campaign's metric,
+     *  e.g. "ortlite" or "tvmlite". */
+    std::string coverageComponent;
+
+    /** Sample the coverage series every this many virtual minutes. */
+    int sampleEveryMinutes = 5;
+};
+
+/** One sample of the coverage growth curves. */
+struct CampaignPoint {
+    double minutes = 0.0;
+    size_t iterations = 0;
+    size_t coverageAll = 0;
+    size_t coveragePass = 0;
+};
+
+/** Everything a campaign produces. */
+struct CampaignResult {
+    std::string fuzzer;
+    std::vector<CampaignPoint> series;
+    coverage::CoverageMap coverAll;   ///< component-filtered
+    coverage::CoverageMap coverPass;  ///< pass-only subset
+    std::map<std::string, BugRecord> bugs; ///< keyed by dedupKey
+    std::set<std::string> instanceKeys;
+    std::set<std::string> defectsFound; ///< seeded defects observed
+    size_t iterations = 0;
+    size_t produced = 0;
+    VirtualMs virtualTime = 0;  ///< total, including converged plateau
+    VirtualMs activeTime = 0;   ///< virtual time actually spent fuzzing
+};
+
+/** Run @p fuzzer for the configured budget. Resets coverage hits. */
+CampaignResult runCampaign(Fuzzer& fuzzer,
+                           const std::vector<backends::Backend*>& backends,
+                           const CampaignConfig& config);
+
+} // namespace nnsmith::fuzz
+
+#endif // NNSMITH_FUZZ_CAMPAIGN_H

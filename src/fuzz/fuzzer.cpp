@@ -1,0 +1,117 @@
+#include "fuzz/fuzzer.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace nnsmith::fuzz {
+
+using difftest::CaseResult;
+using difftest::Verdict;
+
+std::vector<BugRecord>
+bugsFromCase(const CaseResult& result)
+{
+    std::vector<BugRecord> bugs;
+    if (!result.exportOk) {
+        BugRecord bug;
+        bug.dedupKey = "Exporter|crash|" + result.exportCrashKind;
+        bug.backend = "Exporter";
+        bug.kind = "export-crash";
+        bug.detail = result.exportCrashKind;
+        bug.defects = result.triggeredDefects;
+        bugs.push_back(std::move(bug));
+        return bugs;
+    }
+    for (const auto& v : result.verdicts) {
+        if (v.verdict == Verdict::kCrash) {
+            BugRecord bug;
+            bug.dedupKey = v.backend + "|crash|" + v.crashKind;
+            bug.backend = v.backend;
+            bug.kind = "crash";
+            bug.detail = v.detail;
+            bug.defects = result.triggeredDefects;
+            bugs.push_back(std::move(bug));
+        } else if (v.verdict == Verdict::kWrongResult) {
+            // Dedup semantic issues by the set of triggered semantic
+            // defects (the paper dedups by eventual patch; the trace
+            // is our ground-truth analogue).
+            std::ostringstream key;
+            key << v.backend << "|wrong|";
+            for (const auto& d : result.triggeredDefects)
+                key << d << ",";
+            BugRecord bug;
+            bug.dedupKey = key.str();
+            bug.backend = v.backend;
+            bug.kind = "wrong-result";
+            bug.detail = v.detail;
+            bug.defects = result.triggeredDefects;
+            bugs.push_back(std::move(bug));
+        }
+    }
+    return bugs;
+}
+
+IterationOutcome
+executeGraphCase(const graph::Graph& graph, const exec::LeafValues& leaves,
+                 const std::vector<backends::Backend*>& backend_list,
+                 const CostModel& cost)
+{
+    IterationOutcome outcome;
+    outcome.produced = true;
+    const CaseResult result =
+        difftest::runCase(graph, leaves, backend_list);
+    outcome.bugs = bugsFromCase(result);
+    for (const auto* backend : backend_list) {
+        if (backend->name() == "OrtLite")
+            outcome.cost += cost.backendCompileOrt + cost.run;
+        else if (backend->name() == "TVMLite")
+            outcome.cost += cost.backendCompileTvm + cost.run;
+        else
+            outcome.cost += cost.backendCompileTrt + cost.run;
+    }
+    return outcome;
+}
+
+NNSmithFuzzer::NNSmithFuzzer(Options options, uint64_t seed)
+    : options_(std::move(options)), rng_(seed), next_seed_(seed)
+{
+}
+
+IterationOutcome
+NNSmithFuzzer::iterate(const std::vector<backends::Backend*>& backend_list)
+{
+    gen::GraphGenerator generator(options_.generator, next_seed_++);
+    const auto model = generator.generate();
+    if (!model) {
+        IterationOutcome outcome;
+        outcome.cost =
+            options_.cost.generationPerOp * options_.generator.targetOpNodes;
+        return outcome;
+    }
+    ++generated_;
+
+    exec::LeafValues leaves;
+    if (options_.runValueSearch) {
+        const auto search =
+            autodiff::search(model->graph, rng_, options_.search);
+        leaves = search.success
+                     ? search.values
+                     : exec::randomLeaves(model->graph, rng_,
+                                          options_.search.initLo,
+                                          options_.search.initHi);
+    } else {
+        leaves = exec::randomLeaves(model->graph, rng_);
+    }
+
+    IterationOutcome outcome =
+        executeGraphCase(model->graph, leaves, backend_list, options_.cost);
+    outcome.cost += options_.cost.generationPerOp *
+                        model->graph.numOpNodes() +
+                    (options_.runValueSearch ? options_.cost.valueSearch
+                                             : 0);
+    outcome.instanceKeys = model->instanceKeys();
+    return outcome;
+}
+
+} // namespace nnsmith::fuzz

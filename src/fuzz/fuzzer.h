@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The fuzzer interface and the NNSmith fuzzer itself.
+ *
+ * A fuzzer produces and executes one test case per iterate() call,
+ * reporting its virtual cost (see support/vclock.h and DESIGN.md —
+ * wall-clock campaign dynamics are replayed in virtual time) plus any
+ * bug signals. Baselines (LEMON / GraphFuzzer / Tzer) implement the
+ * same interface in baselines/.
+ */
+#ifndef NNSMITH_FUZZ_FUZZER_H
+#define NNSMITH_FUZZ_FUZZER_H
+
+#include <string>
+#include <vector>
+
+#include "autodiff/grad_search.h"
+#include "difftest/oracle.h"
+#include "gen/generator.h"
+#include "support/rng.h"
+#include "support/vclock.h"
+
+namespace nnsmith::fuzz {
+
+/** One deduplicable bug observation. */
+struct BugRecord {
+    std::string dedupKey; ///< e.g. "TVMLite|crash|tvm.layout.nchw4c_slice"
+    std::string backend;
+    std::string kind;     ///< "crash" | "wrong-result" | "export-crash"
+    std::string detail;
+    std::vector<std::string> defects; ///< seeded defects in the trace
+};
+
+/** Result of one fuzzer iteration. */
+struct IterationOutcome {
+    VirtualMs cost = 0;     ///< virtual milliseconds consumed
+    bool produced = false;  ///< a test case was generated & executed
+    std::vector<BugRecord> bugs;
+    std::vector<std::string> instanceKeys; ///< Fig. 9 diversity keys
+};
+
+/** A test-case generator + executor. */
+class Fuzzer {
+  public:
+    virtual ~Fuzzer() = default;
+    virtual std::string name() const = 0;
+
+    /** Produce and execute one test case against @p backends. */
+    virtual IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) = 0;
+};
+
+/** Translate a differential-test result into bug records. */
+std::vector<BugRecord> bugsFromCase(const difftest::CaseResult& result);
+
+/**
+ * Virtual cost model constants (DESIGN.md "Substitutions").
+ *
+ * Values are calibrated at *testbed scale*: they preserve the paper's
+ * cost ratios (generation ~83ms/10-node model before the testbed's
+ * compile+run dominates; TVM compiles slower than ONNXRuntime; LEMON
+ * pays two orders of magnitude extra for running real models) so that
+ * a 240-virtual-minute campaign performs a paper-plausible number of
+ * iterations per fuzzer.
+ */
+struct CostModel {
+    VirtualMs generationPerOp = 180; ///< solving dominates generation
+    VirtualMs valueSearch = 90;
+    VirtualMs backendCompileOrt = 1400;
+    VirtualMs backendCompileTvm = 5600; ///< codegen makes TVM slower
+    VirtualMs backendCompileTrt = 2800;
+    VirtualMs run = 220;
+};
+
+/** The NNSmith fuzzer (generator + binning + gradient value search +
+ *  differential testing). */
+class NNSmithFuzzer final : public Fuzzer {
+  public:
+    struct Options {
+        gen::GeneratorConfig generator;
+        autodiff::SearchConfig search;
+        CostModel cost;
+        bool runValueSearch = true;
+    };
+
+    NNSmithFuzzer(Options options, uint64_t seed);
+
+    std::string name() const override { return "NNSmith"; }
+    IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) override;
+
+    /** Total models generated so far (diagnostics). */
+    size_t generated() const { return generated_; }
+
+  private:
+    Options options_;
+    Rng rng_;
+    uint64_t next_seed_;
+    size_t generated_ = 0;
+};
+
+/** Shared helper for graph-producing fuzzers: run the differential
+ *  test and fill an outcome. */
+IterationOutcome
+executeGraphCase(const graph::Graph& graph, const exec::LeafValues& leaves,
+                 const std::vector<backends::Backend*>& backend_list,
+                 const CostModel& cost);
+
+} // namespace nnsmith::fuzz
+
+#endif // NNSMITH_FUZZ_FUZZER_H

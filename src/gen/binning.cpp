@@ -1,0 +1,126 @@
+#include "gen/binning.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nnsmith::gen {
+
+using graph::NodeKind;
+using ops::AttrBinning;
+using symbolic::Pred;
+
+BinRange
+sampleFromBin(Rng& rng, int i, int k, int64_t cap)
+{
+    NNSMITH_ASSERT(i >= 1 && i <= k, "bin index out of range");
+    if (i != k) {
+        double b = rng.uniformReal(i - 1, i);
+        double t = rng.uniformReal(i - 1, i);
+        if (b > t)
+            std::swap(b, t);
+        const auto lo = static_cast<int64_t>(std::floor(std::pow(2.0, b)));
+        const auto hi = static_cast<int64_t>(std::floor(std::pow(2.0, t)));
+        return {lo, std::max(lo, hi)};
+    }
+    // Last bin: [2^(k-1), inf), clamped for tractability.
+    const auto lo = static_cast<int64_t>(1) << (k - 1);
+    return {lo, std::max(lo, cap)};
+}
+
+namespace {
+
+/** One l <= alpha <= r constraint pair. */
+void
+pushRange(std::vector<Pred>& cb, const symbolic::ExprRef& attr,
+          BinRange range)
+{
+    cb.push_back(symbolic::ge(attr, range.lo));
+    cb.push_back(symbolic::le(attr, range.hi));
+}
+
+/** Default binning: random bin, sampled subrange (Algorithm 2). */
+void
+binDefault(std::vector<Pred>& cb, const symbolic::ExprRef& attr, Rng& rng,
+           int k)
+{
+    const int i = static_cast<int>(rng.uniformInt(1, k));
+    pushRange(cb, attr, sampleFromBin(rng, i, k));
+}
+
+} // namespace
+
+std::vector<Pred>
+makeBinningConstraints(const graph::Graph& graph, Rng& rng, int k)
+{
+    std::vector<Pred> cb;
+    for (const auto& node : graph.nodes()) {
+        if (node.dead)
+            continue;
+        if (node.kind != NodeKind::kOp) {
+            // Algorithm 2 treats placeholders as operators whose
+            // attributes are their tensor dimensions.
+            for (int v : node.outputs) {
+                for (const auto& dim : graph.value(v).type.shape()) {
+                    if (!dim->isConst())
+                        binDefault(cb, dim, rng, k);
+                }
+            }
+            continue;
+        }
+        for (const auto& attr : node.op->attrs()) {
+            if (attr.expr->isConst())
+                continue;
+            switch (attr.binning) {
+              case AttrBinning::kDefault:
+                binDefault(cb, attr.expr, rng, k);
+                break;
+              case AttrBinning::kWithZero:
+                // C* (paper §4): one extra bin holding only 0.
+                if (rng.chance(1.0 / (k + 1)))
+                    pushRange(cb, attr.expr, {0, 0});
+                else
+                    binDefault(cb, attr.expr, rng, k);
+                break;
+              case AttrBinning::kWithNegative: {
+                // C*: zero and negative bins for paddings.
+                const double coin = rng.uniformReal();
+                if (coin < 0.15) {
+                    pushRange(cb, attr.expr, {0, 0});
+                } else if (coin < 0.40) {
+                    const int i = static_cast<int>(rng.uniformInt(1, k));
+                    const BinRange r = sampleFromBin(rng, i, k);
+                    pushRange(cb, attr.expr, {-r.hi, -r.lo});
+                } else {
+                    binDefault(cb, attr.expr, rng, k);
+                }
+                break;
+              }
+              case AttrBinning::kNone:
+                break;
+            }
+        }
+    }
+    return cb;
+}
+
+size_t
+applyBinning(solver::Solver& solver, std::vector<Pred> cb, Rng& rng)
+{
+    // Binning constraints come in (lo, hi) pairs; drop pairs together.
+    while (!cb.empty() && !solver.tryAdd(cb)) {
+        std::vector<Pred> kept;
+        for (size_t i = 0; i + 1 < cb.size(); i += 2) {
+            if (rng.chance(0.5)) {
+                kept.push_back(cb[i]);
+                kept.push_back(cb[i + 1]);
+            }
+        }
+        if (kept.size() == cb.size() && !kept.empty())
+            kept.pop_back(); // guarantee progress
+        cb = std::move(kept);
+    }
+    return cb.size();
+}
+
+} // namespace nnsmith::gen

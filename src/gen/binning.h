@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Attribute binning (paper §3.2, Algorithm 2).
+ *
+ * SMT solvers return boundary models (everything 1), collapsing
+ * attribute diversity. Binning adds random exponential-range
+ * constraints per attribute; if the system becomes unsatisfiable, half
+ * of the binning constraints are dropped at random until it is
+ * satisfiable again.
+ */
+#ifndef NNSMITH_GEN_BINNING_H
+#define NNSMITH_GEN_BINNING_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace nnsmith::gen {
+
+/** Result of SampleFromBin (Algorithm 2, lines 1-6). */
+struct BinRange {
+    int64_t lo;
+    int64_t hi;
+};
+
+/**
+ * Sample an integer subrange of bin @p i out of @p k bins; bin i covers
+ * [2^(i-1), 2^i), the last bin [2^(k-1), inf) (clamped to @p cap).
+ */
+BinRange sampleFromBin(Rng& rng, int i, int k, int64_t cap = 512);
+
+/**
+ * Build binning constraints for every symbolic operator attribute and
+ * every placeholder dimension of @p graph (Algorithm 2 lines 8-16,
+ * including the specialized C* bins for paddings).
+ */
+std::vector<symbolic::Pred>
+makeBinningConstraints(const graph::Graph& graph, Rng& rng, int k);
+
+/**
+ * Apply binning with the drop-half retry loop (Algorithm 2 lines
+ * 17-18). Returns the number of binning constraints finally committed.
+ */
+size_t applyBinning(solver::Solver& solver, std::vector<symbolic::Pred> cb,
+                    Rng& rng);
+
+} // namespace nnsmith::gen
+
+#endif // NNSMITH_GEN_BINNING_H

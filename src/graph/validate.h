@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural + type validity checking of computation graphs (the
+ * "type checking" a DL compiler front end performs, paper §2.1).
+ *
+ * The checker re-derives every operator's requirements and type-transfer
+ * results, so a graph that passes here is valid by the same definition
+ * the generator targets. Tests use it as the ground-truth oracle for
+ * the paper's validity guarantee.
+ */
+#ifndef NNSMITH_GRAPH_VALIDATE_H
+#define NNSMITH_GRAPH_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nnsmith::graph {
+
+/** Outcome of validation; valid iff `errors` is empty. */
+struct ValidationResult {
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Validate a *concrete* graph: connectivity, dtype agreement,
+ * per-operator requirements, and type-transfer consistency.
+ */
+ValidationResult validate(const Graph& graph);
+
+/** True iff every live node reaches/feeds the rest: one weak component. */
+bool isConnected(const Graph& graph);
+
+} // namespace nnsmith::graph
+
+#endif // NNSMITH_GRAPH_VALIDATE_H

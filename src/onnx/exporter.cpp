@@ -1,0 +1,153 @@
+#include "onnx/exporter.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::onnx {
+
+using backends::BackendError;
+using backends::DefectRegistry;
+using graph::Graph;
+using graph::NodeKind;
+using tensor::DType;
+
+namespace {
+
+/** Crash-symptom exporter defects: scalar mishandling family (§5.4
+ *  "Wrong scalar handling": one Log2 report led developers to 37
+ *  similar bugs; we seed a representative subset). */
+void
+checkScalarHandling(const OnnxNode& node, const OnnxModel& model)
+{
+    if (node.inputs.empty())
+        return;
+    const bool scalar_input =
+        model.value(node.inputs[0]).shape.rank() == 0;
+    if (!scalar_input)
+        return;
+    auto& defects = DefectRegistry::instance();
+    struct Entry {
+        const char* op;
+        const char* defect;
+    };
+    static const Entry kCrashes[] = {
+        {"Sqrt", "exp.scalar.sqrt"},
+        {"Exp", "exp.scalar.exp"},
+        {"Sin", "exp.scalar.sin"},
+        {"Neg", "exp.scalar.neg"},
+    };
+    for (const auto& entry : kCrashes) {
+        if (node.opName == entry.op && defects.trigger(entry.defect)) {
+            throw BackendError(
+                "export.scalar",
+                std::string("exporter assertion: unexpected 0-d tensor "
+                            "for ") + entry.op);
+        }
+    }
+}
+
+} // namespace
+
+OnnxModel
+exportGraph(const Graph& graph)
+{
+    NNSMITH_ASSERT(graph.isConcrete(), "export needs a concrete graph");
+    auto& defects = DefectRegistry::instance();
+    OnnxModel model;
+
+    for (const auto& v : graph.values()) {
+        const auto& producer = graph.node(v.producer);
+        if (producer.dead)
+            continue;
+        OnnxValue ov;
+        ov.id = v.id;
+        switch (producer.kind) {
+          case NodeKind::kInput: ov.kind = ValueKind::kInput; break;
+          case NodeKind::kWeight: ov.kind = ValueKind::kWeight; break;
+          case NodeKind::kOp: ov.kind = ValueKind::kIntermediate; break;
+          case NodeKind::kPlaceholder:
+            NNSMITH_PANIC("placeholder in concrete graph");
+        }
+        ov.dtype = v.type.dtype();
+        ov.shape = v.type.concreteShape();
+        model.values.push_back(std::move(ov));
+    }
+
+    for (int node_id : graph.topoOrder()) {
+        const auto& n = graph.node(node_id);
+        if (n.kind != NodeKind::kOp)
+            continue;
+        OnnxNode on;
+        on.opName = n.op->name();
+        on.attrs = n.op->attrMap();
+        on.inDTypes = n.op->inDTypes();
+        on.outDTypes = n.op->outDTypes();
+        on.inputs = n.inputs;
+        on.outputs = n.outputs;
+
+        checkScalarHandling(on, model);
+
+        // exp.scalar.log2 (semantic, the paper's Log2 bug): a scalar
+        // Log2 output is exported as a rank-1 tensor of one element.
+        if (on.opName == "Log2" && !on.inputs.empty() &&
+            model.value(on.inputs[0]).shape.rank() == 0 &&
+            defects.trigger("exp.scalar.log2")) {
+            for (auto& v : model.values) {
+                if (v.id == on.outputs[0])
+                    v.shape = tensor::Shape{{1}};
+            }
+        }
+
+        // exp.clip.i32 (semantic): int32 Clip is not in opset 11 but
+        // is exported silently; TrtLite later misreads its attributes.
+        if (on.opName == "Clip" && !on.inDTypes.empty() &&
+            on.inDTypes[0] == DType::kI32)
+            defects.trigger("exp.clip.i32"); // recorded; harm is in TRT
+
+        // exp.attr.pad_drop (crash): zero-length replicate padding
+        // trips an exporter assertion.
+        if (on.opName == "ReplicatePad" && on.attrs.at("before") == 0 &&
+            on.attrs.at("after") == 0 &&
+            defects.trigger("exp.attr.pad_drop")) {
+            throw BackendError("export.pad",
+                               "exporter assertion: empty pad list");
+        }
+
+        // exp.dtype.bool_concat (semantic): bool Concat is exported
+        // with an i32 element type annotation.
+        if (on.opName == "Concat" && !on.inDTypes.empty() &&
+            on.inDTypes[0] == DType::kBool &&
+            defects.trigger("exp.dtype.bool_concat")) {
+            on.inDTypes.assign(on.inDTypes.size(), DType::kI32);
+            on.outDTypes.assign(on.outDTypes.size(), DType::kI32);
+        }
+
+        // exp.perm.transpose_reverse (crash): rank-4 full-reversal
+        // permutations hit an exporter bug.
+        if (on.opName == "Transpose" && on.attrs.count("rank") &&
+            on.attrs.at("rank") == 4 && on.attrs.at("p0") == 3 &&
+            on.attrs.at("p1") == 2 && on.attrs.at("p2") == 1 &&
+            on.attrs.at("p3") == 0 &&
+            defects.trigger("exp.perm.transpose_reverse")) {
+            throw BackendError("export.transpose",
+                               "exporter: cannot legalize reversed "
+                               "rank-4 permutation");
+        }
+
+        // exp.squeeze.axis0 (crash): Squeeze(axis=0) of a rank-2
+        // tensor emits an invalid axes attribute.
+        if (on.opName == "Squeeze" && on.attrs.at("rank") == 2 &&
+            on.attrs.at("axis") == 0 &&
+            defects.trigger("exp.squeeze.axis0")) {
+            throw BackendError("export.squeeze",
+                               "exporter: axes=[0] rejected for rank-2 "
+                               "input");
+        }
+
+        model.nodes.push_back(std::move(on));
+    }
+
+    model.outputs = graph.outputValues();
+    return model;
+}
+
+} // namespace nnsmith::onnx

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The PyTorch-ONNX-exporter analogue (paper §4).
+ *
+ * Converts a concrete Graph into an OnnxLite model. Deliberately
+ * carries ten seeded conversion defects transcribed from the paper's
+ * bug study (wrong scalar handling à la Log2, silently exporting int32
+ * Clip, ...). Crash-symptom defects throw BackendError("export.*");
+ * semantic ones corrupt the exported metadata, which downstream
+ * backends then faithfully mis-execute.
+ */
+#ifndef NNSMITH_ONNX_EXPORTER_H
+#define NNSMITH_ONNX_EXPORTER_H
+
+#include "backends/defects.h"
+#include "onnx/onnx_lite.h"
+
+namespace nnsmith::onnx {
+
+/** Export a concrete graph to OnnxLite. May throw BackendError. */
+OnnxModel exportGraph(const graph::Graph& graph);
+
+} // namespace nnsmith::onnx
+
+#endif // NNSMITH_ONNX_EXPORTER_H

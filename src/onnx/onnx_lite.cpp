@@ -1,0 +1,274 @@
+#include "onnx/onnx_lite.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "ops/registry.h"
+#include "support/logging.h"
+
+namespace nnsmith::onnx {
+
+using graph::Graph;
+using graph::NodeKind;
+using tensor::DType;
+using tensor::Shape;
+using tensor::TensorType;
+
+const OnnxValue&
+OnnxModel::value(int id) const
+{
+    for (const auto& v : values) {
+        if (v.id == id)
+            return v;
+    }
+    NNSMITH_PANIC("no OnnxValue with id ", id);
+}
+
+namespace {
+
+const char*
+kindName(ValueKind kind)
+{
+    switch (kind) {
+      case ValueKind::kInput: return "input";
+      case ValueKind::kWeight: return "weight";
+      case ValueKind::kIntermediate: return "inter";
+    }
+    return "?";
+}
+
+ValueKind
+kindFromName(const std::string& name)
+{
+    if (name == "input")
+        return ValueKind::kInput;
+    if (name == "weight")
+        return ValueKind::kWeight;
+    if (name == "inter")
+        return ValueKind::kIntermediate;
+    fatal("bad value kind: " + name);
+}
+
+std::string
+shapeToken(const Shape& shape)
+{
+    std::string s = "[";
+    for (size_t i = 0; i < shape.dims.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(shape.dims[i]);
+    }
+    return s + "]";
+}
+
+Shape
+shapeFromToken(const std::string& token)
+{
+    NNSMITH_ASSERT(token.size() >= 2 && token.front() == '[' &&
+                       token.back() == ']',
+                   "bad shape token ", token);
+    Shape shape;
+    std::string body = token.substr(1, token.size() - 2);
+    if (body.empty())
+        return shape;
+    std::istringstream is(body);
+    std::string dim;
+    while (std::getline(is, dim, ','))
+        shape.dims.push_back(std::stoll(dim));
+    return shape;
+}
+
+} // namespace
+
+std::string
+OnnxModel::serialize() const
+{
+    std::ostringstream os;
+    os << "onnxlite v1\n";
+    os << "opset " << opset << "\n";
+    for (const auto& v : values) {
+        os << "value %" << v.id << " " << kindName(v.kind) << " "
+           << tensor::dtypeName(v.dtype) << shapeToken(v.shape) << "\n";
+    }
+    for (const auto& n : nodes) {
+        os << "node " << n.opName << " in(";
+        for (size_t i = 0; i < n.inputs.size(); ++i)
+            os << (i ? "," : "") << "%" << n.inputs[i];
+        os << ") out(";
+        for (size_t i = 0; i < n.outputs.size(); ++i)
+            os << (i ? "," : "") << "%" << n.outputs[i];
+        os << ") dt(";
+        for (size_t i = 0; i < n.inDTypes.size(); ++i)
+            os << (i ? "," : "") << tensor::dtypeName(n.inDTypes[i]);
+        os << "->";
+        for (size_t i = 0; i < n.outDTypes.size(); ++i)
+            os << (i ? "," : "") << tensor::dtypeName(n.outDTypes[i]);
+        os << ") attrs{";
+        bool first = true;
+        for (const auto& [key, value] : n.attrs) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << key << "=" << value;
+        }
+        os << "}\n";
+    }
+    os << "outputs";
+    for (int id : outputs)
+        os << " %" << id;
+    os << "\n";
+    return os.str();
+}
+
+OnnxModel
+OnnxModel::deserialize(const std::string& text)
+{
+    OnnxModel model;
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != "onnxlite v1")
+        fatal("not an onnxlite v1 document");
+    auto expect_prefix = [](const std::string& l, const std::string& p) {
+        if (l.rfind(p, 0) != 0)
+            fatal("malformed onnxlite line: " + l);
+        return l.substr(p.size());
+    };
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("opset ", 0) == 0) {
+            model.opset = std::stoi(line.substr(6));
+        } else if (line.rfind("value ", 0) == 0) {
+            // value %<id> <kind> <dtype>[dims]
+            std::istringstream ls(expect_prefix(line, "value %"));
+            OnnxValue v;
+            std::string rest;
+            ls >> v.id;
+            std::string kind_token;
+            ls >> kind_token;
+            v.kind = kindFromName(kind_token);
+            std::string type_token;
+            ls >> type_token;
+            const auto bracket = type_token.find('[');
+            NNSMITH_ASSERT(bracket != std::string::npos, "bad value line ",
+                           line);
+            v.dtype = tensor::dtypeFromName(type_token.substr(0, bracket));
+            v.shape = shapeFromToken(type_token.substr(bracket));
+            model.values.push_back(std::move(v));
+        } else if (line.rfind("node ", 0) == 0) {
+            OnnxNode n;
+            // node <op> in(%a,%b) out(%c) dt(f32,f32->f32) attrs{k=v,...}
+            auto section = [&line](const std::string& tag) {
+                const auto start = line.find(tag + "(");
+                NNSMITH_ASSERT(start != std::string::npos, "bad node line ",
+                               line);
+                const auto open = start + tag.size() + 1;
+                const auto close = line.find(')', open);
+                return line.substr(open, close - open);
+            };
+            {
+                std::istringstream ls(line.substr(5));
+                ls >> n.opName;
+            }
+            auto parse_ids = [](const std::string& body) {
+                std::vector<int> ids;
+                std::istringstream ss(body);
+                std::string tok;
+                while (std::getline(ss, tok, ',')) {
+                    if (!tok.empty() && tok[0] == '%')
+                        ids.push_back(std::stoi(tok.substr(1)));
+                }
+                return ids;
+            };
+            n.inputs = parse_ids(section("in"));
+            n.outputs = parse_ids(section("out"));
+            {
+                const std::string dt = section("dt");
+                const auto arrow = dt.find("->");
+                NNSMITH_ASSERT(arrow != std::string::npos, "bad dt ", dt);
+                auto parse_dts = [](const std::string& body) {
+                    std::vector<DType> dts;
+                    std::istringstream ss(body);
+                    std::string tok;
+                    while (std::getline(ss, tok, ','))
+                        dts.push_back(tensor::dtypeFromName(tok));
+                    return dts;
+                };
+                n.inDTypes = parse_dts(dt.substr(0, arrow));
+                n.outDTypes = parse_dts(dt.substr(arrow + 2));
+            }
+            {
+                const auto open = line.find("attrs{");
+                const auto close = line.rfind('}');
+                std::string body =
+                    line.substr(open + 6, close - open - 6);
+                std::istringstream ss(body);
+                std::string tok;
+                while (std::getline(ss, tok, ',')) {
+                    const auto eq = tok.find('=');
+                    if (eq == std::string::npos)
+                        continue;
+                    n.attrs[tok.substr(0, eq)] =
+                        std::stoll(tok.substr(eq + 1));
+                }
+            }
+            model.nodes.push_back(std::move(n));
+        } else if (line.rfind("outputs", 0) == 0) {
+            std::istringstream ls(line.substr(7));
+            std::string tok;
+            while (ls >> tok) {
+                if (!tok.empty() && tok[0] == '%')
+                    model.outputs.push_back(std::stoi(tok.substr(1)));
+            }
+        } else {
+            fatal("unrecognized onnxlite line: " + line);
+        }
+    }
+    return model;
+}
+
+graph::Graph
+importToGraph(const OnnxModel& model, std::unordered_map<int, int>* out_map)
+{
+    Graph g;
+    std::unordered_map<int, int> id_map; // onnx value id -> graph value id
+    for (const auto& v : model.values) {
+        if (v.kind == ValueKind::kIntermediate)
+            continue;
+        const NodeKind kind = v.kind == ValueKind::kInput
+                                  ? NodeKind::kInput
+                                  : NodeKind::kWeight;
+        id_map[v.id] = g.addLeaf(
+            kind, TensorType::concrete(v.dtype, v.shape),
+            "v" + std::to_string(v.id));
+    }
+    const auto& registry = ops::OpRegistry::global();
+    for (const auto& n : model.nodes) {
+        const auto* meta = registry.find(n.opName);
+        if (meta == nullptr) {
+            fatal("unknown operator in onnxlite model: " + n.opName);
+        }
+        auto op = meta->reconstruct(n.attrs);
+        op->setDTypes(ops::DTypeCombo{n.inDTypes, n.outDTypes});
+        std::vector<int> inputs;
+        for (int id : n.inputs) {
+            NNSMITH_ASSERT(id_map.count(id), "node input %", id,
+                           " not yet produced (not topo order?)");
+            inputs.push_back(id_map[id]);
+        }
+        std::vector<TensorType> out_types;
+        for (int id : n.outputs) {
+            const auto& v = model.value(id);
+            out_types.push_back(TensorType::concrete(v.dtype, v.shape));
+        }
+        const int node_id = g.addOp(
+            std::shared_ptr<ops::OpBase>(std::move(op)), inputs, out_types);
+        for (size_t i = 0; i < n.outputs.size(); ++i)
+            id_map[n.outputs[i]] = g.node(node_id).outputs[i];
+    }
+    if (out_map != nullptr)
+        *out_map = std::move(id_map);
+    return g;
+}
+
+} // namespace nnsmith::onnx

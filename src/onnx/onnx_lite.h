@@ -1,0 +1,73 @@
+/**
+ * @file
+ * OnnxLite — the interchange model format (the paper's ONNX analogue).
+ *
+ * Generated graphs are exported to OnnxLite (§4: "export the model to
+ * the deployment-friendly ONNX format"); each backend imports OnnxLite
+ * into its own representation, which is where conversion bugs live.
+ * The format round-trips through a stable text serialization so test
+ * cases can be saved, shared, and replayed.
+ */
+#ifndef NNSMITH_ONNX_ONNX_LITE_H
+#define NNSMITH_ONNX_ONNX_LITE_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ops/op_base.h"
+#include "tensor/tensor_type.h"
+
+namespace nnsmith::onnx {
+
+/** Role of a value in the model. */
+enum class ValueKind { kInput, kWeight, kIntermediate };
+
+/** One tensor value in the model. */
+struct OnnxValue {
+    int id = -1;
+    ValueKind kind = ValueKind::kIntermediate;
+    tensor::DType dtype = tensor::DType::kF32;
+    tensor::Shape shape;
+};
+
+/** One operator node (already in topological order). */
+struct OnnxNode {
+    std::string opName;
+    ops::AttrMap attrs;
+    std::vector<tensor::DType> inDTypes;
+    std::vector<tensor::DType> outDTypes;
+    std::vector<int> inputs;  ///< value ids
+    std::vector<int> outputs; ///< value ids
+};
+
+/** A serializable OnnxLite model. */
+struct OnnxModel {
+    int opset = 13;
+    std::vector<OnnxValue> values;
+    std::vector<OnnxNode> nodes;
+    std::vector<int> outputs; ///< model output value ids
+
+    const OnnxValue& value(int id) const;
+
+    /** Stable text rendering (also the on-disk format). */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); throws FatalError on malformed text. */
+    static OnnxModel deserialize(const std::string& text);
+};
+
+/**
+ * Rebuild an executable Graph from an OnnxLite model using the
+ * operator registry (shared by all backend importers).
+ *
+ * @param id_map optional out-parameter mapping OnnxLite value ids to
+ *               the rebuilt graph's value ids (leaves and outputs).
+ */
+graph::Graph importToGraph(const OnnxModel& model,
+                           std::unordered_map<int, int>* id_map = nullptr);
+
+} // namespace nnsmith::onnx
+
+#endif // NNSMITH_ONNX_ONNX_LITE_H

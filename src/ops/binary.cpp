@@ -1,0 +1,272 @@
+#include "ops/binary.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+
+} // namespace
+
+std::string
+binaryKindName(BinaryKind kind)
+{
+    switch (kind) {
+      case BinaryKind::kAdd: return "Add";
+      case BinaryKind::kSub: return "Sub";
+      case BinaryKind::kMul: return "Mul";
+      case BinaryKind::kDiv: return "Div";
+      case BinaryKind::kPow: return "Pow";
+      case BinaryKind::kMax: return "Max";
+      case BinaryKind::kMin: return "Min";
+      case BinaryKind::kEqual: return "Equal";
+      case BinaryKind::kGreater: return "Greater";
+      case BinaryKind::kLess: return "Less";
+      case BinaryKind::kAnd: return "And";
+      case BinaryKind::kOr: return "Or";
+      case BinaryKind::kXor: return "Xor";
+    }
+    NNSMITH_PANIC("bad BinaryKind");
+}
+
+bool
+isComparison(BinaryKind kind)
+{
+    return kind == BinaryKind::kEqual || kind == BinaryKind::kGreater ||
+           kind == BinaryKind::kLess;
+}
+
+bool
+isLogical(BinaryKind kind)
+{
+    return kind == BinaryKind::kAnd || kind == BinaryKind::kOr ||
+           kind == BinaryKind::kXor;
+}
+
+double
+applyBinaryKind(BinaryKind kind, double a, double b)
+{
+    switch (kind) {
+      case BinaryKind::kAdd: return a + b;
+      case BinaryKind::kSub: return a - b;
+      case BinaryKind::kMul: return a * b;
+      case BinaryKind::kDiv: return a / b;
+      case BinaryKind::kPow: return std::pow(a, b);
+      case BinaryKind::kMax: return std::max(a, b);
+      case BinaryKind::kMin: return std::min(a, b);
+      case BinaryKind::kEqual: return a == b ? 1.0 : 0.0;
+      case BinaryKind::kGreater: return a > b ? 1.0 : 0.0;
+      case BinaryKind::kLess: return a < b ? 1.0 : 0.0;
+      case BinaryKind::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+      case BinaryKind::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      case BinaryKind::kXor: return ((a != 0.0) != (b != 0.0)) ? 1.0 : 0.0;
+    }
+    NNSMITH_PANIC("bad BinaryKind");
+}
+
+BinaryOp::BinaryOp(BinaryKind kind, SymbolTable&, Rng& rng) : kind_(kind)
+{
+    const auto mask = sampleBroadcastMask(rng, kMaxRank);
+    for (int i = 0; i < kMaxRank; ++i)
+        addFixedAttr("bm" + std::to_string(i),
+                     mask[static_cast<size_t>(i)]);
+}
+
+BinaryOp::BinaryOp(BinaryKind kind, const AttrMap& attrs) : kind_(kind)
+{
+    for (int i = 0; i < kMaxRank; ++i) {
+        const std::string key = "bm" + std::to_string(i);
+        addFixedAttr(key, attrs.at(key));
+    }
+    concretizeFromMap(attrs);
+}
+
+std::vector<int64_t>
+BinaryOp::mask() const
+{
+    std::vector<int64_t> m(kMaxRank);
+    for (int i = 0; i < kMaxRank; ++i)
+        m[static_cast<size_t>(i)] = attrValue("bm" + std::to_string(i));
+    return m;
+}
+
+std::vector<DTypeCombo>
+BinaryOp::dtypeCombos() const
+{
+    if (isLogical(kind_))
+        return {{{DType::kBool, DType::kBool}, {DType::kBool}}};
+    std::vector<DTypeCombo> combos;
+    std::vector<DType> ins = (kind_ == BinaryKind::kDiv ||
+                              kind_ == BinaryKind::kPow)
+                                 ? tensor::floatDTypes()
+                                 : tensor::numericDTypes();
+    for (DType t : ins) {
+        const DType out = isComparison(kind_) ? DType::kBool : t;
+        combos.push_back({{t, t}, {out}});
+    }
+    return combos;
+}
+
+std::vector<std::vector<int>>
+BinaryOp::inputRanks() const
+{
+    return {{}, {}}; // any ranks; broadcasting aligns them
+}
+
+std::vector<Pred>
+BinaryOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    return broadcastConstraints(inputs[0], inputs[1], mask());
+}
+
+std::vector<TensorType>
+BinaryOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    DType out;
+    if (!outDTypes().empty())
+        out = outDTypes()[0];
+    else
+        out = isComparison(kind_) ? DType::kBool : inputs[0].dtype();
+    return {TensorType(out, broadcastShape(inputs[0], inputs[1], mask()))};
+}
+
+std::optional<std::vector<TensorType>>
+BinaryOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                          SymbolTable& symbols) const
+{
+    // Both inputs take the output's rank; the mask + shapesEqual
+    // constraints then pin each dimension to the output dim or to 1.
+    DType in;
+    if (!inDTypes().empty())
+        in = inDTypes()[0];
+    else if (isLogical(kind_))
+        in = DType::kBool;
+    else if (isComparison(kind_))
+        in = DType::kF32;
+    else
+        in = outputs[0].dtype();
+    return {{freshTensorType(symbols, in, outputs[0].rank(), "ba"),
+             freshTensorType(symbols, in, outputs[0].rank(), "bb")}};
+}
+
+std::unique_ptr<OpBase>
+BinaryOp::clone() const
+{
+    return std::make_unique<BinaryOp>(*this);
+}
+
+std::vector<Tensor>
+BinaryOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    const DType out_dtype =
+        isComparison(kind_) || isLogical(kind_) ? DType::kBool : a.dtype();
+    Tensor out = Tensor::zeros(out_dtype, out_shape);
+    const BroadcastIndexer ia(a.shape(), out_shape);
+    const BroadcastIndexer ib(b.shape(), out_shape);
+    const bool integral = tensor::isInt(a.dtype());
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        const double x = a.scalarAt(ia.map(i));
+        const double y = b.scalarAt(ib.map(i));
+        double r = applyBinaryKind(kind_, x, y);
+        if (integral && !isComparison(kind_))
+            r = std::trunc(r); // integer division semantics
+        out.setScalar(i, r);
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+BinaryOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>& outputs,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    (void)outputs;
+    if (isComparison(kind_) || isLogical(kind_) ||
+        !tensor::isFloat(inputs[0].dtype()))
+        return {};
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const Tensor& gy = grad_outputs[0];
+    const Shape& out_shape = gy.shape();
+    Tensor ga_full = Tensor::zeros(a.dtype(), out_shape);
+    Tensor gb_full = Tensor::zeros(b.dtype(), out_shape);
+    const BroadcastIndexer ia(a.shape(), out_shape);
+    const BroadcastIndexer ib(b.shape(), out_shape);
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        const double x = a.scalarAt(ia.map(i));
+        const double y = b.scalarAt(ib.map(i));
+        const double g = gy.scalarAt(i);
+        double da = 0.0;
+        double db = 0.0;
+        switch (kind_) {
+          case BinaryKind::kAdd: da = 1; db = 1; break;
+          case BinaryKind::kSub: da = 1; db = -1; break;
+          case BinaryKind::kMul: da = y; db = x; break;
+          case BinaryKind::kDiv: da = 1.0 / y; db = -x / (y * y); break;
+          case BinaryKind::kPow:
+            da = y * std::pow(x, y - 1.0);
+            db = std::pow(x, y) * std::log(x);
+            break;
+          case BinaryKind::kMax:
+            da = x > y ? 1.0 : (x < y ? proxyAlpha() : 0.5);
+            db = y > x ? 1.0 : (y < x ? proxyAlpha() : 0.5);
+            break;
+          case BinaryKind::kMin:
+            da = x < y ? 1.0 : (x > y ? proxyAlpha() : 0.5);
+            db = y < x ? 1.0 : (y > x ? proxyAlpha() : 0.5);
+            break;
+          default:
+            break;
+        }
+        ga_full.setScalar(i, g * da);
+        gb_full.setScalar(i, g * db);
+    }
+    return {reduceGradToShape(ga_full, a.shape()),
+            reduceGradToShape(gb_full, b.shape())};
+}
+
+void
+registerBinaryOps(OpRegistry& registry)
+{
+    auto register_binary = [&registry](BinaryKind kind) {
+        OpMeta meta;
+        meta.name = binaryKindName(kind);
+        meta.category = isComparison(kind)
+                            ? OpCategory::kCompare
+                            : (isLogical(kind) ? OpCategory::kLogical
+                                               : OpCategory::kBinary);
+        meta.lemonCompatible = false; // LEMON cannot connect non-unary ops
+        meta.graphFuzzerCompatible = true;
+        meta.make = [kind](SymbolTable& symbols, Rng& rng) {
+            return std::make_unique<BinaryOp>(kind, symbols, rng);
+        };
+        meta.reconstruct = [kind](const AttrMap& attrs) {
+            return std::make_unique<BinaryOp>(kind, attrs);
+        };
+        registry.registerOp(std::move(meta));
+    };
+    register_binary(BinaryKind::kAdd);
+    register_binary(BinaryKind::kSub);
+    register_binary(BinaryKind::kMul);
+    register_binary(BinaryKind::kDiv);
+    register_binary(BinaryKind::kPow);
+    register_binary(BinaryKind::kMax);
+    register_binary(BinaryKind::kMin);
+    register_binary(BinaryKind::kEqual);
+    register_binary(BinaryKind::kGreater);
+    register_binary(BinaryKind::kLess);
+    register_binary(BinaryKind::kAnd);
+    register_binary(BinaryKind::kOr);
+    register_binary(BinaryKind::kXor);
+}
+
+} // namespace nnsmith::ops

@@ -1,0 +1,160 @@
+#include "ops/broadcast.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+using symbolic::Expr;
+using symbolic::ExprRef;
+using symbolic::Pred;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorType;
+
+std::vector<int64_t>
+sampleBroadcastMask(Rng& rng, int positions, double equal_prob)
+{
+    std::vector<int64_t> mask(static_cast<size_t>(positions));
+    for (auto& m : mask) {
+        if (rng.chance(equal_prob))
+            m = static_cast<int64_t>(BcastMask::kEqual);
+        else if (rng.chance(0.5))
+            m = static_cast<int64_t>(BcastMask::kLhsOne);
+        else
+            m = static_cast<int64_t>(BcastMask::kRhsOne);
+    }
+    return mask;
+}
+
+std::vector<Pred>
+broadcastConstraints(const TensorType& a, const TensorType& b,
+                     const std::vector<int64_t>& mask)
+{
+    std::vector<Pred> preds;
+    const int ra = a.rank();
+    const int rb = b.rank();
+    const int out_rank = std::max(ra, rb);
+    for (int pos = 0; pos < out_rank; ++pos) { // pos 0 == last dim
+        const int ia = ra - 1 - pos;
+        const int ib = rb - 1 - pos;
+        if (ia < 0 || ib < 0)
+            continue; // dim exists on one side only: no constraint
+        const int64_t m = pos < static_cast<int>(mask.size())
+                              ? mask[static_cast<size_t>(pos)]
+                              : 0;
+        switch (static_cast<BcastMask>(m)) {
+          case BcastMask::kEqual:
+            preds.push_back(symbolic::eq(a.dim(ia), b.dim(ib)));
+            break;
+          case BcastMask::kLhsOne:
+            preds.push_back(symbolic::eq(a.dim(ia), 1));
+            break;
+          case BcastMask::kRhsOne:
+            preds.push_back(symbolic::eq(b.dim(ib), 1));
+            break;
+        }
+    }
+    return preds;
+}
+
+std::vector<ExprRef>
+broadcastShape(const TensorType& a, const TensorType& b,
+               const std::vector<int64_t>& mask)
+{
+    const int ra = a.rank();
+    const int rb = b.rank();
+    const int out_rank = std::max(ra, rb);
+    std::vector<ExprRef> out(static_cast<size_t>(out_rank));
+    for (int pos = 0; pos < out_rank; ++pos) {
+        const int ia = ra - 1 - pos;
+        const int ib = rb - 1 - pos;
+        const size_t oi = static_cast<size_t>(out_rank - 1 - pos);
+        if (ia < 0) {
+            out[oi] = b.dim(ib);
+            continue;
+        }
+        if (ib < 0) {
+            out[oi] = a.dim(ia);
+            continue;
+        }
+        const int64_t m = pos < static_cast<int>(mask.size())
+                              ? mask[static_cast<size_t>(pos)]
+                              : 0;
+        switch (static_cast<BcastMask>(m)) {
+          case BcastMask::kEqual:   out[oi] = a.dim(ia); break;
+          case BcastMask::kLhsOne:  out[oi] = b.dim(ib); break;
+          case BcastMask::kRhsOne:  out[oi] = a.dim(ia); break;
+        }
+    }
+    return out;
+}
+
+Shape
+broadcastShapes(const Shape& a, const Shape& b)
+{
+    const int ra = a.rank();
+    const int rb = b.rank();
+    const int out_rank = std::max(ra, rb);
+    Shape out;
+    out.dims.assign(static_cast<size_t>(out_rank), 1);
+    for (int pos = 0; pos < out_rank; ++pos) {
+        const int ia = ra - 1 - pos;
+        const int ib = rb - 1 - pos;
+        const int64_t da = ia >= 0 ? a.dims[static_cast<size_t>(ia)] : 1;
+        const int64_t db = ib >= 0 ? b.dims[static_cast<size_t>(ib)] : 1;
+        NNSMITH_ASSERT(da == db || da == 1 || db == 1,
+                       "incompatible broadcast ", a.toString(), " vs ",
+                       b.toString());
+        out.dims[static_cast<size_t>(out_rank - 1 - pos)] = std::max(da, db);
+    }
+    return out;
+}
+
+BroadcastIndexer::BroadcastIndexer(const Shape& in, const Shape& out)
+    : outDims_(out.dims)
+{
+    const auto in_strides = rowMajorStrides(in);
+    const int ro = out.rank();
+    const int ri = in.rank();
+    strides_.assign(static_cast<size_t>(ro), 0);
+    for (int pos = 0; pos < ro; ++pos) {
+        const int io = ro - 1 - pos;
+        const int ii = ri - 1 - pos;
+        if (ii < 0)
+            continue;
+        if (in.dims[static_cast<size_t>(ii)] == 1 &&
+            out.dims[static_cast<size_t>(io)] != 1)
+            continue; // broadcast: stride 0
+        strides_[static_cast<size_t>(io)] =
+            in_strides[static_cast<size_t>(ii)];
+    }
+}
+
+int64_t
+BroadcastIndexer::map(int64_t out_flat) const
+{
+    int64_t in_flat = 0;
+    for (int i = static_cast<int>(outDims_.size()) - 1; i >= 0; --i) {
+        const int64_t dim = outDims_[static_cast<size_t>(i)];
+        const int64_t coord = out_flat % dim;
+        out_flat /= dim;
+        in_flat += coord * strides_[static_cast<size_t>(i)];
+    }
+    return in_flat;
+}
+
+Tensor
+reduceGradToShape(const Tensor& grad, const Shape& in_shape)
+{
+    Tensor out = Tensor::zeros(grad.dtype(), in_shape);
+    const BroadcastIndexer indexer(in_shape, grad.shape());
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        const int64_t j = indexer.map(i);
+        out.setScalar(j, out.scalarAt(j) + grad.scalarAt(i));
+    }
+    return out;
+}
+
+} // namespace nnsmith::ops

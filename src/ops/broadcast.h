@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Numpy-style trailing-aligned broadcasting, both symbolically (for
+ * operator specifications) and at run time (for kernels).
+ *
+ * Broadcasting is the connection pattern LEMON cannot generate and the
+ * source of several of the paper's bugs (§2.3 M0, §5.4 "Wrong
+ * broadcasting"). To keep constraints conjunctive, the generator
+ * samples a *broadcast mask* per aligned dimension at operator
+ * construction: each position commits to "dims equal", "lhs is 1" or
+ * "rhs is 1" (paper-equivalent diversity without disjunctions).
+ */
+#ifndef NNSMITH_OPS_BROADCAST_H
+#define NNSMITH_OPS_BROADCAST_H
+
+#include <vector>
+
+#include "support/rng.h"
+#include "symbolic/pred.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_type.h"
+
+namespace nnsmith::ops {
+
+/** Per-position commitment for a 2-input broadcast, trailing-aligned. */
+enum class BcastMask : int64_t {
+    kEqual = 0, ///< both dims equal
+    kLhsOne = 1,///< lhs dim is 1 (broadcast over rhs)
+    kRhsOne = 2,///< rhs dim is 1 (broadcast over lhs)
+};
+
+/** Sample a mask vector of length kMaxRank-equivalent positions. */
+std::vector<int64_t> sampleBroadcastMask(Rng& rng, int positions,
+                                         double equal_prob = 0.6);
+
+/**
+ * Constraints making @p a and @p b broadcast-compatible under @p mask
+ * (mask[0] refers to the last dimension).
+ */
+std::vector<symbolic::Pred>
+broadcastConstraints(const tensor::TensorType& a, const tensor::TensorType& b,
+                     const std::vector<int64_t>& mask);
+
+/** Symbolic output shape of broadcasting @p a with @p b under @p mask. */
+std::vector<symbolic::ExprRef>
+broadcastShape(const tensor::TensorType& a, const tensor::TensorType& b,
+               const std::vector<int64_t>& mask);
+
+/** Concrete numpy broadcast of two shapes (no mask; actual semantics). */
+tensor::Shape broadcastShapes(const tensor::Shape& a,
+                              const tensor::Shape& b);
+
+/**
+ * Maps flat indices of a broadcast output to flat indices of one input
+ * (stride-0 on broadcast dimensions).
+ */
+class BroadcastIndexer {
+  public:
+    BroadcastIndexer(const tensor::Shape& in, const tensor::Shape& out);
+
+    /** Input flat index corresponding to @p out_flat. */
+    int64_t map(int64_t out_flat) const;
+
+  private:
+    std::vector<int64_t> outDims_;
+    std::vector<int64_t> strides_; ///< input strides, 0 on broadcast dims
+};
+
+/** Sum-reduce @p grad (shaped like the broadcast output) back to
+ *  @p in_shape (reverse of broadcasting, used by backward kernels). */
+tensor::Tensor reduceGradToShape(const tensor::Tensor& grad,
+                                 const tensor::Shape& in_shape);
+
+} // namespace nnsmith::ops
+
+#endif // NNSMITH_OPS_BROADCAST_H

@@ -1,0 +1,248 @@
+#include "ops/misc_ops.h"
+
+#include "ops/broadcast.h"
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+using symbolic::Expr;
+using symbolic::ExprRef;
+using tensor::DType;
+using tensor::Shape;
+
+// ---- WhereOp ---------------------------------------------------------------
+
+WhereOp::WhereOp(SymbolTable&, Rng& rng)
+{
+    static const char* kPrefixes[3] = {"wc", "wt", "wf"};
+    for (int which = 0; which < 3; ++which) {
+        for (int pos = 0; pos < kMaxRank; ++pos) {
+            // Bias to "follows output" so most dims align.
+            const int64_t is_one = rng.chance(0.25) ? 1 : 0;
+            addFixedAttr(std::string(kPrefixes[which]) + std::to_string(pos),
+                         is_one);
+        }
+    }
+}
+
+WhereOp::WhereOp(const AttrMap& attrs)
+{
+    static const char* kPrefixes[3] = {"wc", "wt", "wf"};
+    for (int which = 0; which < 3; ++which) {
+        for (int pos = 0; pos < kMaxRank; ++pos) {
+            const std::string key =
+                std::string(kPrefixes[which]) + std::to_string(pos);
+            addFixedAttr(key, attrs.at(key));
+        }
+    }
+    concretizeFromMap(attrs);
+}
+
+bool
+WhereOp::isOneAt(int which, int pos) const
+{
+    static const char* kPrefixes[3] = {"wc", "wt", "wf"};
+    return attrValue(std::string(kPrefixes[which]) + std::to_string(pos)) !=
+           0;
+}
+
+std::vector<DTypeCombo>
+WhereOp::dtypeCombos() const
+{
+    std::vector<DTypeCombo> combos;
+    for (DType t : tensor::numericDTypes())
+        combos.push_back({{DType::kBool, t, t}, {t}});
+    return combos;
+}
+
+std::vector<std::vector<int>>
+WhereOp::inputRanks() const
+{
+    return {{}, {}, {}};
+}
+
+std::vector<Pred>
+WhereOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    std::vector<Pred> preds;
+    const int out_rank = std::max(
+        {inputs[0].rank(), inputs[1].rank(), inputs[2].rank()});
+    for (int pos = 0; pos < out_rank; ++pos) {
+        // Representative "output" dim: the first non-one participant.
+        ExprRef out_dim;
+        for (int which = 0; which < 3; ++which) {
+            const int idx = inputs[static_cast<size_t>(which)].rank() - 1 -
+                            pos;
+            if (idx < 0 || isOneAt(which, pos))
+                continue;
+            const ExprRef& d = inputs[static_cast<size_t>(which)].dim(idx);
+            if (!out_dim)
+                out_dim = d;
+            else
+                preds.push_back(symbolic::eq(d, out_dim));
+        }
+        for (int which = 0; which < 3; ++which) {
+            const int idx = inputs[static_cast<size_t>(which)].rank() - 1 -
+                            pos;
+            if (idx >= 0 && isOneAt(which, pos))
+                preds.push_back(symbolic::eq(
+                    inputs[static_cast<size_t>(which)].dim(idx), 1));
+        }
+    }
+    return preds;
+}
+
+std::vector<TensorType>
+WhereOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    const int out_rank = std::max(
+        {inputs[0].rank(), inputs[1].rank(), inputs[2].rank()});
+    std::vector<ExprRef> dims(static_cast<size_t>(out_rank));
+    for (int pos = 0; pos < out_rank; ++pos) {
+        ExprRef out_dim;
+        for (int which = 0; which < 3; ++which) {
+            const int idx = inputs[static_cast<size_t>(which)].rank() - 1 -
+                            pos;
+            if (idx >= 0 && !isOneAt(which, pos)) {
+                out_dim = inputs[static_cast<size_t>(which)].dim(idx);
+                break;
+            }
+        }
+        if (!out_dim)
+            out_dim = Expr::constant(1);
+        dims[static_cast<size_t>(out_rank - 1 - pos)] = out_dim;
+    }
+    const DType out = outDTypes().empty() ? inputs[1].dtype() : outDTypes()[0];
+    return {TensorType(out, std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+WhereOp::clone() const
+{
+    return std::make_unique<WhereOp>(*this);
+}
+
+std::vector<Tensor>
+WhereOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Shape out_shape = broadcastShapes(
+        broadcastShapes(inputs[0].shape(), inputs[1].shape()),
+        inputs[2].shape());
+    Tensor out = Tensor::zeros(inputs[1].dtype(), out_shape);
+    const BroadcastIndexer ic(inputs[0].shape(), out_shape);
+    const BroadcastIndexer it(inputs[1].shape(), out_shape);
+    const BroadcastIndexer iff(inputs[2].shape(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        const bool c = inputs[0].scalarAt(ic.map(i)) != 0.0;
+        out.setScalar(i, c ? inputs[1].scalarAt(it.map(i))
+                           : inputs[2].scalarAt(iff.map(i)));
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+WhereOp::backward(const std::vector<Tensor>& inputs,
+                  const std::vector<Tensor>&,
+                  const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[1].dtype()))
+        return {};
+    const Tensor& gy = grad_outputs[0];
+    const Shape& out_shape = gy.shape();
+    Tensor gt_full = Tensor::zeros(inputs[1].dtype(), out_shape);
+    Tensor gf_full = Tensor::zeros(inputs[2].dtype(), out_shape);
+    const BroadcastIndexer ic(inputs[0].shape(), out_shape);
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        const bool c = inputs[0].scalarAt(ic.map(i)) != 0.0;
+        if (c)
+            gt_full.setScalar(i, gy.scalarAt(i));
+        else
+            gf_full.setScalar(i, gy.scalarAt(i));
+    }
+    return {Tensor{}, reduceGradToShape(gt_full, inputs[1].shape()),
+            reduceGradToShape(gf_full, inputs[2].shape())};
+}
+
+// ---- CastOp ----------------------------------------------------------------
+
+CastOp::CastOp(SymbolTable&, Rng&) {}
+
+CastOp::CastOp(const AttrMap& attrs)
+{
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+CastOp::dtypeCombos() const
+{
+    std::vector<DTypeCombo> combos;
+    for (DType src : tensor::allDTypes()) {
+        for (DType dst : tensor::allDTypes()) {
+            if (src != dst)
+                combos.push_back({{src}, {dst}});
+        }
+    }
+    return combos;
+}
+
+std::vector<std::vector<int>>
+CastOp::inputRanks() const
+{
+    return {{}};
+}
+
+std::vector<Pred>
+CastOp::requirements(const std::vector<TensorType>&) const
+{
+    return {};
+}
+
+std::vector<TensorType>
+CastOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    const DType out = outDTypes().empty() ? DType::kF32 : outDTypes()[0];
+    return {TensorType(out, inputs[0].shape())};
+}
+
+std::optional<std::vector<TensorType>>
+CastOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                        SymbolTable& symbols) const
+{
+    const DType in = inDTypes().empty() ? DType::kF32 : inDTypes()[0];
+    return {{freshTensorType(symbols, in, outputs[0].rank(), "ct")}};
+}
+
+std::unique_ptr<OpBase>
+CastOp::clone() const
+{
+    return std::make_unique<CastOp>(*this);
+}
+
+std::vector<Tensor>
+CastOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const DType out = outDTypes().empty() ? DType::kF32 : outDTypes()[0];
+    return {inputs[0].castTo(out)};
+}
+
+std::vector<Tensor>
+CastOp::backward(const std::vector<Tensor>& inputs,
+                 const std::vector<Tensor>&,
+                 const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()) ||
+        !tensor::isFloat(grad_outputs[0].dtype()))
+        return {};
+    return {grad_outputs[0].castTo(inputs[0].dtype())};
+}
+
+// ---- registration ----------------------------------------------------------
+
+void
+registerMiscOps(OpRegistry& registry)
+{
+    registerOpClass<WhereOp>(registry, "Where", OpCategory::kMisc);
+    registerOpClass<CastOp>(registry, "Cast", OpCategory::kMisc);
+}
+
+} // namespace nnsmith::ops

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Remaining operators: Where (3-way broadcasting select — the shape
+ * pattern behind the paper's "Wrong broadcasting" TVM bug) and Cast.
+ */
+#ifndef NNSMITH_OPS_MISC_OPS_H
+#define NNSMITH_OPS_MISC_OPS_H
+
+#include "ops/op_base.h"
+#include "ops/registry.h"
+
+namespace nnsmith::ops {
+
+/**
+ * Where(cond, t, f): elementwise select with full 3-way broadcasting.
+ *
+ * Per aligned trailing position each input commits (at construction) to
+ * either "follows the output dim" or "is 1"; this keeps the constraint
+ * system conjunctive while still generating patterns like
+ * Where(C[1,1], T[3,1], F[2]).
+ */
+class WhereOp final : public OpBase {
+  public:
+    WhereOp(SymbolTable& symbols, Rng& rng);
+    explicit WhereOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Where"; }
+    int numInputs() const override { return 3; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    /** Mask for input @p which (0=cond,1=t,2=f) at trailing @p pos. */
+    bool isOneAt(int which, int pos) const;
+};
+
+/** Element-type conversion; the (src,dst) pair is the dtype combo. */
+class CastOp final : public OpBase {
+  public:
+    CastOp(SymbolTable& symbols, Rng& rng);
+    explicit CastOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Cast"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+} // namespace nnsmith::ops
+
+#endif // NNSMITH_OPS_MISC_OPS_H

@@ -1,0 +1,943 @@
+#include "ops/nn_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+using symbolic::Expr;
+using symbolic::ExprRef;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+constexpr double kBatchNormEps = 1e-5;
+
+std::vector<DTypeCombo>
+floatPassthrough(int n_inputs)
+{
+    std::vector<DTypeCombo> combos;
+    for (DType t : tensor::floatDTypes()) {
+        DTypeCombo combo;
+        combo.in.assign(static_cast<size_t>(n_inputs), t);
+        combo.out = {t};
+        combos.push_back(std::move(combo));
+    }
+    return combos;
+}
+
+/** Conv/pool spatial output extent: (in + 2*pad - k) / stride + 1. */
+ExprRef
+convOutExtent(const ExprRef& in, const ExprRef& k, const ExprRef& pad,
+              const ExprRef& stride)
+{
+    return floorDiv(in + pad * Expr::constant(2) - k, stride) +
+           Expr::constant(1);
+}
+
+int64_t
+convOutExtent(int64_t in, int64_t k, int64_t pad, int64_t stride)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+} // namespace
+
+// ---- Conv2dOp --------------------------------------------------------------
+
+Conv2dOp::Conv2dOp(SymbolTable& symbols, Rng&)
+{
+    addAttr(symbols, "stride");
+    addAttr(symbols, "pad", AttrBinning::kWithZero);
+}
+
+Conv2dOp::Conv2dOp(const AttrMap& attrs)
+{
+    addFixedAttr("stride", attrs.at("stride"));
+    addFixedAttr("pad", attrs.at("pad"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+Conv2dOp::dtypeCombos() const
+{
+    return floatPassthrough(2);
+}
+
+std::vector<std::vector<int>>
+Conv2dOp::inputRanks() const
+{
+    return {{4}, {4}};
+}
+
+std::vector<Pred>
+Conv2dOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    const TensorType& x = inputs[0]; // [N, Ci, H, W]
+    const TensorType& k = inputs[1]; // [Co, Ci, Kh, Kw]
+    const ExprRef& stride = attrExpr("stride");
+    const ExprRef& pad = attrExpr("pad");
+    const ExprRef two = Expr::constant(2);
+    return {
+        symbolic::ge(stride, 1),
+        symbolic::ge(pad, 0),
+        symbolic::eq(k.dim(1), x.dim(1)), // channel agreement (groups=1)
+        // Kernel fits inside the padded image.
+        symbolic::le(k.dim(2), x.dim(2) + pad * two),
+        symbolic::le(k.dim(3), x.dim(3) + pad * two),
+        // Padding never exceeds the kernel (avoids all-pad windows).
+        symbolic::le(pad * two, k.dim(2)),
+        symbolic::le(pad * two, k.dim(3)),
+    };
+}
+
+std::vector<TensorType>
+Conv2dOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    const TensorType& x = inputs[0];
+    const TensorType& k = inputs[1];
+    const ExprRef& stride = attrExpr("stride");
+    const ExprRef& pad = attrExpr("pad");
+    return {TensorType(
+        x.dtype(),
+        {x.dim(0), k.dim(0), convOutExtent(x.dim(2), k.dim(2), pad, stride),
+         convOutExtent(x.dim(3), k.dim(3), pad, stride)})};
+}
+
+std::optional<std::vector<TensorType>>
+Conv2dOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                          SymbolTable& symbols) const
+{
+    if (outputs[0].rank() != 4)
+        return std::nullopt;
+    const DType in = inDTypes().empty() ? outputs[0].dtype() : inDTypes()[0];
+    return {{freshTensorType(symbols, in, 4, "cx"),
+             freshTensorType(symbols, in, 4, "ck")}};
+}
+
+std::unique_ptr<OpBase>
+Conv2dOp::clone() const
+{
+    return std::make_unique<Conv2dOp>(*this);
+}
+
+std::vector<Tensor>
+Conv2dOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const Tensor& k = inputs[1];
+    const int64_t stride = attrValue("stride");
+    const int64_t pad = attrValue("pad");
+    const auto& xd = x.shape().dims;
+    const auto& kd = k.shape().dims;
+    const int64_t n = xd[0], ci = xd[1], h = xd[2], w = xd[3];
+    const int64_t co = kd[0], kh = kd[2], kw = kd[3];
+    const int64_t oh = convOutExtent(h, kh, pad, stride);
+    const int64_t ow = convOutExtent(w, kw, pad, stride);
+    Tensor out = Tensor::zeros(x.dtype(), Shape{{n, co, oh, ow}});
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oc = 0; oc < co; ++oc) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (int64_t ic = 0; ic < ci; ++ic) {
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = oy * stride + ky - pad;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ox * stride + kx - pad;
+                                if (ix < 0 || ix >= w)
+                                    continue;
+                                acc += x.scalarAt(((b * ci + ic) * h + iy) *
+                                                      w + ix) *
+                                       k.scalarAt(((oc * ci + ic) * kh + ky) *
+                                                      kw + kx);
+                            }
+                        }
+                    }
+                    out.setScalar(((b * co + oc) * oh + oy) * ow + ox, acc);
+                }
+            }
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+Conv2dOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>&,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& x = inputs[0];
+    const Tensor& k = inputs[1];
+    const Tensor& gy = grad_outputs[0];
+    const int64_t stride = attrValue("stride");
+    const int64_t pad = attrValue("pad");
+    const auto& xd = x.shape().dims;
+    const auto& kd = k.shape().dims;
+    const int64_t n = xd[0], ci = xd[1], h = xd[2], w = xd[3];
+    const int64_t co = kd[0], kh = kd[2], kw = kd[3];
+    const auto& gd = gy.shape().dims;
+    const int64_t oh = gd[2], ow = gd[3];
+    Tensor gx = Tensor::zeros(x.dtype(), x.shape());
+    Tensor gk = Tensor::zeros(k.dtype(), k.shape());
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oc = 0; oc < co; ++oc) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    const double g =
+                        gy.scalarAt(((b * co + oc) * oh + oy) * ow + ox);
+                    for (int64_t ic = 0; ic < ci; ++ic) {
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = oy * stride + ky - pad;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ox * stride + kx - pad;
+                                if (ix < 0 || ix >= w)
+                                    continue;
+                                const int64_t xi =
+                                    ((b * ci + ic) * h + iy) * w + ix;
+                                const int64_t ki =
+                                    ((oc * ci + ic) * kh + ky) * kw + kx;
+                                gx.setScalar(xi, gx.scalarAt(xi) +
+                                                     g * k.scalarAt(ki));
+                                gk.setScalar(ki, gk.scalarAt(ki) +
+                                                     g * x.scalarAt(xi));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return {gx, gk};
+}
+
+// ---- Pool2dOp --------------------------------------------------------------
+
+Pool2dOp::Pool2dOp(bool is_max, SymbolTable& symbols, Rng&) : isMax_(is_max)
+{
+    addAttr(symbols, "kh");
+    addAttr(symbols, "kw");
+    addAttr(symbols, "stride");
+    addAttr(symbols, "pad", AttrBinning::kWithZero);
+}
+
+Pool2dOp::Pool2dOp(bool is_max, const AttrMap& attrs) : isMax_(is_max)
+{
+    addFixedAttr("kh", attrs.at("kh"));
+    addFixedAttr("kw", attrs.at("kw"));
+    addFixedAttr("stride", attrs.at("stride"));
+    addFixedAttr("pad", attrs.at("pad"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+Pool2dOp::dtypeCombos() const
+{
+    return floatPassthrough(1);
+}
+
+std::vector<std::vector<int>>
+Pool2dOp::inputRanks() const
+{
+    return {{4}};
+}
+
+std::vector<Pred>
+Pool2dOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    // Mirrors Listing 2 in the paper.
+    const TensorType& x = inputs[0];
+    const ExprRef& kh = attrExpr("kh");
+    const ExprRef& kw = attrExpr("kw");
+    const ExprRef& stride = attrExpr("stride");
+    const ExprRef& pad = attrExpr("pad");
+    const ExprRef two = Expr::constant(2);
+    return {
+        symbolic::gt(kh, 0),
+        symbolic::gt(kw, 0),
+        symbolic::gt(stride, 0),
+        symbolic::ge(pad, 0),
+        symbolic::le(kh, x.dim(2) + pad * two),
+        symbolic::le(kw, x.dim(3) + pad * two),
+        symbolic::le(pad * two, kh),
+        symbolic::le(pad * two, kw),
+    };
+}
+
+std::vector<TensorType>
+Pool2dOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    const TensorType& x = inputs[0];
+    const ExprRef& stride = attrExpr("stride");
+    const ExprRef& pad = attrExpr("pad");
+    return {TensorType(
+        x.dtype(),
+        {x.dim(0), x.dim(1),
+         convOutExtent(x.dim(2), attrExpr("kh"), pad, stride),
+         convOutExtent(x.dim(3), attrExpr("kw"), pad, stride)})};
+}
+
+std::unique_ptr<OpBase>
+Pool2dOp::clone() const
+{
+    return std::make_unique<Pool2dOp>(*this);
+}
+
+std::vector<Tensor>
+Pool2dOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const int64_t kh = attrValue("kh");
+    const int64_t kw = attrValue("kw");
+    const int64_t stride = attrValue("stride");
+    const int64_t pad = attrValue("pad");
+    const auto& xd = x.shape().dims;
+    const int64_t n = xd[0], c = xd[1], h = xd[2], w = xd[3];
+    const int64_t oh = convOutExtent(h, kh, pad, stride);
+    const int64_t ow = convOutExtent(w, kw, pad, stride);
+    Tensor out = Tensor::zeros(x.dtype(), Shape{{n, c, oh, ow}});
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double best = -HUGE_VAL;
+                    double sum = 0.0;
+                    for (int64_t ky = 0; ky < kh; ++ky) {
+                        const int64_t iy = oy * stride + ky - pad;
+                        for (int64_t kx = 0; kx < kw; ++kx) {
+                            const int64_t ix = ox * stride + kx - pad;
+                            double v = 0.0; // zero padding for average
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                v = x.scalarAt(((b * c + ch) * h + iy) * w +
+                                               ix);
+                            else if (isMax_)
+                                continue; // max ignores padding
+                            best = std::max(best, v);
+                            sum += v;
+                        }
+                    }
+                    const double r =
+                        isMax_ ? best
+                               : sum / static_cast<double>(kh * kw);
+                    out.setScalar(((b * c + ch) * oh + oy) * ow + ox, r);
+                }
+            }
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+Pool2dOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>& outputs,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& x = inputs[0];
+    const Tensor& gy = grad_outputs[0];
+    const int64_t kh = attrValue("kh");
+    const int64_t kw = attrValue("kw");
+    const int64_t stride = attrValue("stride");
+    const int64_t pad = attrValue("pad");
+    const auto& xd = x.shape().dims;
+    const int64_t n = xd[0], c = xd[1], h = xd[2], w = xd[3];
+    const auto& od = gy.shape().dims;
+    const int64_t oh = od[2], ow = od[3];
+    Tensor gx = Tensor::zeros(x.dtype(), x.shape());
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    const int64_t oi = ((b * c + ch) * oh + oy) * ow + ox;
+                    const double g = gy.scalarAt(oi);
+                    const double y = outputs[0].scalarAt(oi);
+                    for (int64_t ky = 0; ky < kh; ++ky) {
+                        const int64_t iy = oy * stride + ky - pad;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (int64_t kx = 0; kx < kw; ++kx) {
+                            const int64_t ix = ox * stride + kx - pad;
+                            if (ix < 0 || ix >= w)
+                                continue;
+                            const int64_t xi =
+                                ((b * c + ch) * h + iy) * w + ix;
+                            double d;
+                            if (isMax_)
+                                d = x.scalarAt(xi) == y ? 1.0 : 0.0;
+                            else
+                                d = 1.0 / static_cast<double>(kh * kw);
+                            gx.setScalar(xi, gx.scalarAt(xi) + g * d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return {gx};
+}
+
+// ---- MatMulOp --------------------------------------------------------------
+
+MatMulOp::MatMulOp(SymbolTable&, Rng&) {}
+
+MatMulOp::MatMulOp(const AttrMap& attrs)
+{
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+MatMulOp::dtypeCombos() const
+{
+    return floatPassthrough(2);
+}
+
+std::vector<std::vector<int>>
+MatMulOp::inputRanks() const
+{
+    return {{2}, {2}};
+}
+
+std::vector<Pred>
+MatMulOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    return {symbolic::eq(inputs[0].dim(1), inputs[1].dim(0))};
+}
+
+std::vector<TensorType>
+MatMulOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    return {TensorType(inputs[0].dtype(),
+                       {inputs[0].dim(0), inputs[1].dim(1)})};
+}
+
+std::optional<std::vector<TensorType>>
+MatMulOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                          SymbolTable& symbols) const
+{
+    if (outputs[0].rank() != 2)
+        return std::nullopt;
+    const DType in = inDTypes().empty() ? outputs[0].dtype() : inDTypes()[0];
+    return {{freshTensorType(symbols, in, 2, "ma"),
+             freshTensorType(symbols, in, 2, "mb")}};
+}
+
+std::unique_ptr<OpBase>
+MatMulOp::clone() const
+{
+    return std::make_unique<MatMulOp>(*this);
+}
+
+std::vector<Tensor>
+MatMulOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const int64_t m = a.shape().dims[0];
+    const int64_t kk = a.shape().dims[1];
+    const int64_t nn = b.shape().dims[1];
+    Tensor out = Tensor::zeros(a.dtype(), Shape{{m, nn}});
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < nn; ++j) {
+            double acc = 0.0;
+            for (int64_t k = 0; k < kk; ++k)
+                acc += a.scalarAt(i * kk + k) * b.scalarAt(k * nn + j);
+            out.setScalar(i * nn + j, acc);
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+MatMulOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>&,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const Tensor& gy = grad_outputs[0];
+    const int64_t m = a.shape().dims[0];
+    const int64_t kk = a.shape().dims[1];
+    const int64_t nn = b.shape().dims[1];
+    Tensor ga = Tensor::zeros(a.dtype(), a.shape());
+    Tensor gb = Tensor::zeros(b.dtype(), b.shape());
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t k = 0; k < kk; ++k) {
+            double acc = 0.0;
+            for (int64_t j = 0; j < nn; ++j)
+                acc += gy.scalarAt(i * nn + j) * b.scalarAt(k * nn + j);
+            ga.setScalar(i * kk + k, acc);
+        }
+    }
+    for (int64_t k = 0; k < kk; ++k) {
+        for (int64_t j = 0; j < nn; ++j) {
+            double acc = 0.0;
+            for (int64_t i = 0; i < m; ++i)
+                acc += a.scalarAt(i * kk + k) * gy.scalarAt(i * nn + j);
+            gb.setScalar(k * nn + j, acc);
+        }
+    }
+    return {ga, gb};
+}
+
+// ---- BatchMatMulOp ---------------------------------------------------------
+
+BatchMatMulOp::BatchMatMulOp(SymbolTable&, Rng&) {}
+
+BatchMatMulOp::BatchMatMulOp(const AttrMap& attrs)
+{
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+BatchMatMulOp::dtypeCombos() const
+{
+    return floatPassthrough(2);
+}
+
+std::vector<std::vector<int>>
+BatchMatMulOp::inputRanks() const
+{
+    return {{3}, {3}};
+}
+
+std::vector<Pred>
+BatchMatMulOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    return {symbolic::eq(inputs[0].dim(0), inputs[1].dim(0)),
+            symbolic::eq(inputs[0].dim(2), inputs[1].dim(1))};
+}
+
+std::vector<TensorType>
+BatchMatMulOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    return {TensorType(inputs[0].dtype(), {inputs[0].dim(0),
+                                           inputs[0].dim(1),
+                                           inputs[1].dim(2)})};
+}
+
+std::unique_ptr<OpBase>
+BatchMatMulOp::clone() const
+{
+    return std::make_unique<BatchMatMulOp>(*this);
+}
+
+std::vector<Tensor>
+BatchMatMulOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const int64_t bs = a.shape().dims[0];
+    const int64_t m = a.shape().dims[1];
+    const int64_t kk = a.shape().dims[2];
+    const int64_t nn = b.shape().dims[2];
+    Tensor out = Tensor::zeros(a.dtype(), Shape{{bs, m, nn}});
+    for (int64_t s = 0; s < bs; ++s) {
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < nn; ++j) {
+                double acc = 0.0;
+                for (int64_t k = 0; k < kk; ++k)
+                    acc += a.scalarAt((s * m + i) * kk + k) *
+                           b.scalarAt((s * kk + k) * nn + j);
+                out.setScalar((s * m + i) * nn + j, acc);
+            }
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+BatchMatMulOp::backward(const std::vector<Tensor>& inputs,
+                        const std::vector<Tensor>&,
+                        const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const Tensor& gy = grad_outputs[0];
+    const int64_t bs = a.shape().dims[0];
+    const int64_t m = a.shape().dims[1];
+    const int64_t kk = a.shape().dims[2];
+    const int64_t nn = b.shape().dims[2];
+    Tensor ga = Tensor::zeros(a.dtype(), a.shape());
+    Tensor gb = Tensor::zeros(b.dtype(), b.shape());
+    for (int64_t s = 0; s < bs; ++s) {
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t k = 0; k < kk; ++k) {
+                double acc = 0.0;
+                for (int64_t j = 0; j < nn; ++j)
+                    acc += gy.scalarAt((s * m + i) * nn + j) *
+                           b.scalarAt((s * kk + k) * nn + j);
+                ga.setScalar((s * m + i) * kk + k, acc);
+            }
+        }
+        for (int64_t k = 0; k < kk; ++k) {
+            for (int64_t j = 0; j < nn; ++j) {
+                double acc = 0.0;
+                for (int64_t i = 0; i < m; ++i)
+                    acc += a.scalarAt((s * m + i) * kk + k) *
+                           gy.scalarAt((s * m + i) * nn + j);
+                gb.setScalar((s * kk + k) * nn + j, acc);
+            }
+        }
+    }
+    return {ga, gb};
+}
+
+// ---- DenseOp ---------------------------------------------------------------
+
+DenseOp::DenseOp(SymbolTable&, Rng&) {}
+
+DenseOp::DenseOp(const AttrMap& attrs)
+{
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+DenseOp::dtypeCombos() const
+{
+    return floatPassthrough(3);
+}
+
+std::vector<std::vector<int>>
+DenseOp::inputRanks() const
+{
+    return {{2}, {2}, {1}};
+}
+
+std::vector<Pred>
+DenseOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    return {symbolic::eq(inputs[0].dim(1), inputs[1].dim(0)),
+            symbolic::eq(inputs[2].dim(0), inputs[1].dim(1))};
+}
+
+std::vector<TensorType>
+DenseOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    return {TensorType(inputs[0].dtype(),
+                       {inputs[0].dim(0), inputs[1].dim(1)})};
+}
+
+std::unique_ptr<OpBase>
+DenseOp::clone() const
+{
+    return std::make_unique<DenseOp>(*this);
+}
+
+std::vector<Tensor>
+DenseOp::execute(const std::vector<Tensor>& inputs) const
+{
+    MatMulOp mm((AttrMap()));
+    Tensor out = mm.execute({inputs[0], inputs[1]})[0];
+    const int64_t m = out.shape().dims[0];
+    const int64_t nn = out.shape().dims[1];
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < nn; ++j)
+            out.setScalar(i * nn + j, out.scalarAt(i * nn + j) +
+                                          inputs[2].scalarAt(j));
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+DenseOp::backward(const std::vector<Tensor>& inputs,
+                  const std::vector<Tensor>& outputs,
+                  const std::vector<Tensor>& grad_outputs) const
+{
+    MatMulOp mm((AttrMap()));
+    auto mats = mm.backward({inputs[0], inputs[1]}, outputs, grad_outputs);
+    const Tensor& gy = grad_outputs[0];
+    Tensor gbias = Tensor::zeros(inputs[2].dtype(), inputs[2].shape());
+    const int64_t m = gy.shape().dims[0];
+    const int64_t nn = gy.shape().dims[1];
+    for (int64_t j = 0; j < nn; ++j) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < m; ++i)
+            acc += gy.scalarAt(i * nn + j);
+        gbias.setScalar(j, acc);
+    }
+    return {mats[0], mats[1], gbias};
+}
+
+// ---- BatchNormOp -----------------------------------------------------------
+
+BatchNormOp::BatchNormOp(SymbolTable&, Rng&) {}
+
+BatchNormOp::BatchNormOp(const AttrMap& attrs)
+{
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+BatchNormOp::dtypeCombos() const
+{
+    return floatPassthrough(5);
+}
+
+std::vector<std::vector<int>>
+BatchNormOp::inputRanks() const
+{
+    return {{4}, {1}, {1}, {1}, {1}};
+}
+
+std::vector<Pred>
+BatchNormOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    std::vector<Pred> preds;
+    for (int i = 1; i <= 4; ++i)
+        preds.push_back(symbolic::eq(inputs[static_cast<size_t>(i)].dim(0),
+                                     inputs[0].dim(1)));
+    return preds;
+}
+
+std::vector<TensorType>
+BatchNormOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    return {TensorType(inputs[0].dtype(), inputs[0].shape())};
+}
+
+std::unique_ptr<OpBase>
+BatchNormOp::clone() const
+{
+    return std::make_unique<BatchNormOp>(*this);
+}
+
+std::vector<Tensor>
+BatchNormOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const auto& xd = x.shape().dims;
+    const int64_t n = xd[0], c = xd[1], hw = xd[2] * xd[3];
+    Tensor out = Tensor::zeros(x.dtype(), x.shape());
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const double scale = inputs[1].scalarAt(ch);
+            const double bias = inputs[2].scalarAt(ch);
+            const double mean = inputs[3].scalarAt(ch);
+            const double var = inputs[4].scalarAt(ch);
+            const double inv = 1.0 / std::sqrt(var + kBatchNormEps);
+            for (int64_t i = 0; i < hw; ++i) {
+                const int64_t idx = (b * c + ch) * hw + i;
+                out.setScalar(idx,
+                              scale * (x.scalarAt(idx) - mean) * inv + bias);
+            }
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+BatchNormOp::backward(const std::vector<Tensor>& inputs,
+                      const std::vector<Tensor>&,
+                      const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& x = inputs[0];
+    const Tensor& gy = grad_outputs[0];
+    const auto& xd = x.shape().dims;
+    const int64_t n = xd[0], c = xd[1], hw = xd[2] * xd[3];
+    Tensor gx = Tensor::zeros(x.dtype(), x.shape());
+    Tensor gscale = Tensor::zeros(x.dtype(), inputs[1].shape());
+    Tensor gbias = Tensor::zeros(x.dtype(), inputs[2].shape());
+    Tensor gmean = Tensor::zeros(x.dtype(), inputs[3].shape());
+    Tensor gvar = Tensor::zeros(x.dtype(), inputs[4].shape());
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const double scale = inputs[1].scalarAt(ch);
+        const double mean = inputs[3].scalarAt(ch);
+        const double var = inputs[4].scalarAt(ch);
+        const double inv = 1.0 / std::sqrt(var + kBatchNormEps);
+        double gs = 0.0, gb = 0.0, gm = 0.0, gv = 0.0;
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t i = 0; i < hw; ++i) {
+                const int64_t idx = (b * c + ch) * hw + i;
+                const double g = gy.scalarAt(idx);
+                const double xc = x.scalarAt(idx) - mean;
+                gx.setScalar(idx, g * scale * inv);
+                gs += g * xc * inv;
+                gb += g;
+                gm += -g * scale * inv;
+                gv += -0.5 * g * scale * xc * inv * inv * inv;
+            }
+        }
+        gscale.setScalar(ch, gs);
+        gbias.setScalar(ch, gb);
+        gmean.setScalar(ch, gm);
+        gvar.setScalar(ch, gv);
+    }
+    return {gx, gscale, gbias, gmean, gvar};
+}
+
+// ---- ResizeOp --------------------------------------------------------------
+
+ResizeOp::ResizeOp(int spatial_dims, SymbolTable& symbols, Rng&)
+    : spatialDims_(spatial_dims)
+{
+    for (int i = 0; i < spatial_dims; ++i)
+        addAttr(symbols, "scale" + std::to_string(i));
+}
+
+ResizeOp::ResizeOp(int spatial_dims, const AttrMap& attrs)
+    : spatialDims_(spatial_dims)
+{
+    for (int i = 0; i < spatial_dims; ++i)
+        addFixedAttr("scale" + std::to_string(i),
+                     attrs.at("scale" + std::to_string(i)));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+ResizeOp::dtypeCombos() const
+{
+    return floatPassthrough(1);
+}
+
+std::vector<std::vector<int>>
+ResizeOp::inputRanks() const
+{
+    return {{spatialDims_ + 2}}; // N, C, spatial...
+}
+
+std::vector<Pred>
+ResizeOp::requirements(const std::vector<TensorType>&) const
+{
+    std::vector<Pred> preds;
+    for (int i = 0; i < spatialDims_; ++i) {
+        preds.push_back(symbolic::ge(attrExpr("scale" + std::to_string(i)),
+                                     1));
+        preds.push_back(symbolic::le(attrExpr("scale" + std::to_string(i)),
+                                     4));
+    }
+    return preds;
+}
+
+std::vector<TensorType>
+ResizeOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims = {inputs[0].dim(0), inputs[0].dim(1)};
+    for (int i = 0; i < spatialDims_; ++i)
+        dims.push_back(inputs[0].dim(2 + i) *
+                       attrExpr("scale" + std::to_string(i)));
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+ResizeOp::clone() const
+{
+    return std::make_unique<ResizeOp>(*this);
+}
+
+std::vector<Tensor>
+ResizeOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    Shape out_shape = x.shape();
+    std::vector<int64_t> scales(static_cast<size_t>(spatialDims_));
+    for (int i = 0; i < spatialDims_; ++i) {
+        scales[static_cast<size_t>(i)] =
+            attrValue("scale" + std::to_string(i));
+        out_shape.dims[static_cast<size_t>(2 + i)] *=
+            scales[static_cast<size_t>(i)];
+    }
+    Tensor out = Tensor::zeros(x.dtype(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        // Map output coords to input coords (floor division on spatial).
+        int64_t rem = i;
+        std::vector<int64_t> coords(out_shape.dims.size());
+        for (int d = out_shape.rank() - 1; d >= 0; --d) {
+            coords[static_cast<size_t>(d)] =
+                rem % out_shape.dims[static_cast<size_t>(d)];
+            rem /= out_shape.dims[static_cast<size_t>(d)];
+        }
+        for (int s = 0; s < spatialDims_; ++s)
+            coords[static_cast<size_t>(2 + s)] /=
+                scales[static_cast<size_t>(s)];
+        int64_t in_flat = 0;
+        for (int d = 0; d < x.rank(); ++d)
+            in_flat = in_flat * x.shape().dims[static_cast<size_t>(d)] +
+                      coords[static_cast<size_t>(d)];
+        out.setScalar(i, x.scalarAt(in_flat));
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+ResizeOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>&,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    const Tensor& gy = grad_outputs[0];
+    const Tensor& x = inputs[0];
+    std::vector<int64_t> scales(static_cast<size_t>(spatialDims_));
+    for (int i = 0; i < spatialDims_; ++i)
+        scales[static_cast<size_t>(i)] =
+            attrValue("scale" + std::to_string(i));
+    Tensor gx = Tensor::zeros(x.dtype(), x.shape());
+    const Shape& out_shape = gy.shape();
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        int64_t rem = i;
+        std::vector<int64_t> coords(out_shape.dims.size());
+        for (int d = out_shape.rank() - 1; d >= 0; --d) {
+            coords[static_cast<size_t>(d)] =
+                rem % out_shape.dims[static_cast<size_t>(d)];
+            rem /= out_shape.dims[static_cast<size_t>(d)];
+        }
+        for (int s = 0; s < spatialDims_; ++s)
+            coords[static_cast<size_t>(2 + s)] /=
+                scales[static_cast<size_t>(s)];
+        int64_t in_flat = 0;
+        for (int d = 0; d < x.rank(); ++d)
+            in_flat = in_flat * x.shape().dims[static_cast<size_t>(d)] +
+                      coords[static_cast<size_t>(d)];
+        gx.setScalar(in_flat, gx.scalarAt(in_flat) + gy.scalarAt(i));
+    }
+    return {gx};
+}
+
+// ---- registration ----------------------------------------------------------
+
+void
+registerNNOps(OpRegistry& registry)
+{
+    registerOpClass<Conv2dOp>(registry, "Conv2d", OpCategory::kNN,
+                              /*lemon=*/false, /*graph_fuzzer=*/true);
+    registerOpClass<MatMulOp>(registry, "MatMul", OpCategory::kNN);
+    registerOpClass<BatchMatMulOp>(registry, "BatchMatMul", OpCategory::kNN);
+    registerOpClass<DenseOp>(registry, "Dense", OpCategory::kNN);
+    registerOpClass<BatchNormOp>(registry, "BatchNorm", OpCategory::kNN,
+                                 /*lemon=*/true, /*graph_fuzzer=*/true);
+
+    auto register_pool = [&registry](bool is_max) {
+        OpMeta meta;
+        meta.name = is_max ? "MaxPool2d" : "AvgPool2d";
+        meta.category = OpCategory::kNN;
+        meta.graphFuzzerCompatible = true; // with k=1/s=1 instances
+        meta.make = [is_max](SymbolTable& symbols, Rng& rng) {
+            return std::make_unique<Pool2dOp>(is_max, symbols, rng);
+        };
+        meta.reconstruct = [is_max](const AttrMap& attrs) {
+            return std::make_unique<Pool2dOp>(is_max, attrs);
+        };
+        registry.registerOp(std::move(meta));
+    };
+    register_pool(true);
+    register_pool(false);
+
+    for (int sd = 1; sd <= 3; ++sd) {
+        OpMeta meta;
+        meta.name = "Resize" + std::to_string(sd) + "d";
+        meta.category = OpCategory::kNN;
+        meta.make = [sd](SymbolTable& symbols, Rng& rng) {
+            return std::make_unique<ResizeOp>(sd, symbols, rng);
+        };
+        meta.reconstruct = [sd](const AttrMap& attrs) {
+            return std::make_unique<ResizeOp>(sd, attrs);
+        };
+        registry.registerOp(std::move(meta));
+    }
+}
+
+} // namespace nnsmith::ops

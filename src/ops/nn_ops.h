@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Neural-network structural operators: convolution, pooling, matrix
+ * multiplication, inference-mode batch normalization, nearest-neighbour
+ * resize.
+ *
+ * Conv2d is the paper's running example of a non-shape-preserving
+ * operator prior fuzzers could not handle generally; its specification
+ * here mirrors Listing 2's Pool2d structure (requires + type_transfer
+ * over symbolic attributes).
+ */
+#ifndef NNSMITH_OPS_NN_OPS_H
+#define NNSMITH_OPS_NN_OPS_H
+
+#include "ops/op_base.h"
+#include "ops/registry.h"
+
+namespace nnsmith::ops {
+
+/**
+ * 2-D convolution, NCHW, groups=1.
+ *
+ * Inputs: X [N,Ci,H,W] and kernel K [Co,Ci,Kh,Kw] (the kernel arrives
+ * as a graph value — usually a weight placeholder — so its shape is
+ * solver-constrained like any other tensor).
+ */
+class Conv2dOp final : public OpBase {
+  public:
+    Conv2dOp(SymbolTable& symbols, Rng& rng);
+    explicit Conv2dOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Conv2d"; }
+    int numInputs() const override { return 2; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+/** 2-D max/average pooling (paper Listing 2). */
+class Pool2dOp final : public OpBase {
+  public:
+    Pool2dOp(bool is_max, SymbolTable& symbols, Rng& rng);
+    Pool2dOp(bool is_max, const AttrMap& attrs);
+
+    std::string name() const override
+    { return isMax_ ? "MaxPool2d" : "AvgPool2d"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+  private:
+    bool isMax_;
+};
+
+/** Rank-2 matrix multiply: [M,K] x [K,N] -> [M,N]. */
+class MatMulOp final : public OpBase {
+  public:
+    MatMulOp(SymbolTable& symbols, Rng& rng);
+    explicit MatMulOp(const AttrMap& attrs);
+
+    std::string name() const override { return "MatMul"; }
+    int numInputs() const override { return 2; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+/** Rank-3 batched matrix multiply: [B,M,K] x [B,K,N] -> [B,M,N]. */
+class BatchMatMulOp final : public OpBase {
+  public:
+    BatchMatMulOp(SymbolTable& symbols, Rng& rng);
+    explicit BatchMatMulOp(const AttrMap& attrs);
+
+    std::string name() const override { return "BatchMatMul"; }
+    int numInputs() const override { return 2; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+/** Fully connected layer: X [M,K] * W [K,N] + B [N]. */
+class DenseOp final : public OpBase {
+  public:
+    DenseOp(SymbolTable& symbols, Rng& rng);
+    explicit DenseOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Dense"; }
+    int numInputs() const override { return 3; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+/**
+ * Inference-mode batch normalization over NCHW:
+ * Y = scale * (X - mean) / sqrt(var + eps) + bias.
+ * Vulnerable: a negative running `var` yields NaN (Table 1 analogue).
+ */
+class BatchNormOp final : public OpBase {
+  public:
+    BatchNormOp(SymbolTable& symbols, Rng& rng);
+    explicit BatchNormOp(const AttrMap& attrs);
+
+    std::string name() const override { return "BatchNorm"; }
+    int numInputs() const override { return 5; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+};
+
+/**
+ * Nearest-neighbour upsampling by an integer factor over 1, 2 or 3
+ * trailing spatial dims (Resize1d/2d/3d in Fig. 9's operator list).
+ */
+class ResizeOp final : public OpBase {
+  public:
+    ResizeOp(int spatial_dims, SymbolTable& symbols, Rng& rng);
+    ResizeOp(int spatial_dims, const AttrMap& attrs);
+
+    std::string name() const override
+    { return "Resize" + std::to_string(spatialDims_) + "d"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+  private:
+    int spatialDims_;
+};
+
+} // namespace nnsmith::ops
+
+#endif // NNSMITH_OPS_NN_OPS_H

@@ -1,0 +1,76 @@
+#include "ops/registry.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+const OpRegistry&
+OpRegistry::global()
+{
+    static OpRegistry registry;
+    return registry;
+}
+
+OpRegistry::OpRegistry()
+{
+    registerElementwiseOps(*this);
+    registerBinaryOps(*this);
+    registerReduceOps(*this);
+    registerShapeOps(*this);
+    registerNNOps(*this);
+    registerMiscOps(*this);
+}
+
+const OpMeta*
+OpRegistry::find(const std::string& name) const
+{
+    for (const auto& m : metas_) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::vector<const OpMeta*>
+OpRegistry::byCategory(OpCategory category) const
+{
+    std::vector<const OpMeta*> out;
+    for (const auto& m : metas_) {
+        if (m.category == category)
+            out.push_back(&m);
+    }
+    return out;
+}
+
+std::vector<const OpMeta*>
+OpRegistry::lemonOps() const
+{
+    std::vector<const OpMeta*> out;
+    for (const auto& m : metas_) {
+        if (m.lemonCompatible)
+            out.push_back(&m);
+    }
+    return out;
+}
+
+std::vector<const OpMeta*>
+OpRegistry::graphFuzzerOps() const
+{
+    std::vector<const OpMeta*> out;
+    for (const auto& m : metas_) {
+        if (m.graphFuzzerCompatible)
+            out.push_back(&m);
+    }
+    return out;
+}
+
+void
+OpRegistry::registerOp(OpMeta meta)
+{
+    NNSMITH_ASSERT(find(meta.name) == nullptr, "duplicate op ", meta.name);
+    NNSMITH_ASSERT(meta.make && meta.reconstruct, "incomplete meta for ",
+                   meta.name);
+    metas_.push_back(std::move(meta));
+}
+
+} // namespace nnsmith::ops

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The operator registry: every operator specification known to the
+ * generator, plus metadata used by baselines and diversity statistics.
+ *
+ * The paper emphasizes that new operator specs are a few lines each
+ * (§4); here a new operator is one class plus one registerOp() call.
+ */
+#ifndef NNSMITH_OPS_REGISTRY_H
+#define NNSMITH_OPS_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/op_base.h"
+#include "support/rng.h"
+
+namespace nnsmith::ops {
+
+/** Coarse operator classification (used for stats and baselines). */
+enum class OpCategory {
+    kUnary,    ///< elementwise one-input
+    kBinary,   ///< elementwise two-input (with broadcasting)
+    kCompare,  ///< elementwise comparisons (bool output)
+    kLogical,  ///< bool elementwise
+    kReduce,
+    kShape,    ///< reshape/transpose/slice/concat/pad/...
+    kNN,       ///< conv/pool/matmul/norm/resize
+    kMisc,
+};
+
+/** Registry record for one operator. */
+struct OpMeta {
+    std::string name;
+    OpCategory category = OpCategory::kMisc;
+
+    /**
+     * Usable by the LEMON baseline: shape-preserving elementwise unary
+     * (LEMON only mutates type-preserving layers, §6.1).
+     */
+    bool lemonCompatible = false;
+
+    /**
+     * Usable by the GraphFuzzer baseline (which additionally supports
+     * non-unary ops via pad/slice repair and shape-preserving
+     * attribute choices, §6.1).
+     */
+    bool graphFuzzerCompatible = false;
+
+    /** Construct a fresh instance for generation (random structure). */
+    std::function<std::unique_ptr<OpBase>(SymbolTable&, Rng&)> make;
+
+    /** Rebuild an instance from serialized concrete attributes. */
+    std::function<std::unique_ptr<OpBase>(const AttrMap&)> reconstruct;
+};
+
+/** Global, immutable-after-construction operator table. */
+class OpRegistry {
+  public:
+    /** The process-wide registry with all built-in operators. */
+    static const OpRegistry& global();
+
+    const std::vector<OpMeta>& all() const { return metas_; }
+
+    /** Lookup by operator name; nullptr when unknown. */
+    const OpMeta* find(const std::string& name) const;
+
+    /** All records of one category. */
+    std::vector<const OpMeta*> byCategory(OpCategory category) const;
+
+    /** Records admissible for the LEMON / GraphFuzzer baselines. */
+    std::vector<const OpMeta*> lemonOps() const;
+    std::vector<const OpMeta*> graphFuzzerOps() const;
+
+    /** Used by the per-category registration functions. */
+    void registerOp(OpMeta meta);
+
+  private:
+    OpRegistry();
+
+    std::vector<OpMeta> metas_;
+};
+
+// Registration entry points, one per implementation file.
+void registerElementwiseOps(OpRegistry& registry);
+void registerBinaryOps(OpRegistry& registry);
+void registerReduceOps(OpRegistry& registry);
+void registerShapeOps(OpRegistry& registry);
+void registerNNOps(OpRegistry& registry);
+void registerMiscOps(OpRegistry& registry);
+
+/** Convenience: register class T under @p meta scaffold. */
+template <typename T>
+void
+registerOpClass(OpRegistry& registry, std::string name, OpCategory category,
+                bool lemon = false, bool graph_fuzzer = false)
+{
+    OpMeta meta;
+    meta.name = std::move(name);
+    meta.category = category;
+    meta.lemonCompatible = lemon;
+    meta.graphFuzzerCompatible = graph_fuzzer;
+    meta.make = [](SymbolTable& symbols, Rng& rng) {
+        return std::make_unique<T>(symbols, rng);
+    };
+    meta.reconstruct = [](const AttrMap& attrs) {
+        return std::make_unique<T>(attrs);
+    };
+    registry.registerOp(std::move(meta));
+}
+
+} // namespace nnsmith::ops
+
+#endif // NNSMITH_OPS_REGISTRY_H

@@ -1,0 +1,1026 @@
+#include "ops/shape_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ops/broadcast.h"
+#include "support/logging.h"
+
+namespace nnsmith::ops {
+
+using symbolic::Expr;
+using symbolic::ExprRef;
+using tensor::DType;
+using tensor::Shape;
+
+namespace {
+
+std::vector<DTypeCombo>
+anyElementTypePassthrough()
+{
+    std::vector<DTypeCombo> combos;
+    for (DType t : tensor::allDTypes())
+        combos.push_back({{t}, {t}});
+    return combos;
+}
+
+/** Multi-index helper: flat -> coords for @p shape. */
+std::vector<int64_t>
+unflatten(int64_t flat, const Shape& shape)
+{
+    std::vector<int64_t> coords(static_cast<size_t>(shape.rank()));
+    for (int i = shape.rank() - 1; i >= 0; --i) {
+        const int64_t d = shape.dims[static_cast<size_t>(i)];
+        coords[static_cast<size_t>(i)] = flat % d;
+        flat /= d;
+    }
+    return coords;
+}
+
+int64_t
+flatten(const std::vector<int64_t>& coords, const Shape& shape)
+{
+    int64_t flat = 0;
+    for (int i = 0; i < shape.rank(); ++i)
+        flat = flat * shape.dims[static_cast<size_t>(i)] +
+               coords[static_cast<size_t>(i)];
+    return flat;
+}
+
+} // namespace
+
+// ---- ReshapeOp -------------------------------------------------------------
+
+ReshapeOp::ReshapeOp(SymbolTable& symbols, Rng& rng)
+{
+    addFixedAttr("src_rank", rng.uniformInt(1, 4));
+    const int64_t dst = rng.uniformInt(1, 4);
+    addFixedAttr("dst_rank", dst);
+    for (int64_t i = 0; i < dst; ++i)
+        addAttr(symbols, "d" + std::to_string(i));
+}
+
+ReshapeOp::ReshapeOp(const AttrMap& attrs)
+{
+    addFixedAttr("src_rank", attrs.at("src_rank"));
+    addFixedAttr("dst_rank", attrs.at("dst_rank"));
+    for (int64_t i = 0; i < attrs.at("dst_rank"); ++i)
+        addFixedAttr("d" + std::to_string(i),
+                     attrs.at("d" + std::to_string(i)));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+ReshapeOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+ReshapeOp::inputRanks() const
+{
+    return {{srcRank()}};
+}
+
+std::vector<Pred>
+ReshapeOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    // The defining Reshape constraint (paper Fig. 1): element counts
+    // must agree, i.e. prod(input dims) == prod(target dims).
+    ExprRef out_numel = Expr::constant(1);
+    std::vector<Pred> preds;
+    for (int i = 0; i < dstRank(); ++i) {
+        const ExprRef& d = attrExpr("d" + std::to_string(i));
+        preds.push_back(symbolic::ge(d, 1));
+        out_numel = out_numel * d;
+    }
+    preds.push_back(symbolic::eq(inputs[0].numelExpr(), out_numel));
+    return preds;
+}
+
+std::vector<TensorType>
+ReshapeOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < dstRank(); ++i)
+        dims.push_back(attrExpr("d" + std::to_string(i)));
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::optional<std::vector<TensorType>>
+ReshapeOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                           SymbolTable& symbols) const
+{
+    if (outputs[0].rank() != dstRank())
+        return std::nullopt;
+    const DType in = inDTypes().empty() ? outputs[0].dtype() : inDTypes()[0];
+    return {{freshTensorType(symbols, in, srcRank(), "rs")}};
+}
+
+std::unique_ptr<OpBase>
+ReshapeOp::clone() const
+{
+    return std::make_unique<ReshapeOp>(*this);
+}
+
+std::vector<Tensor>
+ReshapeOp::execute(const std::vector<Tensor>& inputs) const
+{
+    Shape out;
+    for (int i = 0; i < dstRank(); ++i)
+        out.dims.push_back(attrValue("d" + std::to_string(i)));
+    return {inputs[0].reshaped(out)};
+}
+
+std::vector<Tensor>
+ReshapeOp::backward(const std::vector<Tensor>& inputs,
+                    const std::vector<Tensor>&,
+                    const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    return {grad_outputs[0].reshaped(inputs[0].shape())};
+}
+
+// ---- FlattenOp -------------------------------------------------------------
+
+FlattenOp::FlattenOp(SymbolTable&, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(1, 4);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank));
+}
+
+FlattenOp::FlattenOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+FlattenOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+FlattenOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+FlattenOp::requirements(const std::vector<TensorType>&) const
+{
+    return {};
+}
+
+std::vector<TensorType>
+FlattenOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    ExprRef head = Expr::constant(1);
+    ExprRef tail = Expr::constant(1);
+    for (int i = 0; i < inputs[0].rank(); ++i) {
+        if (i < axis())
+            head = head * inputs[0].dim(i);
+        else
+            tail = tail * inputs[0].dim(i);
+    }
+    return {TensorType(inputs[0].dtype(), {head, tail})};
+}
+
+std::unique_ptr<OpBase>
+FlattenOp::clone() const
+{
+    return std::make_unique<FlattenOp>(*this);
+}
+
+std::vector<Tensor>
+FlattenOp::execute(const std::vector<Tensor>& inputs) const
+{
+    int64_t head = 1;
+    int64_t tail = 1;
+    for (int i = 0; i < inputs[0].rank(); ++i) {
+        const int64_t d = inputs[0].shape().dims[static_cast<size_t>(i)];
+        (i < axis() ? head : tail) *= d;
+    }
+    return {inputs[0].reshaped(Shape{{head, tail}})};
+}
+
+std::vector<Tensor>
+FlattenOp::backward(const std::vector<Tensor>& inputs,
+                    const std::vector<Tensor>&,
+                    const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    return {grad_outputs[0].reshaped(inputs[0].shape())};
+}
+
+// ---- TransposeOp -----------------------------------------------------------
+
+TransposeOp::TransposeOp(SymbolTable&, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(2, 4);
+    addFixedAttr("rank", rank);
+    std::vector<int64_t> perm(static_cast<size_t>(rank));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    for (int64_t i = 0; i < rank; ++i)
+        addFixedAttr("p" + std::to_string(i), perm[static_cast<size_t>(i)]);
+}
+
+TransposeOp::TransposeOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    for (int64_t i = 0; i < attrs.at("rank"); ++i)
+        addFixedAttr("p" + std::to_string(i),
+                     attrs.at("p" + std::to_string(i)));
+    concretizeFromMap(attrs);
+}
+
+std::vector<int>
+TransposeOp::permutation() const
+{
+    std::vector<int> perm(static_cast<size_t>(rank()));
+    for (int i = 0; i < rank(); ++i)
+        perm[static_cast<size_t>(i)] =
+            static_cast<int>(attrValue("p" + std::to_string(i)));
+    return perm;
+}
+
+std::vector<DTypeCombo>
+TransposeOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+TransposeOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+TransposeOp::requirements(const std::vector<TensorType>&) const
+{
+    return {};
+}
+
+std::vector<TensorType>
+TransposeOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    const auto perm = permutation();
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < rank(); ++i)
+        dims.push_back(inputs[0].dim(perm[static_cast<size_t>(i)]));
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::optional<std::vector<TensorType>>
+TransposeOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                             SymbolTable& symbols) const
+{
+    if (outputs[0].rank() != rank())
+        return std::nullopt;
+    const DType in = inDTypes().empty() ? outputs[0].dtype() : inDTypes()[0];
+    return {{freshTensorType(symbols, in, rank(), "tp")}};
+}
+
+std::unique_ptr<OpBase>
+TransposeOp::clone() const
+{
+    return std::make_unique<TransposeOp>(*this);
+}
+
+std::vector<Tensor>
+TransposeOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const auto perm = permutation();
+    Shape out_shape;
+    for (int i = 0; i < rank(); ++i)
+        out_shape.dims.push_back(
+            x.shape().dims[static_cast<size_t>(perm[static_cast<size_t>(i)])]);
+    Tensor out = Tensor::zeros(x.dtype(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        const auto out_coords = unflatten(i, out_shape);
+        std::vector<int64_t> in_coords(static_cast<size_t>(rank()));
+        for (int d = 0; d < rank(); ++d)
+            in_coords[static_cast<size_t>(perm[static_cast<size_t>(d)])] =
+                out_coords[static_cast<size_t>(d)];
+        out.setScalar(i, x.scalarAt(flatten(in_coords, x.shape())));
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+TransposeOp::backward(const std::vector<Tensor>& inputs,
+                      const std::vector<Tensor>&,
+                      const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    const Tensor& gy = grad_outputs[0];
+    const auto perm = permutation();
+    Tensor gx = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        const auto out_coords = unflatten(i, gy.shape());
+        std::vector<int64_t> in_coords(static_cast<size_t>(rank()));
+        for (int d = 0; d < rank(); ++d)
+            in_coords[static_cast<size_t>(perm[static_cast<size_t>(d)])] =
+                out_coords[static_cast<size_t>(d)];
+        gx.setScalar(flatten(in_coords, gx.shape()), gy.scalarAt(i));
+    }
+    return {gx};
+}
+
+// ---- SqueezeOp -------------------------------------------------------------
+
+SqueezeOp::SqueezeOp(SymbolTable&, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(2, kMaxRank);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank - 1));
+}
+
+SqueezeOp::SqueezeOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+SqueezeOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+SqueezeOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+SqueezeOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    return {symbolic::eq(inputs[0].dim(axis()), 1)};
+}
+
+std::vector<TensorType>
+SqueezeOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < inputs[0].rank(); ++i) {
+        if (i != axis())
+            dims.push_back(inputs[0].dim(i));
+    }
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+SqueezeOp::clone() const
+{
+    return std::make_unique<SqueezeOp>(*this);
+}
+
+std::vector<Tensor>
+SqueezeOp::execute(const std::vector<Tensor>& inputs) const
+{
+    Shape out;
+    for (int i = 0; i < inputs[0].rank(); ++i) {
+        if (i != axis())
+            out.dims.push_back(inputs[0].shape().dims[static_cast<size_t>(i)]);
+    }
+    return {inputs[0].reshaped(out)};
+}
+
+std::vector<Tensor>
+SqueezeOp::backward(const std::vector<Tensor>& inputs,
+                    const std::vector<Tensor>&,
+                    const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    return {grad_outputs[0].reshaped(inputs[0].shape())};
+}
+
+// ---- UnsqueezeOp -----------------------------------------------------------
+
+UnsqueezeOp::UnsqueezeOp(SymbolTable&, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(0, kMaxRank - 1);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank));
+}
+
+UnsqueezeOp::UnsqueezeOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+UnsqueezeOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+UnsqueezeOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+UnsqueezeOp::requirements(const std::vector<TensorType>&) const
+{
+    return {};
+}
+
+std::vector<TensorType>
+UnsqueezeOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i <= inputs[0].rank(); ++i) {
+        if (i == axis())
+            dims.push_back(Expr::constant(1));
+        if (i < inputs[0].rank())
+            dims.push_back(inputs[0].dim(i));
+    }
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::optional<std::vector<TensorType>>
+UnsqueezeOp::inferInputTypes(const std::vector<TensorType>& outputs,
+                             SymbolTable& symbols) const
+{
+    if (outputs[0].rank() != rank() + 1)
+        return std::nullopt;
+    const DType in = inDTypes().empty() ? outputs[0].dtype() : inDTypes()[0];
+    return {{freshTensorType(symbols, in, rank(), "us")}};
+}
+
+std::unique_ptr<OpBase>
+UnsqueezeOp::clone() const
+{
+    return std::make_unique<UnsqueezeOp>(*this);
+}
+
+std::vector<Tensor>
+UnsqueezeOp::execute(const std::vector<Tensor>& inputs) const
+{
+    Shape out;
+    for (int i = 0; i <= inputs[0].rank(); ++i) {
+        if (i == axis())
+            out.dims.push_back(1);
+        if (i < inputs[0].rank())
+            out.dims.push_back(inputs[0].shape().dims[static_cast<size_t>(i)]);
+    }
+    return {inputs[0].reshaped(out)};
+}
+
+std::vector<Tensor>
+UnsqueezeOp::backward(const std::vector<Tensor>& inputs,
+                      const std::vector<Tensor>&,
+                      const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    return {grad_outputs[0].reshaped(inputs[0].shape())};
+}
+
+// ---- SliceOp ---------------------------------------------------------------
+
+SliceOp::SliceOp(SymbolTable& symbols, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(1, 4);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank - 1));
+    // The index-range validity below is the specialized C* handling the
+    // paper describes for Slice's start/end attributes (§4).
+    addAttr(symbols, "start", AttrBinning::kNone);
+    addAttr(symbols, "len", AttrBinning::kNone);
+    addAttr(symbols, "stride", AttrBinning::kDefault);
+}
+
+SliceOp::SliceOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    addFixedAttr("start", attrs.at("start"));
+    addFixedAttr("len", attrs.at("len"));
+    addFixedAttr("stride", attrs.at("stride"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+SliceOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+SliceOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+SliceOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    const ExprRef& start = attrExpr("start");
+    const ExprRef& len = attrExpr("len");
+    const ExprRef& stride = attrExpr("stride");
+    const ExprRef& dim = inputs[0].dim(axis());
+    return {
+        symbolic::ge(start, 0),
+        symbolic::ge(len, 1),
+        symbolic::ge(stride, 1),
+        // Last touched index stays in range.
+        symbolic::le(start + (len - Expr::constant(1)) * stride,
+                     dim - Expr::constant(1)),
+    };
+}
+
+std::vector<TensorType>
+SliceOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < inputs[0].rank(); ++i)
+        dims.push_back(i == axis() ? attrExpr("len") : inputs[0].dim(i));
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+SliceOp::clone() const
+{
+    return std::make_unique<SliceOp>(*this);
+}
+
+std::vector<Tensor>
+SliceOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const int64_t start = attrValue("start");
+    const int64_t len = attrValue("len");
+    const int64_t stride = attrValue("stride");
+    Shape out_shape = x.shape();
+    out_shape.dims[static_cast<size_t>(axis())] = len;
+    Tensor out = Tensor::zeros(x.dtype(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        auto coords = unflatten(i, out_shape);
+        coords[static_cast<size_t>(axis())] =
+            start + coords[static_cast<size_t>(axis())] * stride;
+        out.setScalar(i, x.scalarAt(flatten(coords, x.shape())));
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+SliceOp::backward(const std::vector<Tensor>& inputs,
+                  const std::vector<Tensor>&,
+                  const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    const Tensor& gy = grad_outputs[0];
+    const int64_t start = attrValue("start");
+    const int64_t stride = attrValue("stride");
+    Tensor gx = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        auto coords = unflatten(i, gy.shape());
+        coords[static_cast<size_t>(axis())] =
+            start + coords[static_cast<size_t>(axis())] * stride;
+        gx.setScalar(flatten(coords, gx.shape()), gy.scalarAt(i));
+    }
+    return {gx};
+}
+
+// ---- ConcatOp --------------------------------------------------------------
+
+ConcatOp::ConcatOp(SymbolTable&, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(1, 4);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank - 1));
+}
+
+ConcatOp::ConcatOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+ConcatOp::dtypeCombos() const
+{
+    std::vector<DTypeCombo> combos;
+    for (DType t : tensor::allDTypes())
+        combos.push_back({{t, t}, {t}});
+    return combos;
+}
+
+std::vector<std::vector<int>>
+ConcatOp::inputRanks() const
+{
+    return {{rank()}, {rank()}};
+}
+
+std::vector<Pred>
+ConcatOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    std::vector<Pred> preds;
+    for (int i = 0; i < rank(); ++i) {
+        if (i != axis())
+            preds.push_back(symbolic::eq(inputs[0].dim(i), inputs[1].dim(i)));
+    }
+    return preds;
+}
+
+std::vector<TensorType>
+ConcatOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < rank(); ++i) {
+        if (i == axis())
+            dims.push_back(inputs[0].dim(i) + inputs[1].dim(i));
+        else
+            dims.push_back(inputs[0].dim(i));
+    }
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+ConcatOp::clone() const
+{
+    return std::make_unique<ConcatOp>(*this);
+}
+
+std::vector<Tensor>
+ConcatOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& a = inputs[0];
+    const Tensor& b = inputs[1];
+    const int ax = axis();
+    const int64_t da = a.shape().dims[static_cast<size_t>(ax)];
+    Shape out_shape = a.shape();
+    out_shape.dims[static_cast<size_t>(ax)] +=
+        b.shape().dims[static_cast<size_t>(ax)];
+    Tensor out = Tensor::zeros(a.dtype(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        auto coords = unflatten(i, out_shape);
+        const int64_t c = coords[static_cast<size_t>(ax)];
+        if (c < da) {
+            out.setScalar(i, a.scalarAt(flatten(coords, a.shape())));
+        } else {
+            coords[static_cast<size_t>(ax)] = c - da;
+            out.setScalar(i, b.scalarAt(flatten(coords, b.shape())));
+        }
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+ConcatOp::backward(const std::vector<Tensor>& inputs,
+                   const std::vector<Tensor>&,
+                   const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    const Tensor& gy = grad_outputs[0];
+    const int ax = axis();
+    const int64_t da = inputs[0].shape().dims[static_cast<size_t>(ax)];
+    Tensor ga = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
+    Tensor gb = Tensor::zeros(inputs[1].dtype(), inputs[1].shape());
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        auto coords = unflatten(i, gy.shape());
+        const int64_t c = coords[static_cast<size_t>(ax)];
+        if (c < da) {
+            ga.setScalar(flatten(coords, ga.shape()), gy.scalarAt(i));
+        } else {
+            coords[static_cast<size_t>(ax)] = c - da;
+            gb.setScalar(flatten(coords, gb.shape()), gy.scalarAt(i));
+        }
+    }
+    return {ga, gb};
+}
+
+// ---- PadOp -----------------------------------------------------------------
+
+PadOp::PadOp(SymbolTable& symbols, Rng& rng)
+{
+    const int64_t rank = rng.uniformInt(1, 4);
+    addFixedAttr("rank", rank);
+    addFixedAttr("axis", rng.uniformInt(0, rank - 1));
+    addFixedAttr("mode", rng.uniformInt(0, 2));
+    // Negative padding (cropping) is legal in constant mode — the
+    // paper's C* binning adds zero and negative bins for pads (§4).
+    const AttrBinning binning = mode() == PadMode::kConstant
+                                    ? AttrBinning::kWithNegative
+                                    : AttrBinning::kWithZero;
+    addAttr(symbols, "before", binning);
+    addAttr(symbols, "after", binning);
+}
+
+PadOp::PadOp(const AttrMap& attrs)
+{
+    addFixedAttr("rank", attrs.at("rank"));
+    addFixedAttr("axis", attrs.at("axis"));
+    addFixedAttr("mode", attrs.at("mode"));
+    addFixedAttr("before", attrs.at("before"));
+    addFixedAttr("after", attrs.at("after"));
+    concretizeFromMap(attrs);
+}
+
+std::string
+PadOp::name() const
+{
+    switch (mode()) {
+      case PadMode::kConstant: return "ConstPad";
+      case PadMode::kReflect: return "ReflectPad";
+      case PadMode::kReplicate: return "ReplicatePad";
+    }
+    NNSMITH_PANIC("bad PadMode");
+}
+
+std::vector<DTypeCombo>
+PadOp::dtypeCombos() const
+{
+    std::vector<DTypeCombo> combos;
+    for (DType t : tensor::floatDTypes())
+        combos.push_back({{t}, {t}});
+    return combos;
+}
+
+std::vector<std::vector<int>>
+PadOp::inputRanks() const
+{
+    return {{rank()}};
+}
+
+std::vector<Pred>
+PadOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    const ExprRef& before = attrExpr("before");
+    const ExprRef& after = attrExpr("after");
+    const ExprRef& dim = inputs[0].dim(axis());
+    std::vector<Pred> preds;
+    // Output extent stays positive even when cropping.
+    preds.push_back(symbolic::ge(dim + before + after, 1));
+    if (mode() == PadMode::kReflect) {
+        preds.push_back(symbolic::ge(before, 0));
+        preds.push_back(symbolic::ge(after, 0));
+        preds.push_back(symbolic::le(before, dim - Expr::constant(1)));
+        preds.push_back(symbolic::le(after, dim - Expr::constant(1)));
+    } else if (mode() == PadMode::kReplicate) {
+        preds.push_back(symbolic::ge(before, 0));
+        preds.push_back(symbolic::ge(after, 0));
+    }
+    return preds;
+}
+
+std::vector<TensorType>
+PadOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < inputs[0].rank(); ++i) {
+        if (i == axis())
+            dims.push_back(inputs[0].dim(i) + attrExpr("before") +
+                           attrExpr("after"));
+        else
+            dims.push_back(inputs[0].dim(i));
+    }
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+PadOp::clone() const
+{
+    return std::make_unique<PadOp>(*this);
+}
+
+std::vector<Tensor>
+PadOp::execute(const std::vector<Tensor>& inputs) const
+{
+    const Tensor& x = inputs[0];
+    const int ax = axis();
+    const int64_t before = attrValue("before");
+    const int64_t d = x.shape().dims[static_cast<size_t>(ax)];
+    Shape out_shape = x.shape();
+    out_shape.dims[static_cast<size_t>(ax)] =
+        d + before + attrValue("after");
+    Tensor out = Tensor::zeros(x.dtype(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        auto coords = unflatten(i, out_shape);
+        int64_t src = coords[static_cast<size_t>(ax)] - before;
+        double v = 0.0;
+        switch (mode()) {
+          case PadMode::kConstant:
+            if (src >= 0 && src < d) {
+                coords[static_cast<size_t>(ax)] = src;
+                v = x.scalarAt(flatten(coords, x.shape()));
+            }
+            break;
+          case PadMode::kReflect:
+            if (src < 0)
+                src = -src;
+            if (src >= d)
+                src = 2 * d - 2 - src;
+            coords[static_cast<size_t>(ax)] = src;
+            v = x.scalarAt(flatten(coords, x.shape()));
+            break;
+          case PadMode::kReplicate:
+            src = std::clamp<int64_t>(src, 0, d - 1);
+            coords[static_cast<size_t>(ax)] = src;
+            v = x.scalarAt(flatten(coords, x.shape()));
+            break;
+        }
+        out.setScalar(i, v);
+    }
+    return {out};
+}
+
+std::vector<Tensor>
+PadOp::backward(const std::vector<Tensor>& inputs,
+                const std::vector<Tensor>&,
+                const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    const Tensor& gy = grad_outputs[0];
+    const int ax = axis();
+    const int64_t before = attrValue("before");
+    const int64_t d = inputs[0].shape().dims[static_cast<size_t>(ax)];
+    Tensor gx = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
+    for (int64_t i = 0; i < gy.numel(); ++i) {
+        auto coords = unflatten(i, gy.shape());
+        int64_t src = coords[static_cast<size_t>(ax)] - before;
+        switch (mode()) {
+          case PadMode::kConstant:
+            if (src < 0 || src >= d)
+                continue;
+            break;
+          case PadMode::kReflect:
+            if (src < 0)
+                src = -src;
+            if (src >= d)
+                src = 2 * d - 2 - src;
+            break;
+          case PadMode::kReplicate:
+            src = std::clamp<int64_t>(src, 0, d - 1);
+            break;
+        }
+        coords[static_cast<size_t>(ax)] = src;
+        const int64_t j = flatten(coords, gx.shape());
+        gx.setScalar(j, gx.scalarAt(j) + gy.scalarAt(i));
+    }
+    return {gx};
+}
+
+// ---- BroadcastToOp ---------------------------------------------------------
+
+BroadcastToOp::BroadcastToOp(SymbolTable& symbols, Rng& rng)
+{
+    const int64_t src = rng.uniformInt(1, 3);
+    const int64_t dst = rng.uniformInt(src, 4);
+    addFixedAttr("src_rank", src);
+    addFixedAttr("dst_rank", dst);
+    // Per aligned trailing position: 0 = dims equal, 1 = source dim
+    // is 1 (genuine broadcast).
+    for (int64_t i = 0; i < src; ++i)
+        addFixedAttr("m" + std::to_string(i), rng.chance(0.5) ? 1 : 0);
+    for (int64_t i = 0; i < dst; ++i)
+        addAttr(symbols, "o" + std::to_string(i));
+}
+
+BroadcastToOp::BroadcastToOp(const AttrMap& attrs)
+{
+    addFixedAttr("src_rank", attrs.at("src_rank"));
+    addFixedAttr("dst_rank", attrs.at("dst_rank"));
+    for (int64_t i = 0; i < attrs.at("src_rank"); ++i)
+        addFixedAttr("m" + std::to_string(i),
+                     attrs.at("m" + std::to_string(i)));
+    for (int64_t i = 0; i < attrs.at("dst_rank"); ++i)
+        addFixedAttr("o" + std::to_string(i),
+                     attrs.at("o" + std::to_string(i)));
+    concretizeFromMap(attrs);
+}
+
+std::vector<DTypeCombo>
+BroadcastToOp::dtypeCombos() const
+{
+    return anyElementTypePassthrough();
+}
+
+std::vector<std::vector<int>>
+BroadcastToOp::inputRanks() const
+{
+    return {{srcRank()}};
+}
+
+std::vector<Pred>
+BroadcastToOp::requirements(const std::vector<TensorType>& inputs) const
+{
+    std::vector<Pred> preds;
+    for (int pos = 0; pos < srcRank(); ++pos) { // pos 0 == last dim
+        const ExprRef& in_dim = inputs[0].dim(srcRank() - 1 - pos);
+        const ExprRef& out_dim =
+            attrExpr("o" + std::to_string(dstRank() - 1 - pos));
+        if (attrValue("m" + std::to_string(pos)) == 1)
+            preds.push_back(symbolic::eq(in_dim, 1));
+        else
+            preds.push_back(symbolic::eq(in_dim, out_dim));
+    }
+    for (int i = 0; i < dstRank(); ++i)
+        preds.push_back(symbolic::ge(attrExpr("o" + std::to_string(i)), 1));
+    return preds;
+}
+
+std::vector<TensorType>
+BroadcastToOp::typeTransfer(const std::vector<TensorType>& inputs) const
+{
+    std::vector<ExprRef> dims;
+    for (int i = 0; i < dstRank(); ++i)
+        dims.push_back(attrExpr("o" + std::to_string(i)));
+    return {TensorType(inputs[0].dtype(), std::move(dims))};
+}
+
+std::unique_ptr<OpBase>
+BroadcastToOp::clone() const
+{
+    return std::make_unique<BroadcastToOp>(*this);
+}
+
+std::vector<Tensor>
+BroadcastToOp::execute(const std::vector<Tensor>& inputs) const
+{
+    Shape out_shape;
+    for (int i = 0; i < dstRank(); ++i)
+        out_shape.dims.push_back(attrValue("o" + std::to_string(i)));
+    const Tensor& x = inputs[0];
+    Tensor out = Tensor::zeros(x.dtype(), out_shape);
+    const BroadcastIndexer indexer(x.shape(), out_shape);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.setScalar(i, x.scalarAt(indexer.map(i)));
+    return {out};
+}
+
+std::vector<Tensor>
+BroadcastToOp::backward(const std::vector<Tensor>& inputs,
+                        const std::vector<Tensor>&,
+                        const std::vector<Tensor>& grad_outputs) const
+{
+    if (!tensor::isFloat(inputs[0].dtype()))
+        return {};
+    return {reduceGradToShape(grad_outputs[0], inputs[0].shape())};
+}
+
+// ---- registration ----------------------------------------------------------
+
+void
+registerShapeOps(OpRegistry& registry)
+{
+    registerOpClass<ReshapeOp>(registry, "Reshape", OpCategory::kShape);
+    registerOpClass<FlattenOp>(registry, "Flatten", OpCategory::kShape);
+    registerOpClass<TransposeOp>(registry, "Transpose", OpCategory::kShape,
+                                 /*lemon=*/false, /*graph_fuzzer=*/true);
+    registerOpClass<SqueezeOp>(registry, "Squeeze", OpCategory::kShape);
+    registerOpClass<UnsqueezeOp>(registry, "Unsqueeze", OpCategory::kShape);
+    registerOpClass<SliceOp>(registry, "Slice", OpCategory::kShape,
+                             /*lemon=*/false, /*graph_fuzzer=*/true);
+    registerOpClass<ConcatOp>(registry, "Concat", OpCategory::kShape,
+                              /*lemon=*/false, /*graph_fuzzer=*/true);
+    registerOpClass<BroadcastToOp>(registry, "BroadcastTo",
+                                   OpCategory::kShape);
+
+    // Pad registers once per mode so each mode is an operator of its
+    // own (ConstPad / ReflectPad / ReplicatePad, as in the paper).
+    for (int64_t mode = 0; mode <= 2; ++mode) {
+        OpMeta meta;
+        meta.name = mode == 0 ? "ConstPad"
+                              : (mode == 1 ? "ReflectPad" : "ReplicatePad");
+        meta.category = OpCategory::kShape;
+        meta.graphFuzzerCompatible = true;
+        meta.make = [mode](SymbolTable& symbols, Rng& rng) {
+            // Re-draw until the sampled mode matches; cheap (<=3 tries
+            // expected) and keeps PadOp's constructor uniform.
+            for (;;) {
+                auto op = std::make_unique<PadOp>(symbols, rng);
+                if (op->attrValue("mode") == mode)
+                    return op;
+            }
+        };
+        meta.reconstruct = [](const AttrMap& attrs) {
+            return std::make_unique<PadOp>(attrs);
+        };
+        registry.registerOp(std::move(meta));
+    }
+}
+
+} // namespace nnsmith::ops

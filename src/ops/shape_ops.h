@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Shape-manipulating operators. These carry the "complicated shape
+ * constraints" (paper §5.4) that prior fuzzers avoided: Reshape's
+ * element-count equality, Slice's index-range validity, BroadcastTo's
+ * dim-or-one conditions, Pad's possibly negative padding.
+ */
+#ifndef NNSMITH_OPS_SHAPE_OPS_H
+#define NNSMITH_OPS_SHAPE_OPS_H
+
+#include "ops/op_base.h"
+#include "ops/registry.h"
+
+namespace nnsmith::ops {
+
+/** Reshape to a solver-chosen target shape of fixed rank. */
+class ReshapeOp final : public OpBase {
+  public:
+    ReshapeOp(SymbolTable& symbols, Rng& rng);
+    explicit ReshapeOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Reshape"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int srcRank() const { return static_cast<int>(attrValue("src_rank")); }
+    int dstRank() const { return static_cast<int>(attrValue("dst_rank")); }
+};
+
+/** ONNX-style Flatten(axis): output is rank 2. */
+class FlattenOp final : public OpBase {
+  public:
+    FlattenOp(SymbolTable& symbols, Rng& rng);
+    explicit FlattenOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Flatten"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+};
+
+/** Permute dimensions with a fixed random permutation. */
+class TransposeOp final : public OpBase {
+  public:
+    TransposeOp(SymbolTable& symbols, Rng& rng);
+    explicit TransposeOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Transpose"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    std::vector<int> permutation() const;
+};
+
+/** Remove a size-1 dimension. */
+class SqueezeOp final : public OpBase {
+  public:
+    SqueezeOp(SymbolTable& symbols, Rng& rng);
+    explicit SqueezeOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Squeeze"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+};
+
+/** Insert a size-1 dimension (aka ExpandDims). */
+class UnsqueezeOp final : public OpBase {
+  public:
+    UnsqueezeOp(SymbolTable& symbols, Rng& rng);
+    explicit UnsqueezeOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Unsqueeze"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::optional<std::vector<TensorType>>
+    inferInputTypes(const std::vector<TensorType>& outputs,
+                    SymbolTable& symbols) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+};
+
+/** Strided slice along one axis (start/len/stride are solver-chosen). */
+class SliceOp final : public OpBase {
+  public:
+    SliceOp(SymbolTable& symbols, Rng& rng);
+    explicit SliceOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Slice"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+};
+
+/** Concatenate two tensors along one axis. */
+class ConcatOp final : public OpBase {
+  public:
+    ConcatOp(SymbolTable& symbols, Rng& rng);
+    explicit ConcatOp(const AttrMap& attrs);
+
+    std::string name() const override { return "Concat"; }
+    int numInputs() const override { return 2; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+};
+
+/** Padding modes (paper §4 lists ConstPad/ReflectPad/ReplicatePad). */
+enum class PadMode : int64_t { kConstant = 0, kReflect = 1, kReplicate = 2 };
+
+/** Pad (or crop, via negative padding) one axis. */
+class PadOp final : public OpBase {
+  public:
+    PadOp(SymbolTable& symbols, Rng& rng);
+    explicit PadOp(const AttrMap& attrs);
+
+    std::string name() const override;
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int rank() const { return static_cast<int>(attrValue("rank")); }
+    int axis() const { return static_cast<int>(attrValue("axis")); }
+    PadMode mode() const { return static_cast<PadMode>(attrValue("mode")); }
+};
+
+/** Broadcast a tensor up to a solver-chosen larger shape. */
+class BroadcastToOp final : public OpBase {
+  public:
+    BroadcastToOp(SymbolTable& symbols, Rng& rng);
+    explicit BroadcastToOp(const AttrMap& attrs);
+
+    std::string name() const override { return "BroadcastTo"; }
+    int numInputs() const override { return 1; }
+    std::vector<DTypeCombo> dtypeCombos() const override;
+    std::vector<std::vector<int>> inputRanks() const override;
+    std::vector<Pred>
+    requirements(const std::vector<TensorType>& inputs) const override;
+    std::vector<TensorType>
+    typeTransfer(const std::vector<TensorType>& inputs) const override;
+    std::unique_ptr<OpBase> clone() const override;
+    std::vector<Tensor>
+    execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<Tensor>
+    backward(const std::vector<Tensor>& inputs,
+             const std::vector<Tensor>& outputs,
+             const std::vector<Tensor>& grad_outputs) const override;
+
+    int srcRank() const { return static_cast<int>(attrValue("src_rank")); }
+    int dstRank() const { return static_cast<int>(attrValue("dst_rank")); }
+};
+
+} // namespace nnsmith::ops
+
+#endif // NNSMITH_OPS_SHAPE_OPS_H

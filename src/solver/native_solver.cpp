@@ -1,0 +1,260 @@
+#include "solver/native_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nnsmith::solver {
+
+using symbolic::CmpOp;
+using symbolic::ExprKind;
+using symbolic::ExprRef;
+using symbolic::evaluate;
+
+namespace {
+
+/** Saturating add/mul keep interval arithmetic overflow-free. */
+int64_t
+satAdd(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (__builtin_add_overflow(a, b, &r))
+        return a > 0 ? INT64_MAX : INT64_MIN;
+    return r;
+}
+
+/** Number of predicates in @p preds violated by @p a. */
+int
+violationCount(const std::vector<Pred>& preds, const symbolic::Assignment& a)
+{
+    int count = 0;
+    for (const auto& p : preds) {
+        if (!holds(p, a))
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+NativeSolver::NativeSolver(uint64_t seed, NativeSolverConfig config)
+    : rng_(seed), config_(config)
+{
+}
+
+bool
+NativeSolver::tryAdd(const std::vector<Pred>& batch)
+{
+    if (batch.empty())
+        return true;
+    std::vector<Pred> tentative = committed_;
+    tentative.insert(tentative.end(), batch.begin(), batch.end());
+    // Fast path: the cached model may already satisfy the new batch
+    // (common for redundant constraints like repeated positivity).
+    if (cached_) {
+        bool all_bound = true;
+        std::vector<VarId> vars;
+        for (const auto& p : batch)
+            collectVars(p, vars);
+        for (VarId v : vars) {
+            if (!cached_->has(v)) {
+                all_bound = false;
+                break;
+            }
+        }
+        if (all_bound && allHold(batch, *cached_)) {
+            committed_ = std::move(tentative);
+            return true;
+        }
+    }
+    if (!findModel(tentative))
+        return false;
+    committed_ = std::move(tentative);
+    return true;
+}
+
+bool
+NativeSolver::check()
+{
+    if (committed_.empty())
+        return true;
+    if (cached_ && allHold(committed_, *cached_))
+        return true;
+    return findModel(committed_);
+}
+
+std::optional<Assignment>
+NativeSolver::model()
+{
+    if (!check())
+        return std::nullopt;
+    if (committed_.empty() && !cached_)
+        return Assignment{};
+    return cached_;
+}
+
+bool
+NativeSolver::propagate(const std::vector<Pred>& preds, Domains& doms) const
+{
+    // Seed default boxes for every variable.
+    std::vector<VarId> vars;
+    for (const auto& p : preds)
+        collectVars(p, vars);
+    for (VarId v : vars) {
+        if (!doms.count(v))
+            doms[v] = {config_.defaultLo, config_.defaultHi};
+    }
+    // Tighten with patterns of the shape  var <op> const  /  const <op> var.
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 8) {
+        changed = false;
+        for (const auto& p : preds) {
+            const ExprRef* var_side = nullptr;
+            const ExprRef* const_side = nullptr;
+            CmpOp op = p.op;
+            if (p.lhs->isVar() && p.rhs->isConst()) {
+                var_side = &p.lhs;
+                const_side = &p.rhs;
+            } else if (p.rhs->isVar() && p.lhs->isConst()) {
+                var_side = &p.rhs;
+                const_side = &p.lhs;
+                // Mirror the comparison so the variable is on the left.
+                switch (op) {
+                  case CmpOp::kLt: op = CmpOp::kGt; break;
+                  case CmpOp::kLe: op = CmpOp::kGe; break;
+                  case CmpOp::kGt: op = CmpOp::kLt; break;
+                  case CmpOp::kGe: op = CmpOp::kLe; break;
+                  default: break;
+                }
+            } else {
+                continue;
+            }
+            Interval& iv = doms[(*var_side)->varId()];
+            const int64_t c = (*const_side)->value();
+            Interval next = iv;
+            switch (op) {
+              case CmpOp::kEq: next.lo = std::max(next.lo, c);
+                               next.hi = std::min(next.hi, c); break;
+              case CmpOp::kLt: next.hi = std::min(next.hi, c - 1); break;
+              case CmpOp::kLe: next.hi = std::min(next.hi, c); break;
+              case CmpOp::kGt: next.lo = std::max(next.lo, c + 1); break;
+              case CmpOp::kGe: next.lo = std::max(next.lo, c); break;
+              case CmpOp::kNe: break; // no box tightening
+            }
+            if (next.lo != iv.lo || next.hi != iv.hi) {
+                iv = next;
+                changed = true;
+            }
+            if (iv.empty())
+                return false;
+        }
+    }
+    // Var == var equality union-find style tightening (one pass).
+    for (const auto& p : preds) {
+        if (p.op == CmpOp::kEq && p.lhs->isVar() && p.rhs->isVar()) {
+            Interval& a = doms[p.lhs->varId()];
+            Interval& b = doms[p.rhs->varId()];
+            Interval merged{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+            if (merged.empty())
+                return false;
+            a = b = merged;
+        }
+    }
+    return true;
+}
+
+bool
+NativeSolver::findModel(const std::vector<Pred>& preds)
+{
+    Domains doms;
+    if (!propagate(preds, doms))
+        return false;
+
+    std::vector<VarId> vars;
+    vars.reserve(doms.size());
+    for (const auto& [v, iv] : doms) {
+        (void)iv;
+        vars.push_back(v);
+    }
+    std::sort(vars.begin(), vars.end());
+
+    auto sample_value = [&](const Interval& iv, bool prefer_small) {
+        int64_t lo = iv.lo;
+        int64_t hi = iv.hi;
+        if (prefer_small) {
+            // Shapes/attributes are almost always small; bias there.
+            lo = std::max<int64_t>(lo, std::min<int64_t>(1, hi));
+            hi = std::min(hi, satAdd(lo, config_.smallValueCap));
+        }
+        if (lo > hi) {
+            lo = iv.lo;
+            hi = iv.hi;
+        }
+        return rng_.uniformInt(lo, hi);
+    };
+
+    for (int restart = 0; restart < config_.maxRestarts; ++restart) {
+        Assignment a;
+        // Warm-start from the cached model where possible; it satisfies
+        // the previously committed prefix by construction.
+        for (VarId v : vars) {
+            if (restart == 0 && cached_ && cached_->has(v))
+                a.set(v, cached_->get(v));
+            else
+                a.set(v, sample_value(doms[v], restart % 2 == 0));
+        }
+        int violated = violationCount(preds, a);
+        for (int step = 0; violated > 0 && step < config_.maxSteps; ++step) {
+            // Pick a violated predicate, then one variable in it.
+            std::vector<size_t> bad;
+            for (size_t i = 0; i < preds.size(); ++i) {
+                if (!holds(preds[i], a))
+                    bad.push_back(i);
+            }
+            const Pred& p = preds[bad[rng_.index(bad.size())]];
+            std::vector<VarId> pv;
+            collectVars(p, pv);
+            if (pv.empty())
+                return false; // constant contradiction, e.g. 1 == 2
+            VarId v = pv[rng_.index(pv.size())];
+            const Interval& iv = doms[v];
+            const int64_t old_value = a.get(v);
+
+            // Candidate moves: random resample plus targeted values.
+            std::vector<int64_t> candidates;
+            candidates.push_back(sample_value(iv, true));
+            candidates.push_back(sample_value(iv, false));
+            if (iv.lo > INT64_MIN)
+                candidates.push_back(iv.lo);
+            // If the predicate is var-vs-expr, jumping to the other
+            // side's current value solves equalities in one move.
+            if (p.lhs->isVar() && p.lhs->varId() == v)
+                candidates.push_back(evaluate(p.rhs, a));
+            if (p.rhs->isVar() && p.rhs->varId() == v)
+                candidates.push_back(evaluate(p.lhs, a));
+
+            int best_violated = violated;
+            int64_t best_value = old_value;
+            for (int64_t cand : candidates) {
+                if (cand < iv.lo || cand > iv.hi)
+                    continue;
+                a.set(v, cand);
+                const int count = violationCount(preds, a);
+                if (count < best_violated ||
+                    (count == best_violated && rng_.chance(0.2))) {
+                    best_violated = count;
+                    best_value = cand;
+                }
+            }
+            a.set(v, best_value);
+            violated = best_violated;
+        }
+        if (violated == 0) {
+            cached_ = std::move(a);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace nnsmith::solver

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * First-party constraint solver: interval propagation plus stochastic
+ * min-conflicts completion.
+ *
+ * Graph-generation constraint systems are small (tens of variables) and
+ * mostly box-like (positivity, bin ranges) with a few nonlinear couplers
+ * (Reshape element-count equalities, Conv/Pool window inequalities). The
+ * native solver exploits that structure; it is deliberately incomplete
+ * (a "no" may be a resource limit), which is sound for generation: a
+ * rejected insertion merely means another operator gets tried.
+ */
+#ifndef NNSMITH_SOLVER_NATIVE_SOLVER_H
+#define NNSMITH_SOLVER_NATIVE_SOLVER_H
+
+#include <unordered_map>
+
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace nnsmith::solver {
+
+/** Tuning knobs for the native solver. */
+struct NativeSolverConfig {
+    int maxRestarts = 24;      ///< random restarts per satisfiability query
+    int maxSteps = 400;        ///< min-conflicts steps per restart
+    int64_t defaultLo = -(1 << 20);
+    int64_t defaultHi = 1 << 20;
+    int64_t smallValueCap = 8; ///< fresh vars prefer [1, cap] starts
+};
+
+/** See file comment. */
+class NativeSolver final : public Solver {
+  public:
+    explicit NativeSolver(uint64_t seed,
+                          NativeSolverConfig config = NativeSolverConfig());
+
+    bool tryAdd(const std::vector<Pred>& batch) override;
+    bool check() override;
+    std::optional<Assignment> model() override;
+    size_t numCommitted() const override { return committed_.size(); }
+    std::string name() const override { return "native"; }
+
+  private:
+    struct Interval {
+        int64_t lo;
+        int64_t hi;
+        bool empty() const { return lo > hi; }
+    };
+
+    using Domains = std::unordered_map<VarId, Interval>;
+
+    /** Propagate simple bounds from @p preds into @p doms. */
+    bool propagate(const std::vector<Pred>& preds, Domains& doms) const;
+
+    /** Try to find a full model of @p preds; cache it on success. */
+    bool findModel(const std::vector<Pred>& preds);
+
+    std::vector<Pred> committed_;
+    std::optional<Assignment> cached_;
+    Rng rng_;
+    NativeSolverConfig config_;
+};
+
+} // namespace nnsmith::solver
+
+#endif // NNSMITH_SOLVER_NATIVE_SOLVER_H

@@ -1,0 +1,44 @@
+#include "solver/solver.h"
+
+#include "solver/native_solver.h"
+#include "support/logging.h"
+
+namespace nnsmith::solver {
+
+#if NNSMITH_HAVE_Z3
+std::unique_ptr<Solver> makeZ3Solver(uint64_t seed); // z3_solver.cpp
+#endif
+
+bool
+haveZ3()
+{
+#if NNSMITH_HAVE_Z3
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::unique_ptr<Solver>
+makeSolver(SolverKind kind, uint64_t seed)
+{
+    switch (kind) {
+      case SolverKind::kNative:
+        return std::make_unique<NativeSolver>(seed);
+      case SolverKind::kZ3:
+#if NNSMITH_HAVE_Z3
+        return makeZ3Solver(seed);
+#else
+        fatal("this build has no z3 backend");
+#endif
+      case SolverKind::kAuto:
+#if NNSMITH_HAVE_Z3
+        return makeZ3Solver(seed);
+#else
+        return std::make_unique<NativeSolver>(seed);
+#endif
+    }
+    NNSMITH_PANIC("bad SolverKind");
+}
+
+} // namespace nnsmith::solver

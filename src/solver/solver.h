@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Constraint-solver interface used by the model generator.
+ *
+ * The generator works incrementally (paper §3.2): each candidate operator
+ * insertion produces a batch of predicates that is *tentatively* added;
+ * if the system stays satisfiable the batch is committed, otherwise the
+ * solver rolls back and the insertion point is rejected. Two backends
+ * implement this contract:
+ *
+ *  - Z3Solver      — libz3 with push/pop scopes (the paper's choice);
+ *  - NativeSolver  — first-party interval propagation + stochastic
+ *                    min-conflicts completion (dependency-free fallback
+ *                    and ablation subject).
+ */
+#ifndef NNSMITH_SOLVER_SOLVER_H
+#define NNSMITH_SOLVER_SOLVER_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/pred.h"
+
+namespace nnsmith::solver {
+
+using symbolic::Assignment;
+using symbolic::Pred;
+using symbolic::VarId;
+
+/** Abstract incremental solver. */
+class Solver {
+  public:
+    virtual ~Solver() = default;
+
+    /**
+     * Tentatively add a batch of predicates.
+     *
+     * @return true and commit the batch if the whole system remains
+     *         satisfiable; false and leave the committed system
+     *         untouched otherwise. (Algorithm 1's
+     *         `try_add_constraints`.)
+     */
+    virtual bool tryAdd(const std::vector<Pred>& batch) = 0;
+
+    /** Check satisfiability of the committed system only. */
+    virtual bool check() = 0;
+
+    /**
+     * A model of the committed system.
+     *
+     * Only meaningful after a satisfiable check()/tryAdd(); variables
+     * never mentioned by any committed predicate may be absent.
+     */
+    virtual std::optional<Assignment> model() = 0;
+
+    /** Number of committed predicates (for tests/diagnostics). */
+    virtual size_t numCommitted() const = 0;
+
+    /** Backend name for logs ("z3" or "native"). */
+    virtual std::string name() const = 0;
+};
+
+/** Which backend to construct. */
+enum class SolverKind {
+    kNative,
+    kZ3,
+    kAuto, ///< z3 when compiled in, native otherwise
+};
+
+/** True iff this build carries the z3 backend. */
+bool haveZ3();
+
+/** Construct a solver; @p seed drives any stochastic behaviour. */
+std::unique_ptr<Solver> makeSolver(SolverKind kind, uint64_t seed);
+
+} // namespace nnsmith::solver
+
+#endif // NNSMITH_SOLVER_SOLVER_H

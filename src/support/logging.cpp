@@ -1,0 +1,71 @@
+#include "support/logging.h"
+
+#include <iostream>
+
+namespace nnsmith {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO";
+      case LogLevel::kWarn:  return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::cerr << "[nnsmith " << levelName(level) << "] " << msg << "\n";
+}
+
+void
+panic(const std::string& msg)
+{
+    logMessage(LogLevel::kError, "panic: " + msg);
+    throw PanicError(msg);
+}
+
+void
+fatal(const std::string& msg)
+{
+    logMessage(LogLevel::kError, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+void
+warn(const std::string& msg)
+{
+    logMessage(LogLevel::kWarn, msg);
+}
+
+void
+inform(const std::string& msg)
+{
+    logMessage(LogLevel::kInfo, msg);
+}
+
+} // namespace nnsmith

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logging and error-reporting primitives (gem5-style panic/fatal split).
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ * fatal()  — the caller asked for something impossible (user error).
+ * warn()/inform() — status messages that never stop execution.
+ */
+#ifndef NNSMITH_SUPPORT_LOGGING_H
+#define NNSMITH_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nnsmith {
+
+/** Severity levels for log messages. */
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+/** Global log threshold; messages below it are dropped. */
+LogLevel logThreshold();
+void setLogThreshold(LogLevel level);
+
+/** Emit one log line to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string& msg);
+
+/** Thrown by panic(): an internal invariant of the library was broken. */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Thrown by fatal(): unrecoverable user/configuration error. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void panic(const std::string& msg);
+[[noreturn]] void fatal(const std::string& msg);
+void warn(const std::string& msg);
+void inform(const std::string& msg);
+
+namespace detail {
+
+/** Fold arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** panic() with streamable arguments: NNSMITH_PANIC("bad id ", id). */
+#define NNSMITH_PANIC(...) \
+    ::nnsmith::panic(::nnsmith::detail::concat("[", __FILE__, ":", __LINE__, \
+                                               "] ", __VA_ARGS__))
+
+/** Assert an internal invariant; throws PanicError when violated. */
+#define NNSMITH_ASSERT(cond, ...)                                    \
+    do {                                                             \
+        if (!(cond)) {                                               \
+            NNSMITH_PANIC("assertion `" #cond "` failed: ",          \
+                          ::nnsmith::detail::concat(__VA_ARGS__));   \
+        }                                                            \
+    } while (0)
+
+} // namespace nnsmith
+
+#endif // NNSMITH_SUPPORT_LOGGING_H

@@ -1,0 +1,14 @@
+#include "support/vclock.h"
+
+#include "support/logging.h"
+
+namespace nnsmith {
+
+void
+VirtualClock::advance(VirtualMs ms)
+{
+    NNSMITH_ASSERT(ms >= 0, "clock cannot go backwards: ", ms);
+    now_ += ms;
+}
+
+} // namespace nnsmith

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Virtual clock used by fuzzing campaigns.
+ *
+ * The paper's coverage experiments run for 4 wall-clock hours; we replay
+ * the same dynamics in seconds by charging each fuzzer iteration a
+ * calibrated virtual cost (see DESIGN.md, "Substitutions"). Keeping time
+ * virtual also makes every figure deterministic.
+ */
+#ifndef NNSMITH_SUPPORT_VCLOCK_H
+#define NNSMITH_SUPPORT_VCLOCK_H
+
+#include <cstdint>
+
+namespace nnsmith {
+
+/** Milliseconds of virtual time. */
+using VirtualMs = int64_t;
+
+/** A monotonically advancing virtual clock. */
+class VirtualClock {
+  public:
+    VirtualClock() = default;
+
+    /** Current virtual time in milliseconds since campaign start. */
+    VirtualMs now() const { return now_; }
+
+    /** Advance the clock by @p ms (must be non-negative). */
+    void advance(VirtualMs ms);
+
+    /** Convenience: current time in (fractional) virtual minutes. */
+    double minutes() const { return static_cast<double>(now_) / 60000.0; }
+
+  private:
+    VirtualMs now_ = 0;
+};
+
+} // namespace nnsmith
+
+#endif // NNSMITH_SUPPORT_VCLOCK_H

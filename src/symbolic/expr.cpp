@@ -1,0 +1,256 @@
+#include "symbolic/expr.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nnsmith::symbolic {
+
+namespace {
+
+int64_t
+floorDivInt(int64_t a, int64_t b)
+{
+    NNSMITH_ASSERT(b != 0, "division by zero in constant fold");
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+int64_t
+floorModInt(int64_t a, int64_t b)
+{
+    return a - floorDivInt(a, b) * b;
+}
+
+int64_t
+applyBinary(ExprKind kind, int64_t a, int64_t b)
+{
+    switch (kind) {
+      case ExprKind::kAdd: return a + b;
+      case ExprKind::kSub: return a - b;
+      case ExprKind::kMul: return a * b;
+      case ExprKind::kFloorDiv: return floorDivInt(a, b);
+      case ExprKind::kMod: return floorModInt(a, b);
+      case ExprKind::kMin: return std::min(a, b);
+      case ExprKind::kMax: return std::max(a, b);
+      default: NNSMITH_PANIC("applyBinary on non-binary kind");
+    }
+}
+
+} // namespace
+
+Expr::Expr(ExprKind kind, int64_t value, VarId var_id, std::string name,
+           ExprRef lhs, ExprRef rhs)
+    : kind_(kind), value_(value), varId_(var_id),
+      varName_(std::move(name)), lhs_(std::move(lhs)), rhs_(std::move(rhs))
+{
+}
+
+int64_t
+Expr::value() const
+{
+    NNSMITH_ASSERT(kind_ == ExprKind::kConst, "value() on non-const");
+    return value_;
+}
+
+VarId
+Expr::varId() const
+{
+    NNSMITH_ASSERT(kind_ == ExprKind::kVar, "varId() on non-var");
+    return varId_;
+}
+
+const std::string&
+Expr::varName() const
+{
+    NNSMITH_ASSERT(kind_ == ExprKind::kVar, "varName() on non-var");
+    return varName_;
+}
+
+bool
+Expr::isConst(int64_t v) const
+{
+    return kind_ == ExprKind::kConst && value_ == v;
+}
+
+ExprRef
+Expr::constant(int64_t v)
+{
+    return ExprRef(new Expr(ExprKind::kConst, v, 0, {}, nullptr, nullptr));
+}
+
+ExprRef
+Expr::var(VarId id, std::string name)
+{
+    return ExprRef(
+        new Expr(ExprKind::kVar, 0, id, std::move(name), nullptr, nullptr));
+}
+
+ExprRef
+Expr::binary(ExprKind kind, ExprRef lhs, ExprRef rhs)
+{
+    NNSMITH_ASSERT(lhs && rhs, "binary() with null operand");
+    // Constant folding at construction keeps DAGs small.
+    if (lhs->isConst() && rhs->isConst())
+        return constant(applyBinary(kind, lhs->value(), rhs->value()));
+    // Cheap identities.
+    switch (kind) {
+      case ExprKind::kAdd:
+        if (lhs->isConst(0)) return rhs;
+        if (rhs->isConst(0)) return lhs;
+        break;
+      case ExprKind::kSub:
+        if (rhs->isConst(0)) return lhs;
+        break;
+      case ExprKind::kMul:
+        if (lhs->isConst(1)) return rhs;
+        if (rhs->isConst(1)) return lhs;
+        if (lhs->isConst(0) || rhs->isConst(0)) return constant(0);
+        break;
+      case ExprKind::kFloorDiv:
+        if (rhs->isConst(1)) return lhs;
+        break;
+      default:
+        break;
+    }
+    return ExprRef(new Expr(kind, 0, 0, {}, std::move(lhs), std::move(rhs)));
+}
+
+ExprRef
+Expr::neg(ExprRef e)
+{
+    NNSMITH_ASSERT(e, "neg() with null operand");
+    if (e->isConst())
+        return constant(-e->value());
+    return ExprRef(new Expr(ExprKind::kNeg, 0, 0, {}, std::move(e), nullptr));
+}
+
+ExprRef operator+(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kAdd, a, b); }
+ExprRef operator-(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kSub, a, b); }
+ExprRef operator*(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kMul, a, b); }
+ExprRef operator+(const ExprRef& a, int64_t b)
+{ return a + Expr::constant(b); }
+ExprRef operator-(const ExprRef& a, int64_t b)
+{ return a - Expr::constant(b); }
+ExprRef operator*(const ExprRef& a, int64_t b)
+{ return a * Expr::constant(b); }
+ExprRef floorDiv(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kFloorDiv, a, b); }
+ExprRef floorDiv(const ExprRef& a, int64_t b)
+{ return floorDiv(a, Expr::constant(b)); }
+ExprRef mod(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kMod, a, b); }
+ExprRef minExpr(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kMin, a, b); }
+ExprRef maxExpr(const ExprRef& a, const ExprRef& b)
+{ return Expr::binary(ExprKind::kMax, a, b); }
+
+int64_t
+Assignment::get(VarId id) const
+{
+    auto it = values_.find(id);
+    NNSMITH_ASSERT(it != values_.end(), "unbound variable v", id);
+    return it->second;
+}
+
+int64_t
+evaluate(const ExprRef& e, const Assignment& a)
+{
+    NNSMITH_ASSERT(e, "evaluate(null)");
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        return e->value();
+      case ExprKind::kVar:
+        return a.get(e->varId());
+      case ExprKind::kNeg:
+        return -evaluate(e->lhs(), a);
+      default:
+        return applyBinary(e->kind(), evaluate(e->lhs(), a),
+                           evaluate(e->rhs(), a));
+    }
+}
+
+ExprRef
+simplify(const ExprRef& e)
+{
+    NNSMITH_ASSERT(e, "simplify(null)");
+    switch (e->kind()) {
+      case ExprKind::kConst:
+      case ExprKind::kVar:
+        return e;
+      case ExprKind::kNeg:
+        return Expr::neg(simplify(e->lhs()));
+      default: {
+        ExprRef l = simplify(e->lhs());
+        ExprRef r = simplify(e->rhs());
+        return Expr::binary(e->kind(), std::move(l), std::move(r));
+      }
+    }
+}
+
+void
+collectVars(const ExprRef& e, std::vector<VarId>& out)
+{
+    if (!e)
+        return;
+    if (e->kind() == ExprKind::kVar) {
+        if (std::find(out.begin(), out.end(), e->varId()) == out.end())
+            out.push_back(e->varId());
+        return;
+    }
+    collectVars(e->lhs(), out);
+    collectVars(e->rhs(), out);
+}
+
+std::string
+toString(const ExprRef& e)
+{
+    if (!e)
+        return "<null>";
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        return std::to_string(e->value());
+      case ExprKind::kVar:
+        return e->varName();
+      case ExprKind::kNeg:
+        return "(-" + toString(e->lhs()) + ")";
+      case ExprKind::kAdd:
+        return "(" + toString(e->lhs()) + " + " + toString(e->rhs()) + ")";
+      case ExprKind::kSub:
+        return "(" + toString(e->lhs()) + " - " + toString(e->rhs()) + ")";
+      case ExprKind::kMul:
+        return "(" + toString(e->lhs()) + " * " + toString(e->rhs()) + ")";
+      case ExprKind::kFloorDiv:
+        return "(" + toString(e->lhs()) + " // " + toString(e->rhs()) + ")";
+      case ExprKind::kMod:
+        return "(" + toString(e->lhs()) + " % " + toString(e->rhs()) + ")";
+      case ExprKind::kMin:
+        return "min(" + toString(e->lhs()) + ", " + toString(e->rhs()) + ")";
+      case ExprKind::kMax:
+        return "max(" + toString(e->lhs()) + ", " + toString(e->rhs()) + ")";
+    }
+    return "?";
+}
+
+ExprRef
+SymbolTable::fresh(const std::string& hint)
+{
+    VarId id = next_++;
+    std::string name = hint + "_" + std::to_string(id);
+    names_.push_back(name);
+    return Expr::var(id, std::move(name));
+}
+
+const std::string&
+SymbolTable::name(VarId id) const
+{
+    NNSMITH_ASSERT(id < names_.size(), "unknown var id ", id);
+    return names_[id];
+}
+
+} // namespace nnsmith::symbolic

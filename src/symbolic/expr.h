@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Symbolic integer expressions.
+ *
+ * Tensor shapes and operator attributes are symbolic integers during
+ * graph generation (paper §3.1). Expressions form immutable DAGs shared
+ * via ExprRef; a structural simplifier keeps them small and an evaluator
+ * computes them under a concrete variable assignment.
+ */
+#ifndef NNSMITH_SYMBOLIC_EXPR_H
+#define NNSMITH_SYMBOLIC_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nnsmith::symbolic {
+
+/** Node kinds of the integer expression language. */
+enum class ExprKind {
+    kConst,
+    kVar,
+    kAdd,
+    kSub,
+    kMul,
+    kFloorDiv, ///< floor division (like C++ / for positives)
+    kMod,
+    kMin,
+    kMax,
+    kNeg,
+};
+
+class Expr;
+/** Shared immutable expression handle. */
+using ExprRef = std::shared_ptr<const Expr>;
+
+/** Variable identifier; unique within a SymbolTable. */
+using VarId = uint32_t;
+
+/** One node of a symbolic integer expression DAG. */
+class Expr {
+  public:
+    ExprKind kind() const { return kind_; }
+    int64_t value() const;       ///< kConst only
+    VarId varId() const;         ///< kVar only
+    const std::string& varName() const; ///< kVar only
+    const ExprRef& lhs() const { return lhs_; }
+    const ExprRef& rhs() const { return rhs_; }
+
+    /** True iff this node is a constant with value @p v. */
+    bool isConst(int64_t v) const;
+    bool isConst() const { return kind_ == ExprKind::kConst; }
+    bool isVar() const { return kind_ == ExprKind::kVar; }
+
+    // Factories (these apply constant folding; see also simplify()).
+    static ExprRef constant(int64_t v);
+    static ExprRef var(VarId id, std::string name);
+    static ExprRef binary(ExprKind kind, ExprRef lhs, ExprRef rhs);
+    static ExprRef neg(ExprRef e);
+
+  private:
+    Expr(ExprKind kind, int64_t value, VarId var_id, std::string name,
+         ExprRef lhs, ExprRef rhs);
+
+    ExprKind kind_;
+    int64_t value_ = 0;
+    VarId varId_ = 0;
+    std::string varName_;
+    ExprRef lhs_;
+    ExprRef rhs_;
+};
+
+// Operator sugar over ExprRef.
+ExprRef operator+(const ExprRef& a, const ExprRef& b);
+ExprRef operator-(const ExprRef& a, const ExprRef& b);
+ExprRef operator*(const ExprRef& a, const ExprRef& b);
+ExprRef operator+(const ExprRef& a, int64_t b);
+ExprRef operator-(const ExprRef& a, int64_t b);
+ExprRef operator*(const ExprRef& a, int64_t b);
+/** Floor division. */
+ExprRef floorDiv(const ExprRef& a, const ExprRef& b);
+ExprRef floorDiv(const ExprRef& a, int64_t b);
+ExprRef mod(const ExprRef& a, const ExprRef& b);
+ExprRef minExpr(const ExprRef& a, const ExprRef& b);
+ExprRef maxExpr(const ExprRef& a, const ExprRef& b);
+
+/** Concrete values for symbolic variables. */
+class Assignment {
+  public:
+    void set(VarId id, int64_t value) { values_[id] = value; }
+    bool has(VarId id) const { return values_.count(id) != 0; }
+    int64_t get(VarId id) const;
+    size_t size() const { return values_.size(); }
+    const std::unordered_map<VarId, int64_t>& values() const
+    { return values_; }
+
+  private:
+    std::unordered_map<VarId, int64_t> values_;
+};
+
+/** Evaluate @p e under @p a; panics on an unbound variable. */
+int64_t evaluate(const ExprRef& e, const Assignment& a);
+
+/** Structural simplification (constant folding, identities). */
+ExprRef simplify(const ExprRef& e);
+
+/** Collect the set of variable ids referenced by @p e into @p out. */
+void collectVars(const ExprRef& e, std::vector<VarId>& out);
+
+/** Human-readable rendering, e.g. "(n + 2*pad)". */
+std::string toString(const ExprRef& e);
+
+/**
+ * Allocates fresh symbolic variables with unique ids.
+ *
+ * One table lives per model-generation session; ids index into solver
+ * variable arrays.
+ */
+class SymbolTable {
+  public:
+    /** Make a fresh variable; @p hint becomes part of its name. */
+    ExprRef fresh(const std::string& hint);
+
+    /** Number of variables created so far. */
+    uint32_t count() const { return next_; }
+
+    const std::string& name(VarId id) const;
+
+  private:
+    uint32_t next_ = 0;
+    std::vector<std::string> names_;
+};
+
+} // namespace nnsmith::symbolic
+
+#endif // NNSMITH_SYMBOLIC_EXPR_H

@@ -1,0 +1,67 @@
+#include "symbolic/pred.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::symbolic {
+
+Pred eq(ExprRef a, ExprRef b) { return {CmpOp::kEq, std::move(a), std::move(b)}; }
+Pred ne(ExprRef a, ExprRef b) { return {CmpOp::kNe, std::move(a), std::move(b)}; }
+Pred lt(ExprRef a, ExprRef b) { return {CmpOp::kLt, std::move(a), std::move(b)}; }
+Pred le(ExprRef a, ExprRef b) { return {CmpOp::kLe, std::move(a), std::move(b)}; }
+Pred gt(ExprRef a, ExprRef b) { return {CmpOp::kGt, std::move(a), std::move(b)}; }
+Pred ge(ExprRef a, ExprRef b) { return {CmpOp::kGe, std::move(a), std::move(b)}; }
+Pred eq(ExprRef a, int64_t b) { return eq(std::move(a), Expr::constant(b)); }
+Pred le(ExprRef a, int64_t b) { return le(std::move(a), Expr::constant(b)); }
+Pred lt(ExprRef a, int64_t b) { return lt(std::move(a), Expr::constant(b)); }
+Pred ge(ExprRef a, int64_t b) { return ge(std::move(a), Expr::constant(b)); }
+Pred gt(ExprRef a, int64_t b) { return gt(std::move(a), Expr::constant(b)); }
+
+bool
+holds(const Pred& p, const Assignment& a)
+{
+    const int64_t l = evaluate(p.lhs, a);
+    const int64_t r = evaluate(p.rhs, a);
+    switch (p.op) {
+      case CmpOp::kEq: return l == r;
+      case CmpOp::kNe: return l != r;
+      case CmpOp::kLt: return l < r;
+      case CmpOp::kLe: return l <= r;
+      case CmpOp::kGt: return l > r;
+      case CmpOp::kGe: return l >= r;
+    }
+    NNSMITH_PANIC("bad CmpOp");
+}
+
+bool
+allHold(const std::vector<Pred>& ps, const Assignment& a)
+{
+    for (const auto& p : ps) {
+        if (!holds(p, a))
+            return false;
+    }
+    return true;
+}
+
+std::string
+toString(const Pred& p)
+{
+    const char* op = "?";
+    switch (p.op) {
+      case CmpOp::kEq: op = "=="; break;
+      case CmpOp::kNe: op = "!="; break;
+      case CmpOp::kLt: op = "<"; break;
+      case CmpOp::kLe: op = "<="; break;
+      case CmpOp::kGt: op = ">"; break;
+      case CmpOp::kGe: op = ">="; break;
+    }
+    return toString(p.lhs) + " " + op + " " + toString(p.rhs);
+}
+
+void
+collectVars(const Pred& p, std::vector<VarId>& out)
+{
+    collectVars(p.lhs, out);
+    collectVars(p.rhs, out);
+}
+
+} // namespace nnsmith::symbolic

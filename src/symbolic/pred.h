@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Atomic comparison predicates over symbolic integer expressions.
+ *
+ * Operator specifications return conjunctions of these (paper Listing 2,
+ * `requires`); the solver receives them verbatim.
+ */
+#ifndef NNSMITH_SYMBOLIC_PRED_H
+#define NNSMITH_SYMBOLIC_PRED_H
+
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace nnsmith::symbolic {
+
+/** Comparison operators for atomic predicates. */
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/** An atomic predicate `lhs <op> rhs`. */
+struct Pred {
+    CmpOp op;
+    ExprRef lhs;
+    ExprRef rhs;
+};
+
+// Predicate sugar.
+Pred eq(ExprRef a, ExprRef b);
+Pred ne(ExprRef a, ExprRef b);
+Pred lt(ExprRef a, ExprRef b);
+Pred le(ExprRef a, ExprRef b);
+Pred gt(ExprRef a, ExprRef b);
+Pred ge(ExprRef a, ExprRef b);
+Pred eq(ExprRef a, int64_t b);
+Pred le(ExprRef a, int64_t b);
+Pred lt(ExprRef a, int64_t b);
+Pred ge(ExprRef a, int64_t b);
+Pred gt(ExprRef a, int64_t b);
+
+/** Evaluate the predicate under a concrete assignment. */
+bool holds(const Pred& p, const Assignment& a);
+
+/** All predicates in @p ps hold under @p a. */
+bool allHold(const std::vector<Pred>& ps, const Assignment& a);
+
+/** Human-readable rendering, e.g. "kh_3 <= (ih_0 + 2*pad_5)". */
+std::string toString(const Pred& p);
+
+/** Variables referenced by @p p appended to @p out (deduplicated). */
+void collectVars(const Pred& p, std::vector<VarId>& out);
+
+} // namespace nnsmith::symbolic
+
+#endif // NNSMITH_SYMBOLIC_PRED_H

@@ -1,0 +1,85 @@
+#include "tensor/dtype.h"
+
+#include "support/logging.h"
+
+namespace nnsmith::tensor {
+
+const std::vector<DType>&
+allDTypes()
+{
+    static const std::vector<DType> kAll = {
+        DType::kF32, DType::kF64, DType::kI32, DType::kI64, DType::kBool};
+    return kAll;
+}
+
+const std::vector<DType>&
+floatDTypes()
+{
+    static const std::vector<DType> kFloats = {DType::kF32, DType::kF64};
+    return kFloats;
+}
+
+const std::vector<DType>&
+intDTypes()
+{
+    static const std::vector<DType> kInts = {DType::kI32, DType::kI64};
+    return kInts;
+}
+
+const std::vector<DType>&
+numericDTypes()
+{
+    static const std::vector<DType> kNumeric = {
+        DType::kF32, DType::kF64, DType::kI32, DType::kI64};
+    return kNumeric;
+}
+
+bool
+isFloat(DType t)
+{
+    return t == DType::kF32 || t == DType::kF64;
+}
+
+bool
+isInt(DType t)
+{
+    return t == DType::kI32 || t == DType::kI64;
+}
+
+size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::kF32: return 4;
+      case DType::kF64: return 8;
+      case DType::kI32: return 4;
+      case DType::kI64: return 8;
+      case DType::kBool: return 1;
+    }
+    NNSMITH_PANIC("bad DType");
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::kF32: return "f32";
+      case DType::kF64: return "f64";
+      case DType::kI32: return "i32";
+      case DType::kI64: return "i64";
+      case DType::kBool: return "bool";
+    }
+    NNSMITH_PANIC("bad DType");
+}
+
+DType
+dtypeFromName(const std::string& name)
+{
+    for (DType t : allDTypes()) {
+        if (dtypeName(t) == name)
+            return t;
+    }
+    fatal("unknown dtype name: " + name);
+}
+
+} // namespace nnsmith::tensor

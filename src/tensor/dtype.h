@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Element data types of tensors (a tensor's "type" in the paper is its
+ * shape plus its element dtype, §2.1).
+ */
+#ifndef NNSMITH_TENSOR_DTYPE_H
+#define NNSMITH_TENSOR_DTYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nnsmith::tensor {
+
+/** Supported element types. */
+enum class DType : uint8_t {
+    kF32,
+    kF64,
+    kI32,
+    kI64,
+    kBool,
+};
+
+/** All dtypes, useful for spec matrices. */
+const std::vector<DType>& allDTypes();
+
+/** The floating dtypes {f32, f64}. */
+const std::vector<DType>& floatDTypes();
+
+/** The integer dtypes {i32, i64}. */
+const std::vector<DType>& intDTypes();
+
+/** {f32, f64, i32, i64} (everything but bool). */
+const std::vector<DType>& numericDTypes();
+
+/** True for kF32/kF64. */
+bool isFloat(DType t);
+
+/** True for kI32/kI64. */
+bool isInt(DType t);
+
+/** Size of one element in bytes. */
+size_t dtypeSize(DType t);
+
+/** Canonical name, e.g. "f32". */
+std::string dtypeName(DType t);
+
+/** Inverse of dtypeName; throws FatalError on unknown names. */
+DType dtypeFromName(const std::string& name);
+
+} // namespace nnsmith::tensor
+
+#endif // NNSMITH_TENSOR_DTYPE_H

@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace nnsmith::tensor {
+
+Tensor
+Tensor::zeros(DType dtype, const Shape& shape)
+{
+    Tensor t;
+    t.dtype_ = dtype;
+    t.shape_ = shape;
+    const size_t n = static_cast<size_t>(shape.numel());
+    switch (dtype) {
+      case DType::kF32:  t.storage_ = std::vector<float>(n, 0.0f); break;
+      case DType::kF64:  t.storage_ = std::vector<double>(n, 0.0); break;
+      case DType::kI32:  t.storage_ = std::vector<int32_t>(n, 0); break;
+      case DType::kI64:  t.storage_ = std::vector<int64_t>(n, 0); break;
+      case DType::kBool: t.storage_ = std::vector<uint8_t>(n, 0); break;
+    }
+    return t;
+}
+
+Tensor
+Tensor::full(DType dtype, const Shape& shape, double value)
+{
+    Tensor t = zeros(dtype, shape);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.setScalar(i, value);
+    return t;
+}
+
+Tensor
+Tensor::random(DType dtype, const Shape& shape, Rng& rng, double lo,
+               double hi)
+{
+    Tensor t = zeros(dtype, shape);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        if (dtype == DType::kBool) {
+            t.setScalar(i, rng.chance(0.5) ? 1.0 : 0.0);
+        } else if (isInt(dtype)) {
+            t.setScalar(i, static_cast<double>(rng.uniformInt(
+                               static_cast<int64_t>(lo),
+                               static_cast<int64_t>(hi))));
+        } else {
+            t.setScalar(i, rng.uniformReal(lo, hi));
+        }
+    }
+    return t;
+}
+
+bool
+Tensor::defined() const
+{
+    const auto stored = std::visit(
+        [](const auto& v) { return static_cast<int64_t>(v.size()); },
+        storage_);
+    return stored == numel();
+}
+
+double
+Tensor::scalarAt(int64_t i) const
+{
+    NNSMITH_ASSERT(i >= 0 && i < numel(), "scalarAt out of range");
+    return std::visit(
+        [i](const auto& v) { return static_cast<double>(v[i]); }, storage_);
+}
+
+void
+Tensor::setScalar(int64_t i, double value)
+{
+    NNSMITH_ASSERT(i >= 0 && i < numel(), "setScalar out of range");
+    std::visit(
+        [i, value](auto& v) {
+            using Elem = typename std::decay_t<decltype(v)>::value_type;
+            v[i] = static_cast<Elem>(value);
+        },
+        storage_);
+}
+
+bool
+Tensor::hasNaNOrInf() const
+{
+    if (!isFloat(dtype_))
+        return false;
+    for (int64_t i = 0; i < numel(); ++i) {
+        const double x = scalarAt(i);
+        if (std::isnan(x) || std::isinf(x))
+            return true;
+    }
+    return false;
+}
+
+Tensor
+Tensor::reshaped(const Shape& shape) const
+{
+    NNSMITH_ASSERT(shape.numel() == numel(), "reshape numel mismatch: ",
+                   shape_.toString(), " -> ", shape.toString());
+    Tensor t = *this;
+    t.shape_ = shape;
+    return t;
+}
+
+Tensor
+Tensor::castTo(DType target) const
+{
+    if (target == dtype_)
+        return *this;
+    Tensor t = zeros(target, shape_);
+    for (int64_t i = 0; i < numel(); ++i) {
+        double v = scalarAt(i);
+        if (target == DType::kBool)
+            v = (v != 0.0) ? 1.0 : 0.0;
+        t.setScalar(i, v);
+    }
+    return t;
+}
+
+bool
+Tensor::equals(const Tensor& other) const
+{
+    if (dtype_ != other.dtype_ || !(shape_ == other.shape_))
+        return false;
+    for (int64_t i = 0; i < numel(); ++i) {
+        const double a = scalarAt(i);
+        const double b = other.scalarAt(i);
+        if (std::isnan(a) && std::isnan(b))
+            continue;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Tensor::toString(int64_t max_elems) const
+{
+    std::ostringstream os;
+    os << dtypeName(dtype_) << shape_.toString() << "{";
+    const int64_t n = std::min(numel(), max_elems);
+    for (int64_t i = 0; i < n; ++i) {
+        if (i)
+            os << ", ";
+        os << scalarAt(i);
+    }
+    if (numel() > max_elems)
+        os << ", ...";
+    os << "}";
+    return os.str();
+}
+
+} // namespace nnsmith::tensor

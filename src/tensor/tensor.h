@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dense host tensors used by the reference interpreter, autodiff, and
+ * the simulated backends.
+ */
+#ifndef NNSMITH_TENSOR_TENSOR_H
+#define NNSMITH_TENSOR_TENSOR_H
+
+#include <cmath>
+#include <variant>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "tensor/tensor_type.h"
+
+namespace nnsmith::tensor {
+
+namespace detail {
+
+template <typename T> struct DTypeOf;
+template <> struct DTypeOf<float>   { static constexpr DType value = DType::kF32; };
+template <> struct DTypeOf<double>  { static constexpr DType value = DType::kF64; };
+template <> struct DTypeOf<int32_t> { static constexpr DType value = DType::kI32; };
+template <> struct DTypeOf<int64_t> { static constexpr DType value = DType::kI64; };
+template <> struct DTypeOf<bool>    { static constexpr DType value = DType::kBool; };
+
+} // namespace detail
+
+/**
+ * A dense row-major tensor with dtype-tagged storage.
+ *
+ * Bool tensors are stored as uint8_t (0/1) to keep contiguous access
+ * (std::vector<bool> has no data()).
+ */
+class Tensor {
+  public:
+    Tensor() : dtype_(DType::kF32) {}
+
+    /** Zero-initialized tensor. */
+    static Tensor zeros(DType dtype, const Shape& shape);
+
+    /** Tensor filled with @p value (cast to dtype). */
+    static Tensor full(DType dtype, const Shape& shape, double value);
+
+    /** Build a rank-1/“vector” tensor from values. */
+    template <typename T>
+    static Tensor
+    fromVector(const std::vector<T>& values)
+    {
+        Shape s{{static_cast<int64_t>(values.size())}};
+        Tensor t = zeros(detail::DTypeOf<T>::value, s);
+        auto* p = t.data<T>();
+        for (size_t i = 0; i < values.size(); ++i)
+            p[i] = values[i];
+        return t;
+    }
+
+    /** Build from shape and flat values. */
+    template <typename T>
+    static Tensor
+    fromValues(const Shape& shape, const std::vector<T>& values)
+    {
+        NNSMITH_ASSERT(static_cast<int64_t>(values.size()) == shape.numel(),
+                       "fromValues size mismatch");
+        Tensor t = zeros(detail::DTypeOf<T>::value, shape);
+        auto* p = t.data<T>();
+        for (size_t i = 0; i < values.size(); ++i)
+            p[i] = values[i];
+        return t;
+    }
+
+    /** Uniform random values in [lo, hi) (numeric) or fair coin (bool). */
+    static Tensor random(DType dtype, const Shape& shape, Rng& rng,
+                         double lo, double hi);
+
+    /**
+     * False for the default-constructed sentinel (used to mean "no
+     * gradient" in backward results); true for any materialized tensor.
+     */
+    bool defined() const;
+
+    DType dtype() const { return dtype_; }
+    const Shape& shape() const { return shape_; }
+    int rank() const { return shape_.rank(); }
+    int64_t numel() const { return shape_.numel(); }
+
+    /** Typed raw pointer; panics on dtype mismatch. Bool -> uint8_t. */
+    template <typename T>
+    T*
+    data()
+    {
+        using Stored = std::conditional_t<std::is_same_v<T, bool>, uint8_t, T>;
+        NNSMITH_ASSERT(detail::DTypeOf<T>::value == dtype_,
+                       "tensor dtype mismatch");
+        return reinterpret_cast<T*>(
+            std::get<std::vector<Stored>>(storage_).data());
+    }
+
+    template <typename T>
+    const T*
+    data() const
+    {
+        return const_cast<Tensor*>(this)->data<T>();
+    }
+
+    /** Element read as double, whatever the dtype (flat index). */
+    double scalarAt(int64_t i) const;
+
+    /** Element write from double, cast to the dtype (flat index). */
+    void setScalar(int64_t i, double value);
+
+    /** Any element NaN or Inf? (floating dtypes only; false otherwise) */
+    bool hasNaNOrInf() const;
+
+    /** Reinterpret with a new shape of equal numel (shares nothing). */
+    Tensor reshaped(const Shape& shape) const;
+
+    /** Element-type conversion (used by the Cast operator). */
+    Tensor castTo(DType target) const;
+
+    /** Bit-exact equality of dtype, shape and payload. */
+    bool equals(const Tensor& other) const;
+
+    std::string toString(int64_t max_elems = 16) const;
+
+  private:
+    using Storage = std::variant<std::vector<float>, std::vector<double>,
+                                 std::vector<int32_t>, std::vector<int64_t>,
+                                 std::vector<uint8_t>>;
+
+    DType dtype_;
+    Shape shape_;
+    Storage storage_;
+};
+
+/**
+ * Invoke @p fn with a C++ type tag matching @p dtype:
+ * `dispatchDType(dt, [&](auto tag) { using T = decltype(tag); ... });`
+ */
+template <typename Fn>
+decltype(auto)
+dispatchDType(DType dtype, Fn&& fn)
+{
+    switch (dtype) {
+      case DType::kF32:  return fn(float{});
+      case DType::kF64:  return fn(double{});
+      case DType::kI32:  return fn(int32_t{});
+      case DType::kI64:  return fn(int64_t{});
+      case DType::kBool: return fn(bool{});
+    }
+    NNSMITH_PANIC("bad DType");
+}
+
+} // namespace nnsmith::tensor
+
+#endif // NNSMITH_TENSOR_TENSOR_H

@@ -1,0 +1,342 @@
+#include "tirlite/tir.h"
+
+#include <sstream>
+
+namespace nnsmith::tirlite {
+
+TirExprRef
+TirExpr::intImm(int64_t v)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = TirExprKind::kIntImm;
+    e->intValue = v;
+    return e;
+}
+
+TirExprRef
+TirExpr::floatImm(double v)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = TirExprKind::kFloatImm;
+    e->floatValue = v;
+    return e;
+}
+
+TirExprRef
+TirExpr::loopVar(int depth)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = TirExprKind::kLoopVar;
+    e->varDepth = depth;
+    return e;
+}
+
+TirExprRef
+TirExpr::load(int buffer, TirExprRef index)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = TirExprKind::kLoad;
+    e->buffer = buffer;
+    e->a = std::move(index);
+    return e;
+}
+
+TirExprRef
+TirExpr::binary(TirExprKind kind, TirExprRef a, TirExprRef b)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = kind;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+}
+
+TirExprRef
+TirExpr::intrinsic(TirExprKind kind, TirExprRef a)
+{
+    auto e = std::make_shared<TirExpr>();
+    e->kind = kind;
+    e->a = std::move(a);
+    return e;
+}
+
+TirStmtRef
+TirStmt::forLoop(int depth, int64_t extent, TirStmtRef body)
+{
+    auto s = std::make_shared<TirStmt>();
+    s->kind = TirStmtKind::kFor;
+    s->depth = depth;
+    s->extent = extent;
+    s->body = std::move(body);
+    return s;
+}
+
+TirStmtRef
+TirStmt::store(int buffer, TirExprRef index, TirExprRef value)
+{
+    auto s = std::make_shared<TirStmt>();
+    s->kind = TirStmtKind::kStore;
+    s->buffer = buffer;
+    s->index = std::move(index);
+    s->value = std::move(value);
+    return s;
+}
+
+TirStmtRef
+TirStmt::seq(std::vector<TirStmtRef> stmts)
+{
+    auto s = std::make_shared<TirStmt>();
+    s->kind = TirStmtKind::kSeq;
+    s->stmts = std::move(stmts);
+    return s;
+}
+
+namespace {
+
+void
+renderExpr(const TirExprRef& e, std::ostream& os)
+{
+    switch (e->kind) {
+      case TirExprKind::kIntImm: os << e->intValue; return;
+      case TirExprKind::kFloatImm: os << e->floatValue; return;
+      case TirExprKind::kLoopVar: os << "i" << e->varDepth; return;
+      case TirExprKind::kLoad:
+        os << "b" << e->buffer << "[";
+        renderExpr(e->a, os);
+        os << "]";
+        return;
+      case TirExprKind::kSqrtf:
+      case TirExprKind::kExpf:
+      case TirExprKind::kTanhf: {
+        const char* name = e->kind == TirExprKind::kSqrtf
+                               ? "sqrtf"
+                               : (e->kind == TirExprKind::kExpf ? "expf"
+                                                                : "tanhf");
+        os << name << "(";
+        renderExpr(e->a, os);
+        os << ")";
+        return;
+      }
+      default: {
+        const char* op = "?";
+        switch (e->kind) {
+          case TirExprKind::kAdd: op = "+"; break;
+          case TirExprKind::kSub: op = "-"; break;
+          case TirExprKind::kMul: op = "*"; break;
+          case TirExprKind::kDiv: op = "/"; break;
+          case TirExprKind::kMod: op = "%"; break;
+          case TirExprKind::kMin: op = "min"; break;
+          case TirExprKind::kMax: op = "max"; break;
+          default: break;
+        }
+        os << "(";
+        renderExpr(e->a, os);
+        os << " " << op << " ";
+        renderExpr(e->b, os);
+        os << ")";
+        return;
+      }
+    }
+}
+
+void
+renderStmt(const TirStmtRef& s, std::ostream& os, int indent)
+{
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        os << pad << "for i" << s->depth << " in 0.." << s->extent
+           << " {\n";
+        renderStmt(s->body, os, indent + 1);
+        os << pad << "}\n";
+        return;
+      case TirStmtKind::kStore:
+        os << pad << "b" << s->buffer << "[";
+        renderExpr(s->index, os);
+        os << "] = ";
+        renderExpr(s->value, os);
+        os << ";\n";
+        return;
+      case TirStmtKind::kSeq:
+        for (const auto& sub : s->stmts)
+            renderStmt(sub, os, indent);
+        return;
+    }
+}
+
+void
+analyzeExpr(const TirExprRef& e, TirStats& stats)
+{
+    if (!e)
+        return;
+    switch (e->kind) {
+      case TirExprKind::kLoad: ++stats.loads; break;
+      case TirExprKind::kDiv:
+      case TirExprKind::kMod: stats.hasDivMod = true; break;
+      case TirExprKind::kSqrtf:
+      case TirExprKind::kExpf:
+      case TirExprKind::kTanhf: stats.hasIntrinsics = true; break;
+      default: break;
+    }
+    analyzeExpr(e->a, stats);
+    analyzeExpr(e->b, stats);
+}
+
+void
+analyzeStmt(const TirStmtRef& s, TirStats& stats, int depth)
+{
+    if (!s)
+        return;
+    stats.maxDepth = std::max(stats.maxDepth, depth);
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        ++stats.loops;
+        analyzeStmt(s->body, stats, depth + 1);
+        return;
+      case TirStmtKind::kStore:
+        ++stats.stores;
+        analyzeExpr(s->index, stats);
+        analyzeExpr(s->value, stats);
+        return;
+      case TirStmtKind::kSeq:
+        for (const auto& sub : s->stmts)
+            analyzeStmt(sub, stats, depth);
+        return;
+    }
+}
+
+/** Random scalar expression over loop vars / loads of input buffers. */
+TirExprRef
+randomExpr(Rng& rng, int n_loop_vars, int n_inputs, int64_t min_size,
+           int budget)
+{
+    if (budget <= 0 || rng.chance(0.35)) {
+        switch (rng.index(3)) {
+          case 0:
+            return TirExpr::floatImm(rng.uniformReal(-4.0, 4.0));
+          case 1:
+            if (n_inputs > 0) {
+                // In-range load: index = linear loop var mod size.
+                TirExprRef idx = n_loop_vars > 0
+                                     ? TirExpr::loopVar(static_cast<int>(
+                                           rng.index(static_cast<size_t>(
+                                               n_loop_vars))))
+                                     : TirExpr::intImm(0);
+                idx = TirExpr::binary(TirExprKind::kMod, idx,
+                                      TirExpr::intImm(min_size));
+                return TirExpr::load(
+                    static_cast<int>(rng.index(
+                        static_cast<size_t>(n_inputs))),
+                    idx);
+            }
+            [[fallthrough]];
+          default:
+            return TirExpr::floatImm(rng.uniformReal(0.0, 2.0));
+        }
+    }
+    if (rng.chance(0.2)) {
+        static const TirExprKind kIntrinsics[] = {
+            TirExprKind::kSqrtf, TirExprKind::kExpf, TirExprKind::kTanhf};
+        return TirExpr::intrinsic(
+            kIntrinsics[rng.index(3)],
+            randomExpr(rng, n_loop_vars, n_inputs, min_size, budget - 1));
+    }
+    static const TirExprKind kBinOps[] = {
+        TirExprKind::kAdd, TirExprKind::kSub, TirExprKind::kMul,
+        TirExprKind::kMin, TirExprKind::kMax};
+    return TirExpr::binary(
+        kBinOps[rng.index(5)],
+        randomExpr(rng, n_loop_vars, n_inputs, min_size, budget - 1),
+        randomExpr(rng, n_loop_vars, n_inputs, min_size, budget - 1));
+}
+
+} // namespace
+
+std::string
+TirProgram::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < bufferSizes.size(); ++i) {
+        os << "buffer b" << i << "[" << bufferSizes[i] << "]"
+           << (static_cast<int>(i) < numInputs ? " (input)" : "") << "\n";
+    }
+    renderStmt(body, os, 0);
+    return os.str();
+}
+
+TirStats
+analyze(const TirProgram& program)
+{
+    TirStats stats;
+    analyzeStmt(program.body, stats, 0);
+    return stats;
+}
+
+TirProgram
+randomProgram(Rng& rng, int max_depth, int64_t max_extent)
+{
+    TirProgram program;
+    const int n_inputs = static_cast<int>(rng.uniformInt(1, 2));
+    const int64_t size = rng.uniformInt(2, max_extent);
+    for (int i = 0; i < n_inputs; ++i)
+        program.bufferSizes.push_back(size);
+    program.bufferSizes.push_back(size); // output
+    program.numInputs = n_inputs;
+
+    const int depth = static_cast<int>(rng.uniformInt(1, max_depth));
+    TirExprRef index = TirExpr::loopVar(depth - 1);
+    TirExprRef value =
+        randomExpr(rng, depth, n_inputs, size, /*budget=*/3);
+    TirStmtRef body = TirStmt::store(
+        static_cast<int>(program.bufferSizes.size()) - 1,
+        TirExpr::binary(TirExprKind::kMod, index, TirExpr::intImm(size)),
+        value);
+    for (int d = depth - 1; d >= 0; --d)
+        body = TirStmt::forLoop(d, d == depth - 1 ? size
+                                                  : rng.uniformInt(1, 4),
+                                body);
+    program.body = body;
+    return program;
+}
+
+TirProgram
+mutate(const TirProgram& program, Rng& rng)
+{
+    // Tzer-style joint mutation: either regrow the store expression or
+    // wrap the body in another loop / change an extent.
+    TirProgram out = program;
+    const TirStats stats = analyze(program);
+    const int choice = static_cast<int>(rng.index(3));
+    if (choice == 0 || stats.loops == 0) {
+        // Regrow the body from scratch against the *existing* buffer
+        // layout (buffer indices must stay in range).
+        const int64_t size = program.bufferSizes.front();
+        const int depth = static_cast<int>(rng.uniformInt(1, 2));
+        TirExprRef value = randomExpr(rng, depth, program.numInputs,
+                                      size, /*budget=*/3);
+        TirStmtRef body = TirStmt::store(
+            static_cast<int>(program.bufferSizes.size()) - 1,
+            TirExpr::binary(TirExprKind::kMod, TirExpr::loopVar(depth - 1),
+                            TirExpr::intImm(size)),
+            value);
+        for (int d = depth - 1; d >= 0; --d)
+            body = TirStmt::forLoop(
+                d, d == depth - 1 ? size : rng.uniformInt(1, 4), body);
+        out.body = body;
+        return out;
+    }
+    if (choice == 1) {
+        // Wrap with an outer unit loop (exercises nesting passes).
+        out.body = TirStmt::forLoop(stats.maxDepth, rng.uniformInt(1, 3),
+                                    program.body);
+        return out;
+    }
+    // Append an extra store into the output buffer.
+    auto extra = TirStmt::store(
+        static_cast<int>(out.bufferSizes.size()) - 1, TirExpr::intImm(0),
+        randomExpr(rng, 1, out.numInputs, out.bufferSizes[0], 2));
+    out.body = TirStmt::seq({program.body, extra});
+    return out;
+}
+
+} // namespace nnsmith::tirlite

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TIRLite — a loop-level tensor IR, the analogue of TVM's TIR.
+ *
+ * TVMLite lowers data-parallel operators to TIRLite loop nests and
+ * runs low-level simplification passes over them; the Tzer baseline
+ * mutates TIRLite programs directly (paper §5.2, Fig. 8). The IR is
+ * deliberately small: scalar f64 buffers, affine-ish index
+ * expressions, perfect loop nests.
+ */
+#ifndef NNSMITH_TIRLITE_TIR_H
+#define NNSMITH_TIRLITE_TIR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace nnsmith::tirlite {
+
+/** Expression node kinds. */
+enum class TirExprKind {
+    kIntImm,
+    kFloatImm,
+    kLoopVar,  ///< loop index by nesting depth
+    kLoad,     ///< buffer[index]
+    kAdd, kSub, kMul, kDiv, kMod, kMin, kMax,
+    kSqrtf, kExpf, kTanhf, ///< scalar intrinsics
+};
+
+struct TirExpr;
+using TirExprRef = std::shared_ptr<const TirExpr>;
+
+/** An expression tree node. */
+struct TirExpr {
+    TirExprKind kind;
+    int64_t intValue = 0;   ///< kIntImm
+    double floatValue = 0;  ///< kFloatImm
+    int varDepth = 0;       ///< kLoopVar
+    int buffer = -1;        ///< kLoad
+    TirExprRef a;           ///< operands / kLoad index
+    TirExprRef b;
+
+    static TirExprRef intImm(int64_t v);
+    static TirExprRef floatImm(double v);
+    static TirExprRef loopVar(int depth);
+    static TirExprRef load(int buffer, TirExprRef index);
+    static TirExprRef binary(TirExprKind kind, TirExprRef a, TirExprRef b);
+    static TirExprRef intrinsic(TirExprKind kind, TirExprRef a);
+};
+
+/** Statement kinds. */
+enum class TirStmtKind {
+    kFor,    ///< for var(depth) in [0, extent): body
+    kStore,  ///< buffer[index] = value
+    kSeq,    ///< statement sequence
+};
+
+struct TirStmt;
+using TirStmtRef = std::shared_ptr<const TirStmt>;
+
+/** A statement tree node. */
+struct TirStmt {
+    TirStmtKind kind;
+    // kFor
+    int64_t extent = 0;
+    int depth = 0;
+    TirStmtRef body;
+    // kStore
+    int buffer = -1;
+    TirExprRef index;
+    TirExprRef value;
+    // kSeq
+    std::vector<TirStmtRef> stmts;
+
+    static TirStmtRef forLoop(int depth, int64_t extent, TirStmtRef body);
+    static TirStmtRef store(int buffer, TirExprRef index, TirExprRef value);
+    static TirStmtRef seq(std::vector<TirStmtRef> stmts);
+};
+
+/** A whole program: buffers + body. Buffer 0..numInputs-1 are inputs;
+ *  the last buffer is conventionally the output. */
+struct TirProgram {
+    std::vector<int64_t> bufferSizes;
+    int numInputs = 0;
+    TirStmtRef body;
+
+    std::string toString() const;
+};
+
+/** Structural statistics used by coverage keys and tests. */
+struct TirStats {
+    int loops = 0;
+    int stores = 0;
+    int loads = 0;
+    int maxDepth = 0;
+    bool hasDivMod = false;
+    bool hasIntrinsics = false;
+};
+TirStats analyze(const TirProgram& program);
+
+/** Generate a random (valid) TIR program — Tzer's seed generator. */
+TirProgram randomProgram(Rng& rng, int max_depth = 2,
+                         int64_t max_extent = 8);
+
+/** Structure-preserving random mutation — Tzer's mutator. */
+TirProgram mutate(const TirProgram& program, Rng& rng);
+
+} // namespace nnsmith::tirlite
+
+#endif // NNSMITH_TIRLITE_TIR_H

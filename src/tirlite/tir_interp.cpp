@@ -1,0 +1,132 @@
+#include "tirlite/tir_interp.h"
+
+#include <cmath>
+
+namespace nnsmith::tirlite {
+
+namespace {
+
+/** Loop variable environment, indexed by depth. */
+using Env = std::vector<int64_t>;
+
+int64_t
+wrap(int64_t index, size_t size)
+{
+    if (size == 0)
+        return 0;
+    const int64_t n = static_cast<int64_t>(size);
+    int64_t m = index % n;
+    if (m < 0)
+        m += n;
+    return m;
+}
+
+double
+evalExpr(const TirExprRef& e, const Buffers& buffers, const Env& env)
+{
+    switch (e->kind) {
+      case TirExprKind::kIntImm: return static_cast<double>(e->intValue);
+      case TirExprKind::kFloatImm: return e->floatValue;
+      case TirExprKind::kLoopVar:
+        return e->varDepth < static_cast<int>(env.size())
+                   ? static_cast<double>(env[static_cast<size_t>(
+                         e->varDepth)])
+                   : 0.0;
+      case TirExprKind::kLoad: {
+        NNSMITH_ASSERT(e->buffer >= 0 &&
+                           e->buffer < static_cast<int>(buffers.size()),
+                       "load from unknown buffer b", e->buffer);
+        const auto& buf = buffers[static_cast<size_t>(e->buffer)];
+        const auto idx = static_cast<int64_t>(
+            evalExpr(e->a, buffers, env));
+        return buf[static_cast<size_t>(wrap(idx, buf.size()))];
+      }
+      case TirExprKind::kSqrtf:
+        return std::sqrt(evalExpr(e->a, buffers, env));
+      case TirExprKind::kExpf:
+        return std::exp(evalExpr(e->a, buffers, env));
+      case TirExprKind::kTanhf:
+        return std::tanh(evalExpr(e->a, buffers, env));
+      default: {
+        const double a = evalExpr(e->a, buffers, env);
+        const double b = evalExpr(e->b, buffers, env);
+        switch (e->kind) {
+          case TirExprKind::kAdd: return a + b;
+          case TirExprKind::kSub: return a - b;
+          case TirExprKind::kMul: return a * b;
+          case TirExprKind::kDiv:
+            return b != 0.0 ? std::floor(a / b) : 0.0;
+          case TirExprKind::kMod: {
+            const auto ia = static_cast<int64_t>(a);
+            const auto ib = static_cast<int64_t>(b);
+            return ib != 0 ? static_cast<double>(wrap(ia,
+                                 static_cast<size_t>(std::abs(ib))))
+                           : 0.0;
+          }
+          case TirExprKind::kMin: return std::min(a, b);
+          case TirExprKind::kMax: return std::max(a, b);
+          default: NNSMITH_PANIC("bad TirExprKind");
+        }
+      }
+    }
+}
+
+void
+execStmt(const TirStmtRef& s, Buffers& buffers, Env& env)
+{
+    switch (s->kind) {
+      case TirStmtKind::kFor: {
+        if (static_cast<int>(env.size()) <= s->depth)
+            env.resize(static_cast<size_t>(s->depth) + 1, 0);
+        for (int64_t i = 0; i < s->extent; ++i) {
+            env[static_cast<size_t>(s->depth)] = i;
+            execStmt(s->body, buffers, env);
+        }
+        return;
+      }
+      case TirStmtKind::kStore: {
+        NNSMITH_ASSERT(s->buffer >= 0 &&
+                           s->buffer < static_cast<int>(buffers.size()),
+                       "store to unknown buffer b", s->buffer);
+        auto& buf = buffers[static_cast<size_t>(s->buffer)];
+        const auto idx = static_cast<int64_t>(
+            evalExpr(s->index, buffers, env));
+        buf[static_cast<size_t>(wrap(idx, buf.size()))] =
+            evalExpr(s->value, buffers, env);
+        return;
+      }
+      case TirStmtKind::kSeq:
+        for (const auto& sub : s->stmts)
+            execStmt(sub, buffers, env);
+        return;
+    }
+}
+
+} // namespace
+
+Buffers
+makeBuffers(const TirProgram& program, Rng& rng)
+{
+    Buffers buffers;
+    for (size_t i = 0; i < program.bufferSizes.size(); ++i) {
+        std::vector<double> buf(
+            static_cast<size_t>(program.bufferSizes[i]), 0.0);
+        if (static_cast<int>(i) < program.numInputs) {
+            for (auto& v : buf)
+                v = rng.uniformReal(1.0, 9.0);
+        }
+        buffers.push_back(std::move(buf));
+    }
+    return buffers;
+}
+
+void
+run(const TirProgram& program, Buffers& buffers)
+{
+    NNSMITH_ASSERT(buffers.size() == program.bufferSizes.size(),
+                   "buffer count mismatch");
+    Env env;
+    execStmt(program.body, buffers, env);
+}
+
+} // namespace nnsmith::tirlite

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reference interpreter for TIRLite programs (used by tests and by the
+ * Tzer baseline to actually run mutated programs).
+ */
+#ifndef NNSMITH_TIRLITE_TIR_INTERP_H
+#define NNSMITH_TIRLITE_TIR_INTERP_H
+
+#include <vector>
+
+#include "tirlite/tir.h"
+
+namespace nnsmith::tirlite {
+
+/** Buffer contents, one vector per buffer. */
+using Buffers = std::vector<std::vector<double>>;
+
+/** Allocate buffers per the program's sizes; inputs filled from rng. */
+Buffers makeBuffers(const TirProgram& program, Rng& rng);
+
+/**
+ * Execute @p program over @p buffers in place. Out-of-range indices
+ * wrap (mod buffer size) — mutated programs must not be able to smash
+ * the host.
+ */
+void run(const TirProgram& program, Buffers& buffers);
+
+} // namespace nnsmith::tirlite
+
+#endif // NNSMITH_TIRLITE_TIR_INTERP_H

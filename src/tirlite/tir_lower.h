@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Lowering of data-parallel graph operators to TIRLite loop nests.
+ *
+ * TVMLite lowers elementwise, matmul, slice and reshape nodes and runs
+ * the low-level pipeline on each (the codegen part of the paper's TVM
+ * workflow); other operators dispatch to library kernels, like TVM's
+ * external ops.
+ */
+#ifndef NNSMITH_TIRLITE_TIR_LOWER_H
+#define NNSMITH_TIRLITE_TIR_LOWER_H
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "tirlite/tir.h"
+
+namespace nnsmith::tirlite {
+
+/**
+ * Lower one concrete operator node; nullopt for ops handled by
+ * library kernels.
+ */
+std::optional<TirProgram> lowerNode(const graph::Graph& graph,
+                                    const graph::Node& node);
+
+} // namespace nnsmith::tirlite
+
+#endif // NNSMITH_TIRLITE_TIR_LOWER_H

@@ -1,0 +1,330 @@
+#include "tirlite/tir_passes.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "backends/defects.h"
+#include "coverage/coverage.h"
+
+namespace nnsmith::tirlite {
+
+using backends::BackendError;
+using backends::DefectRegistry;
+using coverage::CoverageRegistry;
+
+namespace {
+
+void
+cov(const std::string& pass, const std::string& key)
+{
+    CoverageRegistry::instance().hitDynamic("tvmlite/tir/" + pass, key,
+                                            /*pass_only=*/true);
+}
+
+/** Bucketize extents the way AFL bucketizes hit counts. */
+std::string
+extentBucket(int64_t extent)
+{
+    if (extent <= 1)
+        return "e1";
+    if (extent <= 2)
+        return "e2";
+    if (extent <= 4)
+        return "e4";
+    if (extent <= 8)
+        return "e8";
+    if (extent <= 16)
+        return "e16";
+    return "big";
+}
+
+const char*
+exprKindKey(TirExprKind kind)
+{
+    switch (kind) {
+      case TirExprKind::kIntImm: return "int";
+      case TirExprKind::kFloatImm: return "float";
+      case TirExprKind::kLoopVar: return "var";
+      case TirExprKind::kLoad: return "load";
+      case TirExprKind::kAdd: return "add";
+      case TirExprKind::kSub: return "sub";
+      case TirExprKind::kMul: return "mul";
+      case TirExprKind::kDiv: return "div";
+      case TirExprKind::kMod: return "mod";
+      case TirExprKind::kMin: return "min";
+      case TirExprKind::kMax: return "max";
+      case TirExprKind::kSqrtf: return "sqrtf";
+      case TirExprKind::kExpf: return "expf";
+      case TirExprKind::kTanhf: return "tanhf";
+    }
+    return "?";
+}
+
+bool
+isImm(const TirExprRef& e)
+{
+    return e->kind == TirExprKind::kIntImm ||
+           e->kind == TirExprKind::kFloatImm;
+}
+
+double
+immValue(const TirExprRef& e)
+{
+    return e->kind == TirExprKind::kIntImm
+               ? static_cast<double>(e->intValue)
+               : e->floatValue;
+}
+
+/** Recursively constant-fold an expression. */
+TirExprRef
+foldExpr(const TirExprRef& e)
+{
+    if (!e->a)
+        return e;
+    TirExprRef a = foldExpr(e->a);
+    TirExprRef b = e->b ? foldExpr(e->b) : nullptr;
+    cov("fold", exprKindKey(e->kind));
+    if (b && isImm(a) && isImm(b)) {
+        const double x = immValue(a);
+        const double y = immValue(b);
+        cov("fold", std::string("const/") + exprKindKey(e->kind));
+        switch (e->kind) {
+          case TirExprKind::kAdd: return TirExpr::floatImm(x + y);
+          case TirExprKind::kSub: return TirExpr::floatImm(x - y);
+          case TirExprKind::kMul: return TirExpr::floatImm(x * y);
+          case TirExprKind::kMin:
+            return TirExpr::floatImm(std::min(x, y));
+          case TirExprKind::kMax:
+            return TirExpr::floatImm(std::max(x, y));
+          default: break;
+        }
+    }
+    // x * 1 / x + 0 identities.
+    if (b && e->kind == TirExprKind::kMul && isImm(b) &&
+        immValue(b) == 1.0) {
+        cov("fold", "mul_one");
+        return a;
+    }
+    if (b && e->kind == TirExprKind::kAdd && isImm(b) &&
+        immValue(b) == 0.0) {
+        cov("fold", "add_zero");
+        return a;
+    }
+    if (e->kind == TirExprKind::kLoad)
+        return TirExpr::load(e->buffer, a);
+    if (!b)
+        return TirExpr::intrinsic(e->kind, a);
+    return TirExpr::binary(e->kind, a, b);
+}
+
+/** Walk statements, rewriting expressions with @p rewrite. */
+TirStmtRef
+mapStmts(const TirStmtRef& s,
+         const std::function<TirExprRef(const TirExprRef&)>& rewrite)
+{
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        return TirStmt::forLoop(s->depth, s->extent,
+                                mapStmts(s->body, rewrite));
+      case TirStmtKind::kStore:
+        return TirStmt::store(s->buffer, rewrite(s->index),
+                              rewrite(s->value));
+      case TirStmtKind::kSeq: {
+        std::vector<TirStmtRef> out;
+        for (const auto& sub : s->stmts)
+            out.push_back(mapStmts(sub, rewrite));
+        return TirStmt::seq(std::move(out));
+      }
+    }
+    NNSMITH_PANIC("bad TirStmtKind");
+}
+
+/** Does @p e contain a Mod(Mod(..), ..) nest? */
+bool
+hasNestedMod(const TirExprRef& e)
+{
+    if (!e)
+        return false;
+    if (e->kind == TirExprKind::kMod && e->a &&
+        e->a->kind == TirExprKind::kMod)
+        return true;
+    return hasNestedMod(e->a) || (e->b && hasNestedMod(e->b));
+}
+
+/** Does @p e contain Add with a nonzero integer immediate (offset)? */
+bool
+hasOffset(const TirExprRef& e)
+{
+    if (!e)
+        return false;
+    if (e->kind == TirExprKind::kAdd && e->b &&
+        ((e->b->kind == TirExprKind::kIntImm && e->b->intValue != 0) ||
+         (e->a->kind == TirExprKind::kIntImm && e->a->intValue != 0)))
+        return true;
+    return hasOffset(e->a) || (e->b && hasOffset(e->b));
+}
+
+/** Count syntactically identical loads in one expression. */
+void
+collectLoads(const TirExprRef& e, std::vector<std::string>& keys)
+{
+    if (!e)
+        return;
+    if (e->kind == TirExprKind::kLoad) {
+        keys.push_back("b" + std::to_string(e->buffer) + "/" +
+                       exprKindKey(e->a->kind) +
+                       (e->a->kind == TirExprKind::kLoopVar
+                            ? std::to_string(e->a->varDepth)
+                            : ""));
+    }
+    collectLoads(e->a, keys);
+    if (e->b)
+        collectLoads(e->b, keys);
+}
+
+/** The index-expression simplifier (hosts tvm.tir.simplify_mod). */
+TirStmtRef
+simplifyIndex(const TirStmtRef& s)
+{
+    return mapStmts(s, [](const TirExprRef& e) {
+        if (hasNestedMod(e)) {
+            cov("simplify", "nested_mod");
+            if (DefectRegistry::instance().trigger("tvm.tir.simplify_mod"))
+                throw BackendError("tvm.tir.simplify_mod",
+                                   "TIR simplify: cannot prove "
+                                   "mod-of-mod bound");
+        }
+        if (e->kind == TirExprKind::kDiv)
+            cov("simplify", "div");
+        if (e->kind == TirExprKind::kMod)
+            cov("simplify", "mod");
+        return foldExpr(e);
+    });
+}
+
+/** Loop unrolling for tiny extents (hosts tvm.tir.unroll_offset). */
+TirStmtRef
+unroll(const TirStmtRef& s)
+{
+    switch (s->kind) {
+      case TirStmtKind::kFor: {
+        cov("unroll", extentBucket(s->extent));
+        if (s->extent >= 8 && hasOffset(s->body->kind ==
+                                                TirStmtKind::kStore
+                                            ? s->body->index
+                                            : nullptr)) {
+            if (DefectRegistry::instance().trigger(
+                    "tvm.tir.unroll_offset"))
+                throw BackendError("tvm.tir.unroll_offset",
+                                   "TIR unroll: offset base not "
+                                   "handled for extent >= 8");
+        }
+        // Only annotate/recurse; actual peeling is not observable in
+        // our interpreter, so we keep the loop.
+        return TirStmt::forLoop(s->depth, s->extent, unroll(s->body));
+      }
+      case TirStmtKind::kStore:
+        return s;
+      case TirStmtKind::kSeq: {
+        std::vector<TirStmtRef> out;
+        for (const auto& sub : s->stmts)
+            out.push_back(unroll(sub));
+        return TirStmt::seq(std::move(out));
+      }
+    }
+    NNSMITH_PANIC("bad TirStmtKind");
+}
+
+/** Vectorization annotation (hosts tvm.tir.vectorize_rem). */
+void
+vectorizeScan(const TirStmtRef& s, const TirStats& stats)
+{
+    if (s->kind == TirStmtKind::kFor) {
+        if (s->extent % 4 == 0)
+            cov("vectorize", "aligned/" + extentBucket(s->extent));
+        else
+            cov("vectorize", "tail/" + extentBucket(s->extent));
+        if (s->extent >= 8 && s->extent % 4 != 0 && stats.hasIntrinsics) {
+            if (DefectRegistry::instance().trigger(
+                    "tvm.tir.vectorize_rem"))
+                throw BackendError("tvm.tir.vectorize_rem",
+                                   "TIR vectorize: remainder loop "
+                                   "mis-specialized for intrinsic body");
+        }
+        vectorizeScan(s->body, stats);
+    } else if (s->kind == TirStmtKind::kSeq) {
+        for (const auto& sub : s->stmts)
+            vectorizeScan(sub, stats);
+    }
+}
+
+/** Dead-store scan (hosts tvm.tir.dead_store, semantic). */
+void
+deadStoreScan(const TirStmtRef& s, std::vector<std::string>& fired)
+{
+    if (s->kind == TirStmtKind::kSeq) {
+        std::vector<int> stored_buffers;
+        for (const auto& sub : s->stmts) {
+            if (sub->kind == TirStmtKind::kStore) {
+                cov("dse", "store/b" + std::to_string(sub->buffer));
+                if (std::find(stored_buffers.begin(),
+                              stored_buffers.end(),
+                              sub->buffer) != stored_buffers.end()) {
+                    cov("dse", "overwrite");
+                    if (DefectRegistry::instance().trigger(
+                            "tvm.tir.dead_store"))
+                        fired.push_back("tvm.tir.dead_store");
+                }
+                stored_buffers.push_back(sub->buffer);
+            }
+            deadStoreScan(sub, fired);
+        }
+    } else if (s->kind == TirStmtKind::kFor) {
+        deadStoreScan(s->body, fired);
+    }
+}
+
+/** CSE scan (hosts tvm.tir.cse_load, crash). */
+void
+cseScan(const TirStmtRef& s)
+{
+    if (s->kind == TirStmtKind::kStore) {
+        std::vector<std::string> keys;
+        collectLoads(s->value, keys);
+        std::sort(keys.begin(), keys.end());
+        for (const auto& key : keys)
+            cov("cse", key);
+        const bool duplicate =
+            std::adjacent_find(keys.begin(), keys.end()) != keys.end();
+        if (duplicate) {
+            cov("cse", "dup");
+            if (DefectRegistry::instance().trigger("tvm.tir.cse_load"))
+                throw BackendError("tvm.tir.cse_load",
+                                   "TIR CSE: merged loads across a "
+                                   "store");
+        }
+    } else if (s->kind == TirStmtKind::kFor) {
+        cseScan(s->body);
+    } else {
+        for (const auto& sub : s->stmts)
+            cseScan(sub);
+    }
+}
+
+} // namespace
+
+TirProgram
+runTirPipeline(const TirProgram& program,
+               std::vector<std::string>& fired_semantic)
+{
+    TirProgram out = program;
+    out.body = simplifyIndex(program.body);
+    out.body = unroll(out.body);
+    const TirStats stats = analyze(out);
+    vectorizeScan(out.body, stats);
+    deadStoreScan(out.body, fired_semantic);
+    cseScan(out.body);
+    return out;
+}
+
+} // namespace nnsmith::tirlite

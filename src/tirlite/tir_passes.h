@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Low-level TIRLite optimization passes (the analogue of TVM's "up to
+ * 58 low-level optimizations", §5.1). Each pass is instrumented with
+ * dynamic coverage branches under "tvmlite/tir/..." (pass-only) and
+ * hosts the tvm.tir.* seeded defects.
+ */
+#ifndef NNSMITH_TIRLITE_TIR_PASSES_H
+#define NNSMITH_TIRLITE_TIR_PASSES_H
+
+#include "tirlite/tir.h"
+
+namespace nnsmith::tirlite {
+
+/**
+ * Run the full low-level pipeline (fold -> simplify-index -> unroll ->
+ * vectorize-annotate -> dead-store-elim -> cse). Throws BackendError
+ * for crash-symptom tvm.tir.* defects whose trigger matches.
+ *
+ * @param[out] fired_semantic appended with semantic defect ids whose
+ *             trigger matched (the caller perturbs outputs).
+ */
+TirProgram runTirPipeline(const TirProgram& program,
+                          std::vector<std::string>& fired_semantic);
+
+} // namespace nnsmith::tirlite
+
+#endif // NNSMITH_TIRLITE_TIR_PASSES_H

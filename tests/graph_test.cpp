@@ -1,0 +1,200 @@
+/** Tests for the graph IR: construction, topo order, validation. */
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/validate.h"
+#include "ops/binary.h"
+#include "ops/elementwise.h"
+#include "support/rng.h"
+
+namespace nnsmith::graph {
+namespace {
+
+using ops::AttrMap;
+using ops::BinaryKind;
+using ops::BinaryOp;
+using ops::UnaryKind;
+using ops::UnaryOp;
+using tensor::DType;
+using tensor::Shape;
+using tensor::TensorType;
+
+/** x -> Relu -> Add(x) style helper fixtures. */
+std::shared_ptr<ops::OpBase>
+makeRelu(DType dtype = DType::kF32)
+{
+    auto op = std::make_shared<UnaryOp>(UnaryKind::kRelu, AttrMap{});
+    op->setDTypes({{dtype}, {dtype}});
+    return op;
+}
+
+std::shared_ptr<ops::OpBase>
+makeAdd()
+{
+    AttrMap attrs;
+    for (int i = 0; i < ops::kMaxRank; ++i)
+        attrs["bm" + std::to_string(i)] = 0; // all dims equal
+    auto op = std::make_shared<BinaryOp>(BinaryKind::kAdd, attrs);
+    op->setDTypes({{DType::kF32, DType::kF32}, {DType::kF32}});
+    return op;
+}
+
+TEST(Graph, LeafAndOpConstruction)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{2, 3}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    const int n = g.addOp(makeRelu(), {x}, {type});
+    EXPECT_EQ(g.numLiveNodes(), 2);
+    EXPECT_EQ(g.numOpNodes(), 1);
+    EXPECT_EQ(g.node(n).outputs.size(), 1u);
+    EXPECT_EQ(g.value(g.node(n).outputs[0]).producer, n);
+}
+
+TEST(Graph, ConsumersAndOutputs)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{4}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    const int relu = g.addOp(makeRelu(), {x}, {type});
+    const int relu_out = g.node(relu).outputs[0];
+    g.addOp(makeAdd(), {relu_out, relu_out}, {type});
+    EXPECT_EQ(g.consumers(x).size(), 1u);
+    EXPECT_EQ(g.consumers(relu_out).size(), 1u);
+    const auto outs = g.outputValues();
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(g.value(outs[0]).producer, 2);
+}
+
+TEST(Graph, TopoOrderRespectsDependencies)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{4}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    const int a = g.addOp(makeRelu(), {x}, {type});
+    const int b = g.addOp(makeRelu(), {g.node(a).outputs[0]}, {type});
+    const auto order = g.topoOrder();
+    auto pos = [&](int id) {
+        return std::find(order.begin(), order.end(), id) - order.begin();
+    };
+    EXPECT_LT(pos(g.value(x).producer), pos(a));
+    EXPECT_LT(pos(a), pos(b));
+}
+
+TEST(Graph, PlaceholderReplacementKeepsValueId)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{2, 2}});
+    const int ph = g.addPlaceholder(type);
+    const int src = g.addPlaceholder(type);
+    const int n = g.replacePlaceholders(makeRelu(), {src}, {ph});
+    EXPECT_EQ(g.value(ph).producer, n);
+    // The old placeholder node is dead; the new input placeholder and
+    // the op node are alive.
+    EXPECT_EQ(g.numLiveNodes(), 2);
+    EXPECT_EQ(g.placeholderValues().size(), 1u);
+}
+
+TEST(Graph, PromotePlaceholder)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{2}});
+    const int ph = g.addPlaceholder(type);
+    const int node = g.value(ph).producer;
+    g.promotePlaceholder(node, NodeKind::kInput);
+    EXPECT_EQ(g.inputValues(), std::vector<int>{ph});
+    EXPECT_THROW(g.promotePlaceholder(node, NodeKind::kInput), PanicError);
+}
+
+TEST(Graph, ConcretizedSubstitutesSymbols)
+{
+    symbolic::SymbolTable st;
+    const auto d = st.fresh("d");
+    Graph g;
+    const int x =
+        g.addLeaf(NodeKind::kInput, TensorType(DType::kF32, {d}), "x");
+    g.addOp(makeRelu(), {x}, {TensorType(DType::kF32, {d})});
+    EXPECT_FALSE(g.isConcrete());
+    symbolic::Assignment a;
+    a.set(d->varId(), 5);
+    const Graph c = g.concretized(a);
+    EXPECT_TRUE(c.isConcrete());
+    EXPECT_EQ(c.value(x).type.concreteShape(), (Shape{{5}}));
+    // The original graph is untouched.
+    EXPECT_FALSE(g.isConcrete());
+}
+
+TEST(Validate, AcceptsWellTypedGraph)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{3, 3}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    g.addOp(makeRelu(), {x}, {type});
+    const auto result = validate(g);
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(Validate, RejectsWrongOutputShape)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{3, 3}});
+    const auto wrong = TensorType::concrete(DType::kF32, Shape{{3, 4}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    g.addOp(makeRelu(), {x}, {wrong});
+    EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, RejectsDTypeMismatch)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kI32, Shape{{3}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    // Relu configured for f32 fed an i32 input.
+    g.addOp(makeRelu(DType::kF32), {x},
+            {TensorType::concrete(DType::kF32, Shape{{3}})});
+    EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, RejectsUnpromotedPlaceholder)
+{
+    Graph g;
+    g.addPlaceholder(TensorType::concrete(DType::kF32, Shape{{2}}));
+    EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, RejectsViolatedRequirement)
+{
+    // Add with "all dims equal" mask but mismatched shapes.
+    Graph g;
+    const auto ta = TensorType::concrete(DType::kF32, Shape{{2, 3}});
+    const auto tb = TensorType::concrete(DType::kF32, Shape{{2, 4}});
+    const int a = g.addLeaf(NodeKind::kInput, ta, "a");
+    const int b = g.addLeaf(NodeKind::kInput, tb, "b");
+    g.addOp(makeAdd(), {a, b}, {ta});
+    EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validate, ConnectivityDetection)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{2}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    g.addOp(makeRelu(), {x}, {type});
+    EXPECT_TRUE(isConnected(g));
+    g.addLeaf(NodeKind::kInput, type, "stranded");
+    EXPECT_FALSE(isConnected(g));
+}
+
+TEST(Graph, ToStringIsStable)
+{
+    Graph g;
+    const auto type = TensorType::concrete(DType::kF32, Shape{{2}});
+    const int x = g.addLeaf(NodeKind::kInput, type, "x");
+    g.addOp(makeRelu(), {x}, {type});
+    const std::string a = g.toString();
+    EXPECT_EQ(a, g.toString());
+    EXPECT_NE(a.find("Relu"), std::string::npos);
+}
+
+} // namespace
+} // namespace nnsmith::graph

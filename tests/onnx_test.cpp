@@ -1,0 +1,207 @@
+/** Tests for OnnxLite serialization, export and import round-trips. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "backends/defects.h"
+#include "ops/elementwise.h"
+#include "exec/interpreter.h"
+#include "gen/generator.h"
+#include "graph/validate.h"
+#include "onnx/exporter.h"
+#include "onnx/onnx_lite.h"
+
+namespace nnsmith::onnx {
+namespace {
+
+using backends::DefectRegistry;
+
+/** RAII guard disabling all exporter defects for clean round-trips. */
+class DisableExporterDefects {
+  public:
+    DisableExporterDefects()
+    {
+        for (const auto& d : DefectRegistry::instance().all()) {
+            if (d.system == backends::System::kExporter) {
+                ids_.push_back(d.id);
+                DefectRegistry::instance().setEnabled(d.id, false);
+            }
+        }
+    }
+    ~DisableExporterDefects()
+    {
+        for (const auto& id : ids_)
+            DefectRegistry::instance().setEnabled(id, true);
+    }
+
+  private:
+    std::vector<std::string> ids_;
+};
+
+gen::GeneratedModel
+generateModel(uint64_t seed, int nodes = 6)
+{
+    gen::GeneratorConfig config;
+    config.targetOpNodes = nodes;
+    for (uint64_t s = seed; s < seed + 20; ++s) {
+        gen::GraphGenerator gen(config, s);
+        auto model = gen.generate();
+        if (model)
+            return std::move(*model);
+    }
+    throw std::runtime_error("generation failed for all seeds");
+}
+
+TEST(OnnxLite, ExportCoversAllLiveValuesAndNodes)
+{
+    DisableExporterDefects guard;
+    const auto model = generateModel(100);
+    const auto exported = exportGraph(model.graph);
+    EXPECT_EQ(static_cast<int>(exported.nodes.size()),
+              model.graph.numOpNodes());
+    EXPECT_FALSE(exported.outputs.empty());
+}
+
+TEST(OnnxLite, SerializeDeserializeRoundTrip)
+{
+    DisableExporterDefects guard;
+    const auto model = generateModel(200);
+    const auto exported = exportGraph(model.graph);
+    const std::string text = exported.serialize();
+    const auto parsed = OnnxModel::deserialize(text);
+    EXPECT_EQ(parsed.serialize(), text);
+    EXPECT_EQ(parsed.nodes.size(), exported.nodes.size());
+    EXPECT_EQ(parsed.values.size(), exported.values.size());
+    EXPECT_EQ(parsed.outputs, exported.outputs);
+}
+
+TEST(OnnxLite, DeserializeRejectsGarbage)
+{
+    EXPECT_THROW(OnnxModel::deserialize("not a model"), FatalError);
+}
+
+TEST(OnnxLite, ImportRebuildsAValidGraph)
+{
+    DisableExporterDefects guard;
+    const auto model = generateModel(300);
+    const auto exported = exportGraph(model.graph);
+    const auto imported = importToGraph(exported);
+    const auto validation = graph::validate(imported);
+    EXPECT_TRUE(validation.ok()) << validation.summary();
+    EXPECT_EQ(imported.numOpNodes(), model.graph.numOpNodes());
+}
+
+TEST(OnnxLite, ImportedGraphComputesSameOutputs)
+{
+    DisableExporterDefects guard;
+    for (uint64_t seed : {401, 402, 403}) {
+        const auto model = generateModel(seed);
+        const auto exported = exportGraph(model.graph);
+        std::unordered_map<int, int> id_map;
+        const auto imported = importToGraph(exported, &id_map);
+
+        Rng rng(seed);
+        const auto leaves = exec::randomLeaves(model.graph, rng);
+        const auto reference = exec::execute(model.graph, leaves);
+
+        exec::LeafValues mapped;
+        for (const auto& [id, tensor] : leaves)
+            mapped.emplace(id_map.at(id), tensor);
+        const auto result = exec::execute(imported, mapped);
+
+        // Compare output-by-output through the id map (output *order*
+        // is not part of the contract; identity of each value is).
+        ASSERT_EQ(reference.outputs.size(), result.outputs.size());
+        for (int out_id : exported.outputs) {
+            const auto& want = reference.values.at(out_id);
+            const auto& got = result.values.at(id_map.at(out_id));
+            EXPECT_TRUE(want.equals(got)) << "output %" << out_id;
+        }
+    }
+}
+
+TEST(Exporter, ScalarLog2DefectMisshapesOutput)
+{
+    // Build x(rank0) -> Log2 and check the seeded Log2 defect fires.
+    graph::Graph g;
+    const auto scalar =
+        tensor::TensorType::concrete(tensor::DType::kF32, tensor::Shape{});
+    const int x = g.addLeaf(graph::NodeKind::kInput, scalar, "x");
+    auto op = std::make_shared<ops::UnaryOp>(ops::UnaryKind::kLog2,
+                                             ops::AttrMap{});
+    op->setDTypes({{tensor::DType::kF32}, {tensor::DType::kF32}});
+    g.addOp(op, {x}, {scalar});
+
+    DefectRegistry::instance().clearTrace();
+    const auto exported = exportGraph(g);
+    const auto& trace = DefectRegistry::instance().trace();
+    EXPECT_NE(std::find(trace.begin(), trace.end(), "exp.scalar.log2"),
+              trace.end());
+    // The defect's observable effect: scalar output became rank 1.
+    EXPECT_EQ(exported.value(exported.outputs[0]).shape.rank(), 1);
+}
+
+TEST(Exporter, ScalarSqrtDefectCrashes)
+{
+    graph::Graph g;
+    const auto scalar =
+        tensor::TensorType::concrete(tensor::DType::kF32, tensor::Shape{});
+    const int x = g.addLeaf(graph::NodeKind::kInput, scalar, "x");
+    auto op = std::make_shared<ops::UnaryOp>(ops::UnaryKind::kSqrt,
+                                             ops::AttrMap{});
+    op->setDTypes({{tensor::DType::kF32}, {tensor::DType::kF32}});
+    g.addOp(op, {x}, {scalar});
+    EXPECT_THROW(exportGraph(g), backends::BackendError);
+    // Disabled defect -> clean export.
+    DefectRegistry::instance().setEnabled("exp.scalar.sqrt", false);
+    EXPECT_NO_THROW(exportGraph(g));
+    DefectRegistry::instance().setEnabled("exp.scalar.sqrt", true);
+}
+
+TEST(Defects, TableMirrorsPaperTable3)
+{
+    using backends::Phase;
+    using backends::Symptom;
+    using backends::System;
+    const auto& all = DefectRegistry::instance().all();
+    EXPECT_EQ(all.size(), 72u);
+    auto count = [&](System system, Phase phase) {
+        int n = 0;
+        for (const auto& d : all)
+            n += d.system == system && d.phase == phase;
+        return n;
+    };
+    EXPECT_EQ(count(System::kOrtLite, Phase::kTransformation), 10);
+    EXPECT_EQ(count(System::kOrtLite, Phase::kUnclassified), 2);
+    EXPECT_EQ(count(System::kTvmLite, Phase::kTransformation), 29);
+    EXPECT_EQ(count(System::kTvmLite, Phase::kConversion), 11);
+    EXPECT_EQ(count(System::kTrtLite, Phase::kTransformation), 4);
+    EXPECT_EQ(count(System::kTrtLite, Phase::kConversion), 2);
+    EXPECT_EQ(count(System::kTrtLite, Phase::kUnclassified), 4);
+    EXPECT_EQ(count(System::kExporter, Phase::kConversion), 10);
+    int crash = 0;
+    int semantic = 0;
+    for (const auto& d : all)
+        (d.symptom == Symptom::kCrash ? crash : semantic) += 1;
+    EXPECT_EQ(crash, 55);
+    EXPECT_EQ(semantic, 17);
+}
+
+TEST(Defects, EnableDisableAndTrace)
+{
+    auto& reg = DefectRegistry::instance();
+    reg.clearTrace();
+    EXPECT_TRUE(reg.isEnabled("tvm.layout.nchw4c_slice"));
+    reg.setEnabled("tvm.layout.nchw4c_slice", false);
+    EXPECT_FALSE(reg.trigger("tvm.layout.nchw4c_slice"));
+    EXPECT_TRUE(reg.trace().empty());
+    reg.setEnabled("tvm.layout.nchw4c_slice", true);
+    EXPECT_TRUE(reg.trigger("tvm.layout.nchw4c_slice"));
+    EXPECT_EQ(reg.trace().size(), 1u);
+    reg.trigger("tvm.layout.nchw4c_slice"); // dedup within a trace
+    EXPECT_EQ(reg.trace().size(), 1u);
+    reg.clearTrace();
+}
+
+} // namespace
+} // namespace nnsmith::onnx

@@ -1,0 +1,490 @@
+/** Golden-value and gradient checks for operator kernels. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/binary.h"
+#include "ops/broadcast.h"
+#include "ops/elementwise.h"
+#include "ops/misc_ops.h"
+#include "ops/nn_ops.h"
+#include "ops/reduce.h"
+#include "ops/shape_ops.h"
+
+namespace nnsmith::ops {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+AttrMap
+broadcastMaskAttrs(std::vector<int64_t> mask = {})
+{
+    AttrMap attrs;
+    mask.resize(static_cast<size_t>(kMaxRank), 0);
+    for (int i = 0; i < kMaxRank; ++i)
+        attrs["bm" + std::to_string(i)] = mask[static_cast<size_t>(i)];
+    return attrs;
+}
+
+TEST(Broadcast, ShapesCombine)
+{
+    EXPECT_EQ(broadcastShapes(Shape{{1, 2, 1, 48}}, Shape{{1, 1, 48}}),
+              (Shape{{1, 2, 1, 48}}));
+    EXPECT_EQ(broadcastShapes(Shape{{3, 1}}, Shape{{2}}), (Shape{{3, 2}}));
+    EXPECT_EQ(broadcastShapes(Shape{}, Shape{{4}}), (Shape{{4}}));
+    EXPECT_THROW(broadcastShapes(Shape{{3}}, Shape{{4}}), PanicError);
+}
+
+TEST(Broadcast, IndexerStrideZeroOnBroadcastDims)
+{
+    const Shape in{{1, 3}};
+    const Shape out{{2, 3}};
+    const BroadcastIndexer indexer(in, out);
+    EXPECT_EQ(indexer.map(0), 0); // (0,0) -> (0,0)
+    EXPECT_EQ(indexer.map(3), 0); // (1,0) -> (0,0)
+    EXPECT_EQ(indexer.map(5), 2); // (1,2) -> (0,2)
+}
+
+TEST(Broadcast, ReduceGradSumsOverBroadcast)
+{
+    const auto grad = Tensor::full(DType::kF32, Shape{{2, 3}}, 1.0);
+    const auto reduced = reduceGradToShape(grad, Shape{{1, 3}});
+    EXPECT_EQ(reduced.shape(), (Shape{{1, 3}}));
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(reduced.scalarAt(i), 2.0);
+}
+
+TEST(UnaryKernel, GoldenValues)
+{
+    const auto x = Tensor::fromVector<float>({-2.0f, 0.0f, 4.0f});
+    UnaryOp relu(UnaryKind::kRelu, AttrMap{});
+    const auto y = relu.execute({x})[0];
+    EXPECT_EQ(y.scalarAt(0), 0.0);
+    EXPECT_EQ(y.scalarAt(2), 4.0);
+
+    UnaryOp sqrt_op(UnaryKind::kSqrt, AttrMap{});
+    const auto s = sqrt_op.execute({x})[0];
+    EXPECT_TRUE(std::isnan(s.scalarAt(0))); // domain violation -> NaN
+    EXPECT_EQ(s.scalarAt(2), 2.0);
+
+    UnaryOp exp_op(UnaryKind::kExp, AttrMap{});
+    const auto big = Tensor::fromVector<double>({1000.0});
+    EXPECT_TRUE(exp_op.execute({big})[0].hasNaNOrInf()); // overflow -> Inf
+}
+
+TEST(UnaryKernel, NotFlipsBooleans)
+{
+    auto b = Tensor::zeros(DType::kBool, Shape{{2}});
+    b.setScalar(1, 1.0);
+    UnaryOp not_op(UnaryKind::kNot, AttrMap{});
+    const auto y = not_op.execute({b})[0];
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), 0.0);
+}
+
+TEST(UnaryKernel, GradientMatchesFiniteDifference)
+{
+    const std::vector<UnaryKind> kinds = {
+        UnaryKind::kSigmoid, UnaryKind::kTanh, UnaryKind::kSin,
+        UnaryKind::kExp,     UnaryKind::kAtan, UnaryKind::kLeakyRelu};
+    for (UnaryKind kind : kinds) {
+        UnaryOp op(kind, AttrMap{});
+        const auto x = Tensor::fromVector<double>({0.3, -0.7, 1.2});
+        const auto y = op.execute({x});
+        const auto gy = Tensor::full(DType::kF64, x.shape(), 1.0);
+        const auto gx = op.backward({x}, y, {gy});
+        ASSERT_EQ(gx.size(), 1u);
+        const double eps = 1e-6;
+        for (int64_t i = 0; i < x.numel(); ++i) {
+            auto xp = x;
+            xp.setScalar(i, x.scalarAt(i) + eps);
+            auto xm = x;
+            xm.setScalar(i, x.scalarAt(i) - eps);
+            const double fd = (op.execute({xp})[0].scalarAt(i) -
+                               op.execute({xm})[0].scalarAt(i)) /
+                              (2 * eps);
+            EXPECT_NEAR(gx[0].scalarAt(i), fd, 1e-4)
+                << unaryKindName(kind) << " at " << i;
+        }
+    }
+}
+
+TEST(SoftmaxKernel, RowsSumToOne)
+{
+    AttrMap attrs{{"rank", 2}, {"axis", 1}};
+    SoftmaxOp sm(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 2, 3, -1, 0, 1});
+    const auto y = sm.execute({x})[0];
+    for (int64_t r = 0; r < 2; ++r) {
+        double sum = 0.0;
+        for (int64_t c = 0; c < 3; ++c)
+            sum += y.scalarAt(r * 3 + c);
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(BinaryKernel, BroadcastAdd)
+{
+    BinaryOp add(BinaryKind::kAdd, broadcastMaskAttrs());
+    const auto a = Tensor::fromValues<float>(Shape{{2, 1}}, {1, 2});
+    const auto b = Tensor::fromValues<float>(Shape{{1, 3}}, {10, 20, 30});
+    const auto y = add.execute({a, b})[0];
+    EXPECT_EQ(y.shape(), (Shape{{2, 3}}));
+    EXPECT_EQ(y.scalarAt(0), 11.0);
+    EXPECT_EQ(y.scalarAt(5), 32.0);
+}
+
+TEST(BinaryKernel, IntegerDivisionTruncates)
+{
+    BinaryOp div(BinaryKind::kDiv, broadcastMaskAttrs());
+    const auto a = Tensor::fromVector<int32_t>({7, -7});
+    const auto b = Tensor::fromVector<int32_t>({2, 2});
+    // Div only registers float combos, but the kernel itself must
+    // still do something sensible for ints (used by TIRLite).
+    const auto y = div.execute({a, b})[0];
+    EXPECT_EQ(y.scalarAt(0), 3.0);
+    EXPECT_EQ(y.scalarAt(1), -3.0);
+}
+
+TEST(BinaryKernel, ComparisonProducesBool)
+{
+    BinaryOp gt(BinaryKind::kGreater, broadcastMaskAttrs());
+    const auto a = Tensor::fromVector<float>({1, 5});
+    const auto b = Tensor::fromVector<float>({2, 2});
+    const auto y = gt.execute({a, b})[0];
+    EXPECT_EQ(y.dtype(), DType::kBool);
+    EXPECT_EQ(y.scalarAt(0), 0.0);
+    EXPECT_EQ(y.scalarAt(1), 1.0);
+}
+
+TEST(BinaryKernel, GradientOfMulReducesOverBroadcast)
+{
+    BinaryOp mul(BinaryKind::kMul, broadcastMaskAttrs());
+    const auto a = Tensor::fromValues<double>(Shape{{2, 2}}, {1, 2, 3, 4});
+    const auto b = Tensor::fromValues<double>(Shape{{1, 2}}, {10, 20});
+    const auto y = mul.execute({a, b});
+    const auto gy = Tensor::full(DType::kF64, Shape{{2, 2}}, 1.0);
+    const auto grads = mul.backward({a, b}, y, {gy});
+    ASSERT_EQ(grads.size(), 2u);
+    EXPECT_EQ(grads[0].shape(), a.shape());
+    EXPECT_EQ(grads[1].shape(), b.shape());
+    EXPECT_EQ(grads[0].scalarAt(0), 10.0); // dy/da = b
+    EXPECT_EQ(grads[1].scalarAt(0), 4.0);  // sum over column: 1 + 3
+}
+
+TEST(ReduceKernel, SumMeanMaxMinProd)
+{
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 2, 3, 4, 5, 6});
+    AttrMap attrs{{"rank", 2}, {"axis", 1}, {"keepdims", 0}};
+    EXPECT_EQ(ReduceOp(ReduceKind::kSum, attrs).execute({x})[0].scalarAt(0),
+              6.0);
+    EXPECT_EQ(ReduceOp(ReduceKind::kMean, attrs).execute({x})[0].scalarAt(1),
+              5.0);
+    EXPECT_EQ(ReduceOp(ReduceKind::kMax, attrs).execute({x})[0].scalarAt(0),
+              3.0);
+    EXPECT_EQ(ReduceOp(ReduceKind::kMin, attrs).execute({x})[0].scalarAt(1),
+              4.0);
+    EXPECT_EQ(ReduceOp(ReduceKind::kProd, attrs).execute({x})[0].scalarAt(0),
+              6.0);
+}
+
+TEST(ReduceKernel, KeepDimsShape)
+{
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 2, 3, 4, 5, 6});
+    AttrMap attrs{{"rank", 2}, {"axis", 0}, {"keepdims", 1}};
+    const auto y = ReduceOp(ReduceKind::kSum, attrs).execute({x})[0];
+    EXPECT_EQ(y.shape(), (Shape{{1, 3}}));
+    EXPECT_EQ(y.scalarAt(0), 5.0);
+}
+
+TEST(ReduceKernel, ArgMaxIndices)
+{
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 9, 3, 7, 5, 6});
+    AttrMap attrs{{"rank", 2}, {"axis", 1}};
+    const auto y = ArgExtremumOp(true, attrs).execute({x})[0];
+    EXPECT_EQ(y.dtype(), DType::kI64);
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), 0.0);
+}
+
+TEST(ShapeKernel, ReshapeAndFlatten)
+{
+    AttrMap attrs{{"src_rank", 2}, {"dst_rank", 1}, {"d0", 6}};
+    ReshapeOp reshape(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(reshape.execute({x})[0].shape(), (Shape{{6}}));
+
+    FlattenOp flatten(AttrMap{{"rank", 3}, {"axis", 1}});
+    const auto t = Tensor::zeros(DType::kF32, Shape{{2, 3, 4}});
+    EXPECT_EQ(flatten.execute({t})[0].shape(), (Shape{{2, 12}}));
+}
+
+TEST(ShapeKernel, TransposePermutes)
+{
+    AttrMap attrs{{"rank", 2}, {"p0", 1}, {"p1", 0}};
+    TransposeOp tr(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{2, 3}},
+                                             {1, 2, 3, 4, 5, 6});
+    const auto y = tr.execute({x})[0];
+    EXPECT_EQ(y.shape(), (Shape{{3, 2}}));
+    EXPECT_EQ(y.scalarAt(0), 1.0); // (0,0)
+    EXPECT_EQ(y.scalarAt(1), 4.0); // (0,1) <- x(1,0)
+}
+
+TEST(ShapeKernel, SliceWithStride)
+{
+    AttrMap attrs{{"rank", 1}, {"axis", 0},
+                  {"start", 1}, {"len", 3}, {"stride", 2}};
+    SliceOp slice(attrs);
+    const auto x = Tensor::fromVector<float>({0, 1, 2, 3, 4, 5, 6});
+    const auto y = slice.execute({x})[0];
+    EXPECT_EQ(y.shape(), (Shape{{3}}));
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), 3.0);
+    EXPECT_EQ(y.scalarAt(2), 5.0);
+}
+
+TEST(ShapeKernel, ConcatAlongAxis)
+{
+    AttrMap attrs{{"rank", 2}, {"axis", 1}};
+    ConcatOp concat(attrs);
+    const auto a = Tensor::fromValues<float>(Shape{{2, 1}}, {1, 2});
+    const auto b = Tensor::fromValues<float>(Shape{{2, 2}}, {3, 4, 5, 6});
+    const auto y = concat.execute({a, b})[0];
+    EXPECT_EQ(y.shape(), (Shape{{2, 3}}));
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), 3.0);
+    EXPECT_EQ(y.scalarAt(3), 2.0);
+}
+
+TEST(ShapeKernel, PadModes)
+{
+    const auto x = Tensor::fromVector<float>({1, 2, 3});
+    {
+        AttrMap attrs{{"rank", 1}, {"axis", 0}, {"mode", 0},
+                      {"before", 2}, {"after", 1}};
+        const auto y = PadOp(attrs).execute({x})[0];
+        EXPECT_EQ(y.shape(), (Shape{{6}}));
+        EXPECT_EQ(y.scalarAt(0), 0.0);
+        EXPECT_EQ(y.scalarAt(2), 1.0);
+        EXPECT_EQ(y.scalarAt(5), 0.0);
+    }
+    {
+        // Negative padding crops.
+        AttrMap attrs{{"rank", 1}, {"axis", 0}, {"mode", 0},
+                      {"before", -1}, {"after", 0}};
+        const auto y = PadOp(attrs).execute({x})[0];
+        EXPECT_EQ(y.shape(), (Shape{{2}}));
+        EXPECT_EQ(y.scalarAt(0), 2.0);
+    }
+    {
+        AttrMap attrs{{"rank", 1}, {"axis", 0}, {"mode", 1},
+                      {"before", 2}, {"after", 0}};
+        const auto y = PadOp(attrs).execute({x})[0];
+        EXPECT_EQ(y.scalarAt(0), 3.0); // reflect
+        EXPECT_EQ(y.scalarAt(1), 2.0);
+    }
+    {
+        AttrMap attrs{{"rank", 1}, {"axis", 0}, {"mode", 2},
+                      {"before", 2}, {"after", 0}};
+        const auto y = PadOp(attrs).execute({x})[0];
+        EXPECT_EQ(y.scalarAt(0), 1.0); // replicate
+        EXPECT_EQ(y.scalarAt(1), 1.0);
+    }
+}
+
+TEST(ShapeKernel, BroadcastToExpands)
+{
+    AttrMap attrs{{"src_rank", 2}, {"dst_rank", 3},
+                  {"m0", 0}, {"m1", 1},
+                  {"o0", 2}, {"o1", 4}, {"o2", 3}};
+    BroadcastToOp bc(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{1, 3}}, {1, 2, 3});
+    const auto y = bc.execute({x})[0];
+    EXPECT_EQ(y.shape(), (Shape{{2, 4, 3}}));
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(23), 3.0);
+}
+
+TEST(NNKernel, Conv2dIdentityKernel)
+{
+    // 1x1 kernel of value 1 == identity on a single channel.
+    AttrMap attrs{{"stride", 1}, {"pad", 0}};
+    Conv2dOp conv(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 2, 2}},
+                                             {1, 2, 3, 4});
+    const auto k = Tensor::full(DType::kF32, Shape{{1, 1, 1, 1}}, 1.0);
+    const auto y = conv.execute({x, k})[0];
+    EXPECT_EQ(y.shape(), (Shape{{1, 1, 2, 2}}));
+    EXPECT_TRUE(y.equals(x));
+}
+
+TEST(NNKernel, Conv2dSumKernel)
+{
+    AttrMap attrs{{"stride", 1}, {"pad", 0}};
+    Conv2dOp conv(attrs);
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 2, 2}},
+                                             {1, 2, 3, 4});
+    const auto k = Tensor::full(DType::kF32, Shape{{1, 1, 2, 2}}, 1.0);
+    const auto y = conv.execute({x, k})[0];
+    EXPECT_EQ(y.shape(), (Shape{{1, 1, 1, 1}}));
+    EXPECT_EQ(y.scalarAt(0), 10.0);
+}
+
+TEST(NNKernel, Conv2dGradientFiniteDifference)
+{
+    AttrMap attrs{{"stride", 1}, {"pad", 1}};
+    Conv2dOp conv(attrs);
+    Rng rng(3);
+    const auto x = Tensor::random(DType::kF64, Shape{{1, 2, 3, 3}}, rng,
+                                  -1, 1);
+    const auto k = Tensor::random(DType::kF64, Shape{{2, 2, 2, 2}}, rng,
+                                  -1, 1);
+    const auto y = conv.execute({x, k});
+    auto gy = Tensor::full(DType::kF64, y[0].shape(), 1.0);
+    const auto grads = conv.backward({x, k}, y, {gy});
+    const double eps = 1e-6;
+    // Check a few entries of dL/dk where L = sum(y).
+    for (int64_t i : {0L, 5L, 11L}) {
+        auto kp = k;
+        kp.setScalar(i, k.scalarAt(i) + eps);
+        auto km = k;
+        km.setScalar(i, k.scalarAt(i) - eps);
+        double lp = 0.0, lm = 0.0;
+        const auto yp = conv.execute({x, kp})[0];
+        const auto ym = conv.execute({x, km})[0];
+        for (int64_t j = 0; j < yp.numel(); ++j) {
+            lp += yp.scalarAt(j);
+            lm += ym.scalarAt(j);
+        }
+        EXPECT_NEAR(grads[1].scalarAt(i), (lp - lm) / (2 * eps), 1e-4);
+    }
+}
+
+TEST(NNKernel, MaxAndAvgPool)
+{
+    AttrMap attrs{{"kh", 2}, {"kw", 2}, {"stride", 2}, {"pad", 0}};
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 2, 4}},
+                                             {1, 2, 3, 4, 5, 6, 7, 8});
+    const auto mx = Pool2dOp(true, attrs).execute({x})[0];
+    EXPECT_EQ(mx.shape(), (Shape{{1, 1, 1, 2}}));
+    EXPECT_EQ(mx.scalarAt(0), 6.0);
+    EXPECT_EQ(mx.scalarAt(1), 8.0);
+    const auto av = Pool2dOp(false, attrs).execute({x})[0];
+    EXPECT_EQ(av.scalarAt(0), 3.5);
+}
+
+TEST(NNKernel, MatMulGolden)
+{
+    MatMulOp mm{AttrMap{}};
+    const auto a = Tensor::fromValues<float>(Shape{{2, 2}}, {1, 2, 3, 4});
+    const auto b = Tensor::fromValues<float>(Shape{{2, 2}}, {5, 6, 7, 8});
+    const auto y = mm.execute({a, b})[0];
+    EXPECT_EQ(y.scalarAt(0), 19.0);
+    EXPECT_EQ(y.scalarAt(3), 50.0);
+}
+
+TEST(NNKernel, BatchMatMulBatches)
+{
+    BatchMatMulOp mm{AttrMap{}};
+    const auto a = Tensor::fromValues<float>(Shape{{2, 1, 2}},
+                                             {1, 2, 3, 4});
+    const auto b = Tensor::fromValues<float>(Shape{{2, 2, 1}},
+                                             {1, 1, 10, 10});
+    const auto y = mm.execute({a, b})[0];
+    EXPECT_EQ(y.shape(), (Shape{{2, 1, 1}}));
+    EXPECT_EQ(y.scalarAt(0), 3.0);
+    EXPECT_EQ(y.scalarAt(1), 70.0);
+}
+
+TEST(NNKernel, DenseAddsBias)
+{
+    DenseOp dense{AttrMap{}};
+    const auto x = Tensor::fromValues<float>(Shape{{1, 2}}, {1, 1});
+    const auto w = Tensor::fromValues<float>(Shape{{2, 2}}, {1, 2, 3, 4});
+    const auto b = Tensor::fromValues<float>(Shape{{2}}, {10, 20});
+    const auto y = dense.execute({x, w, b})[0];
+    EXPECT_EQ(y.scalarAt(0), 14.0);
+    EXPECT_EQ(y.scalarAt(1), 26.0);
+}
+
+TEST(NNKernel, BatchNormNormalizes)
+{
+    BatchNormOp bn{AttrMap{}};
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 1, 2}}, {4, 8});
+    const auto scale = Tensor::full(DType::kF32, Shape{{1}}, 2.0);
+    const auto bias = Tensor::full(DType::kF32, Shape{{1}}, 1.0);
+    const auto mean = Tensor::full(DType::kF32, Shape{{1}}, 4.0);
+    const auto var = Tensor::full(DType::kF32, Shape{{1}}, 1.0);
+    const auto y = bn.execute({x, scale, bias, mean, var})[0];
+    EXPECT_NEAR(y.scalarAt(0), 1.0, 1e-4);
+    EXPECT_NEAR(y.scalarAt(1), 9.0, 1e-3);
+}
+
+TEST(NNKernel, BatchNormNegativeVarIsVulnerable)
+{
+    BatchNormOp bn{AttrMap{}};
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 1, 1}}, {1});
+    const auto ones = Tensor::full(DType::kF32, Shape{{1}}, 1.0);
+    const auto var = Tensor::full(DType::kF32, Shape{{1}}, -2.0);
+    EXPECT_TRUE(bn.execute({x, ones, ones, ones, var})[0].hasNaNOrInf());
+}
+
+TEST(NNKernel, ResizeNearestUpsamples)
+{
+    ResizeOp resize(1, AttrMap{{"scale0", 2}});
+    const auto x = Tensor::fromValues<float>(Shape{{1, 1, 2}}, {3, 7});
+    const auto y = resize.execute({x})[0];
+    EXPECT_EQ(y.shape(), (Shape{{1, 1, 4}}));
+    EXPECT_EQ(y.scalarAt(0), 3.0);
+    EXPECT_EQ(y.scalarAt(1), 3.0);
+    EXPECT_EQ(y.scalarAt(2), 7.0);
+}
+
+TEST(MiscKernel, WhereSelectsWithBroadcast)
+{
+    AttrMap attrs;
+    for (const char* prefix : {"wc", "wt", "wf"}) {
+        for (int i = 0; i < kMaxRank; ++i)
+            attrs[std::string(prefix) + std::to_string(i)] = 0;
+    }
+    WhereOp where(attrs);
+    auto cond = Tensor::zeros(DType::kBool, Shape{{2}});
+    cond.setScalar(0, 1.0);
+    const auto t = Tensor::fromVector<float>({1, 2});
+    const auto f = Tensor::fromVector<float>({10, 20});
+    const auto y = where.execute({cond, t, f})[0];
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), 20.0);
+}
+
+TEST(MiscKernel, CastChangesDType)
+{
+    CastOp cast{AttrMap{}};
+    cast.setDTypes({{DType::kF32}, {DType::kI64}});
+    const auto x = Tensor::fromVector<float>({1.9f, -2.9f});
+    const auto y = cast.execute({x})[0];
+    EXPECT_EQ(y.dtype(), DType::kI64);
+    EXPECT_EQ(y.scalarAt(0), 1.0);
+    EXPECT_EQ(y.scalarAt(1), -2.0);
+}
+
+TEST(MiscKernel, ClipClamps)
+{
+    ClipOp clip(AttrMap{{"lo", -1}, {"hi", 2}});
+    const auto x = Tensor::fromVector<float>({-5, 0, 5});
+    const auto y = clip.execute({x})[0];
+    EXPECT_EQ(y.scalarAt(0), -1.0);
+    EXPECT_EQ(y.scalarAt(1), 0.0);
+    EXPECT_EQ(y.scalarAt(2), 2.0);
+}
+
+} // namespace
+} // namespace nnsmith::ops

@@ -1,0 +1,131 @@
+/** Tests for logging, RNG determinism and the virtual clock. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/vclock.h"
+
+namespace nnsmith {
+namespace {
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(NNSMITH_ASSERT(1 == 2, "values differ"), PanicError);
+    EXPECT_NO_THROW(NNSMITH_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GaussianRoughlyCentered)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian();
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Rng, PickAndShuffle)
+{
+    Rng rng(29);
+    std::vector<int> v = {1, 2, 3, 4, 5};
+    const int picked = rng.pick(v);
+    EXPECT_TRUE(picked >= 1 && picked <= 5);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(31);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(VirtualClock, AdvancesMonotonically)
+{
+    VirtualClock clock;
+    EXPECT_EQ(clock.now(), 0);
+    clock.advance(1500);
+    EXPECT_EQ(clock.now(), 1500);
+    EXPECT_NEAR(clock.minutes(), 0.025, 1e-9);
+    EXPECT_THROW(clock.advance(-1), PanicError);
+}
+
+} // namespace
+} // namespace nnsmith

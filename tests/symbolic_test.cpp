@@ -1,0 +1,138 @@
+/** Tests for symbolic integer expressions and predicates. */
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "symbolic/expr.h"
+#include "symbolic/pred.h"
+
+namespace nnsmith::symbolic {
+namespace {
+
+TEST(Expr, ConstantFolding)
+{
+    const auto e = Expr::constant(3) + Expr::constant(4);
+    ASSERT_TRUE(e->isConst());
+    EXPECT_EQ(e->value(), 7);
+}
+
+TEST(Expr, IdentityElimination)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    EXPECT_EQ((x + 0).get(), x.get());
+    EXPECT_EQ((x * 1).get(), x.get());
+    EXPECT_TRUE((x * 0)->isConst(0));
+    EXPECT_EQ(floorDiv(x, 1).get(), x.get());
+    EXPECT_EQ((x - 0).get(), x.get());
+}
+
+TEST(Expr, EvaluateArithmetic)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    const auto y = st.fresh("y");
+    Assignment a;
+    a.set(x->varId(), 10);
+    a.set(y->varId(), 3);
+    EXPECT_EQ(evaluate(x + y, a), 13);
+    EXPECT_EQ(evaluate(x - y, a), 7);
+    EXPECT_EQ(evaluate(x * y, a), 30);
+    EXPECT_EQ(evaluate(floorDiv(x, y), a), 3);
+    EXPECT_EQ(evaluate(mod(x, y), a), 1);
+    EXPECT_EQ(evaluate(minExpr(x, y), a), 3);
+    EXPECT_EQ(evaluate(maxExpr(x, y), a), 10);
+    EXPECT_EQ(evaluate(Expr::neg(x), a), -10);
+}
+
+TEST(Expr, FloorDivisionOnNegatives)
+{
+    // Floor semantics: -7 // 2 == -4 (not C++ truncation -3).
+    const auto e =
+        floorDiv(Expr::constant(-7), Expr::constant(2));
+    ASSERT_TRUE(e->isConst());
+    EXPECT_EQ(e->value(), -4);
+    const auto m = mod(Expr::constant(-7), Expr::constant(2));
+    EXPECT_EQ(m->value(), 1); // floor-mod is non-negative for positive rhs
+}
+
+TEST(Expr, EvaluateUnboundVariablePanics)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    Assignment empty;
+    EXPECT_THROW(evaluate(x, empty), PanicError);
+}
+
+TEST(Expr, CollectVarsDeduplicates)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    const auto y = st.fresh("y");
+    std::vector<VarId> vars;
+    collectVars(x + (y * x), vars);
+    EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(Expr, ToStringReadable)
+{
+    SymbolTable st;
+    const auto x = st.fresh("kh");
+    EXPECT_EQ(toString(x + 2), "(kh_0 + 2)");
+}
+
+TEST(Expr, SimplifyFoldsNestedConstants)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    // (x * (2 + 3)) -> x * 5 after construction-time folding.
+    const auto e = x * (Expr::constant(2) + Expr::constant(3));
+    const auto s = simplify(e);
+    EXPECT_EQ(toString(s), "(x_0 * 5)");
+}
+
+TEST(SymbolTable, FreshNamesAreUnique)
+{
+    SymbolTable st;
+    const auto a = st.fresh("d");
+    const auto b = st.fresh("d");
+    EXPECT_NE(a->varId(), b->varId());
+    EXPECT_NE(a->varName(), b->varName());
+    EXPECT_EQ(st.count(), 2u);
+}
+
+TEST(Pred, HoldsEvaluatesAllOperators)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    Assignment a;
+    a.set(x->varId(), 5);
+    EXPECT_TRUE(holds(eq(x, 5), a));
+    EXPECT_TRUE(holds(ne(x, Expr::constant(4)), a));
+    EXPECT_TRUE(holds(lt(x, 6), a));
+    EXPECT_TRUE(holds(le(x, 5), a));
+    EXPECT_TRUE(holds(gt(x, 4), a));
+    EXPECT_TRUE(holds(ge(x, 5), a));
+    EXPECT_FALSE(holds(lt(x, 5), a));
+}
+
+TEST(Pred, AllHoldShortCircuits)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    Assignment a;
+    a.set(x->varId(), 2);
+    std::vector<Pred> preds = {ge(x, 1), le(x, 3)};
+    EXPECT_TRUE(allHold(preds, a));
+    preds.push_back(gt(x, 10));
+    EXPECT_FALSE(allHold(preds, a));
+}
+
+TEST(Pred, ToStringShowsOperator)
+{
+    SymbolTable st;
+    const auto x = st.fresh("x");
+    EXPECT_EQ(toString(le(x, 3)), "x_0 <= 3");
+}
+
+} // namespace
+} // namespace nnsmith::symbolic

@@ -1,0 +1,153 @@
+/** Tests for dtypes, tensor types and dense tensors. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+#include "tensor/tensor.h"
+
+namespace nnsmith::tensor {
+namespace {
+
+TEST(DType, NamesRoundTrip)
+{
+    for (DType t : allDTypes())
+        EXPECT_EQ(dtypeFromName(dtypeName(t)), t);
+    EXPECT_THROW(dtypeFromName("f16"), FatalError);
+}
+
+TEST(DType, Classification)
+{
+    EXPECT_TRUE(isFloat(DType::kF32));
+    EXPECT_TRUE(isFloat(DType::kF64));
+    EXPECT_FALSE(isFloat(DType::kI32));
+    EXPECT_TRUE(isInt(DType::kI64));
+    EXPECT_FALSE(isInt(DType::kBool));
+    EXPECT_EQ(dtypeSize(DType::kF64), 8u);
+    EXPECT_EQ(dtypeSize(DType::kBool), 1u);
+}
+
+TEST(Shape, NumelAndStrides)
+{
+    const Shape s{{2, 3, 4}};
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(rowMajorStrides(s), (std::vector<int64_t>{12, 4, 1}));
+    const Shape scalar{};
+    EXPECT_EQ(scalar.numel(), 1);
+    EXPECT_EQ(scalar.rank(), 0);
+}
+
+TEST(TensorType, SymbolicToConcrete)
+{
+    symbolic::SymbolTable st;
+    const auto d0 = st.fresh("d");
+    const auto d1 = st.fresh("d");
+    TensorType t(DType::kF32, {d0, d1 + 2});
+    EXPECT_FALSE(t.isConcrete());
+    symbolic::Assignment a;
+    a.set(d0->varId(), 3);
+    a.set(d1->varId(), 5);
+    const auto c = t.concretized(a);
+    EXPECT_TRUE(c.isConcrete());
+    EXPECT_EQ(c.concreteShape(), (Shape{{3, 7}}));
+}
+
+TEST(TensorType, NumelExpr)
+{
+    symbolic::SymbolTable st;
+    const auto d = st.fresh("d");
+    TensorType t(DType::kF32, {d, symbolic::Expr::constant(4)});
+    symbolic::Assignment a;
+    a.set(d->varId(), 6);
+    EXPECT_EQ(symbolic::evaluate(t.numelExpr(), a), 24);
+}
+
+TEST(Tensor, ZerosAndFill)
+{
+    const auto t = Tensor::zeros(DType::kF32, Shape{{2, 2}});
+    EXPECT_EQ(t.numel(), 4);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.scalarAt(i), 0.0);
+    const auto f = Tensor::full(DType::kI32, Shape{{3}}, 7.0);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(f.scalarAt(i), 7.0);
+}
+
+TEST(Tensor, TypedDataAccess)
+{
+    auto t = Tensor::zeros(DType::kI64, Shape{{2}});
+    t.data<int64_t>()[1] = 42;
+    EXPECT_EQ(t.scalarAt(1), 42.0);
+    EXPECT_THROW(t.data<float>(), PanicError);
+}
+
+TEST(Tensor, BoolStorage)
+{
+    auto t = Tensor::zeros(DType::kBool, Shape{{4}});
+    t.setScalar(2, 1.0);
+    EXPECT_EQ(t.scalarAt(2), 1.0);
+    EXPECT_EQ(t.scalarAt(0), 0.0);
+}
+
+TEST(Tensor, NaNInfDetection)
+{
+    auto t = Tensor::zeros(DType::kF64, Shape{{3}});
+    EXPECT_FALSE(t.hasNaNOrInf());
+    t.setScalar(1, std::nan(""));
+    EXPECT_TRUE(t.hasNaNOrInf());
+    auto u = Tensor::zeros(DType::kF32, Shape{{2}});
+    u.setScalar(0, HUGE_VAL);
+    EXPECT_TRUE(u.hasNaNOrInf());
+    // Integer tensors can never be NaN/Inf.
+    const auto i = Tensor::full(DType::kI32, Shape{{2}}, 5);
+    EXPECT_FALSE(i.hasNaNOrInf());
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    auto t = Tensor::fromVector<float>({1, 2, 3, 4, 5, 6});
+    const auto r = t.reshaped(Shape{{2, 3}});
+    EXPECT_EQ(r.shape(), (Shape{{2, 3}}));
+    EXPECT_EQ(r.scalarAt(5), 6.0f);
+    EXPECT_THROW(t.reshaped(Shape{{4}}), PanicError);
+}
+
+TEST(Tensor, CastTruncatesAndBoolifies)
+{
+    auto t = Tensor::fromVector<float>({1.7f, -2.3f, 0.0f});
+    const auto i = t.castTo(DType::kI32);
+    EXPECT_EQ(i.scalarAt(0), 1.0);
+    EXPECT_EQ(i.scalarAt(1), -2.0);
+    const auto b = t.castTo(DType::kBool);
+    EXPECT_EQ(b.scalarAt(0), 1.0);
+    EXPECT_EQ(b.scalarAt(2), 0.0);
+}
+
+TEST(Tensor, EqualsIsBitAware)
+{
+    auto a = Tensor::fromVector<float>({1, 2});
+    auto b = Tensor::fromVector<float>({1, 2});
+    EXPECT_TRUE(a.equals(b));
+    b.setScalar(1, 3);
+    EXPECT_FALSE(a.equals(b));
+    // NaN == NaN for equality-of-artifacts purposes.
+    a.setScalar(0, std::nan(""));
+    b = a;
+    EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Tensor, RandomRespectsRangeAndDType)
+{
+    Rng rng(5);
+    const auto f = Tensor::random(DType::kF32, Shape{{100}}, rng, 1.0, 9.0);
+    for (int64_t i = 0; i < f.numel(); ++i) {
+        EXPECT_GE(f.scalarAt(i), 1.0);
+        EXPECT_LT(f.scalarAt(i), 9.0);
+    }
+    const auto b = Tensor::random(DType::kBool, Shape{{50}}, rng, 0, 1);
+    for (int64_t i = 0; i < b.numel(); ++i)
+        EXPECT_TRUE(b.scalarAt(i) == 0.0 || b.scalarAt(i) == 1.0);
+}
+
+} // namespace
+} // namespace nnsmith::tensor
