@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Wall-clock scaling harness for the sharded campaign runner.
+ *
+ * Runs the Fig. 4 NNSmith-vs-ONNXRuntime campaign with shards=1/2/4,
+ * checks that every shard count merges to the identical result, and
+ * reports the wall-clock speedup as JSON (BENCH_parallel_campaign.json
+ * at the repo root is a committed baseline of this output).
+ *
+ *   ./bench/bench_parallel [--seed N] [--iters N] [--minutes N]
+ *                          [--out FILE]
+ */
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace nnsmith;
+
+fuzz::ParallelCampaignConfig
+campaignFor(int shards, const bench::BenchOptions& options)
+{
+    fuzz::ParallelCampaignConfig config;
+    config.campaign.virtualBudget =
+        static_cast<VirtualMs>(options.minutes) * 60 * 1000;
+    config.campaign.maxIterations = options.iters;
+    config.campaign.coverageComponent = "ortlite";
+    config.campaign.sampleEveryMinutes = 10;
+    config.shards = shards;
+    config.masterSeed = options.seed;
+    config.fuzzerFactory = [](uint64_t seed) {
+        return bench::makeFuzzer("NNSmith", seed);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    return config;
+}
+
+bool
+sameMerged(const fuzz::CampaignResult& a, const fuzz::CampaignResult& b)
+{
+    auto keys = [](const fuzz::CampaignResult& r) {
+        std::vector<std::string> out;
+        for (const auto& [key, bug] : r.bugs)
+            out.push_back(key);
+        return out;
+    };
+    return a.iterations == b.iterations &&
+           a.coverAll.branches() == b.coverAll.branches() &&
+           a.coverPass.branches() == b.coverPass.branches() &&
+           keys(a) == keys(b) && a.instanceKeys == b.instanceKeys;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith;
+    bench::BenchOptions options = bench::parseArgs(argc, argv);
+    const char* out_path = nullptr;
+    bool iters_given = false;
+    for (int i = 1; i < argc; ++i) {
+        iters_given = iters_given || std::strcmp(argv[i], "--iters") == 0;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[i + 1];
+    }
+    if (!iters_given)
+        options.iters = 300; // speedup probe needs fewer than fig4's 600
+
+    struct Row {
+        int shards;
+        double seconds;
+        fuzz::CampaignResult result;
+    };
+    std::vector<Row> rows;
+    for (const int shards : {1, 2, 4}) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result =
+            fuzz::runParallelCampaign(campaignFor(shards, options));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        rows.push_back(Row{shards, elapsed.count(), std::move(result)});
+        std::printf("shards=%d  %.3fs  iters=%zu coverage=%zu bugs=%zu\n",
+                    shards, rows.back().seconds,
+                    rows.back().result.iterations,
+                    rows.back().result.coverAll.count(),
+                    rows.back().result.bugs.size());
+    }
+
+    bool identical = true;
+    for (size_t i = 1; i < rows.size(); ++i)
+        identical = identical &&
+                    sameMerged(rows[0].result, rows[i].result);
+    std::printf("merged results identical across shard counts: %s\n",
+                identical ? "yes" : "NO — BUG");
+
+    FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"parallel_campaign_fig4\",\n");
+    std::fprintf(out, "  \"fuzzer\": \"NNSmith\",\n");
+    std::fprintf(out, "  \"component\": \"ortlite\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(out, "  \"iterations\": %zu,\n",
+                 rows[0].result.iterations);
+    std::fprintf(out, "  \"virtual_minutes\": %d,\n", options.minutes);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"merged_results_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"shards\": %d, \"wall_seconds\": %.3f, "
+                     "\"speedup_vs_1\": %.2f}%s\n",
+                     rows[i].shards, rows[i].seconds,
+                     rows[0].seconds / rows[i].seconds,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return identical ? 0 : 1;
+}

@@ -7,17 +7,23 @@
  *   --iters N       per-fuzzer real-iteration cap (figure benches)
  *   --minutes N     virtual budget in minutes (default 240, as in the
  *                   paper's 4-hour runs)
+ *   --shards N      run campaigns sharded over N worker threads via
+ *                   fuzz/parallel_campaign.h (default 1; the merged
+ *                   results are byte-identical for any N, so --shards
+ *                   only changes wall-clock time; Tzer is stateful
+ *                   across iterations and always runs serially)
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
  * TVM compiles slower than ORT) match §5.2. Real iterations are capped
  * because substrate coverage converges quickly; once the cap is hit
  * the series holds its converged value to the end of the virtual
- * window (noted in EXPERIMENTS.md).
+ * window (DESIGN.md "Virtual time and the CostModel").
  */
 #ifndef NNSMITH_BENCH_BENCH_UTIL_H
 #define NNSMITH_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +33,7 @@
 #include "baselines/lemon.h"
 #include "baselines/tzer.h"
 #include "fuzz/campaign.h"
+#include "fuzz/parallel_campaign.h"
 
 namespace nnsmith::bench {
 
@@ -35,6 +42,7 @@ struct BenchOptions {
     uint64_t seed = 2023;
     size_t iters = 600;
     int minutes = 240;
+    int shards = 1;
 };
 
 inline BenchOptions
@@ -51,6 +59,8 @@ parseArgs(int argc, char** argv)
             options.iters = std::stoull(argv[++i]);
         else if (want("--minutes"))
             options.minutes = std::stoi(argv[++i]);
+        else if (want("--shards"))
+            options.shards = std::max(1, std::stoi(argv[++i]));
     }
     return options;
 }
@@ -90,25 +100,44 @@ makeFuzzer(const std::string& name, uint64_t seed)
     fatal("unknown fuzzer " + name);
 }
 
-/** Run one fuzzer against one system under test. */
+/** Run one fuzzer against one system under test. Iteration-independent
+ *  fuzzers always go through the sharded runner — even at --shards 1 —
+ *  so the figures are byte-identical for any shard count (Tzer's
+ *  mutation corpus forces it onto the serial driver). */
 inline fuzz::CampaignResult
 runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
        const BenchOptions& options, size_t iter_cap)
 {
-    auto owned = difftest::makeAllBackends();
-    std::vector<backends::Backend*> backend_list = {
-        owned[static_cast<size_t>(sut.backendIndex)].get()};
-    auto fuzzer = makeFuzzer(fuzzer_name, options.seed);
     fuzz::CampaignConfig config;
     config.virtualBudget =
         static_cast<VirtualMs>(options.minutes) * 60 * 1000;
     config.maxIterations = iter_cap;
     config.coverageComponent = sut.component;
     config.sampleEveryMinutes = 10;
-    // Tzer needs no backend (it feeds TIR straight into the passes).
-    if (fuzzer_name == "Tzer")
-        backend_list.clear();
-    return fuzz::runCampaign(*fuzzer, backend_list, config);
+    if (fuzzer_name != "Tzer") {
+        fuzz::ParallelCampaignConfig parallel;
+        parallel.campaign = config;
+        parallel.shards = options.shards;
+        parallel.masterSeed = options.seed;
+        parallel.fuzzerFactory = [fuzzer_name](uint64_t seed) {
+            return makeFuzzer(fuzzer_name, seed);
+        };
+        parallel.backendFactory =
+            [index = static_cast<size_t>(sut.backendIndex)]() {
+                auto owned = difftest::makeAllBackends();
+                std::vector<std::unique_ptr<backends::Backend>> picked;
+                picked.push_back(std::move(owned[index]));
+                return picked;
+            };
+        return fuzz::runParallelCampaign(parallel);
+    }
+    // Only Tzer reaches the serial driver. It needs no backend (it
+    // feeds TIR straight into the passes), but constructing the
+    // backends still registers their coverage sites and declared
+    // totals, which the figure footers rely on.
+    auto owned = difftest::makeAllBackends();
+    auto fuzzer = makeFuzzer(fuzzer_name, options.seed);
+    return fuzz::runCampaign(*fuzzer, /*backends=*/{}, config);
 }
 
 /** Per-fuzzer iteration caps (LEMON's virtual cost bounds it anyway). */

@@ -2,7 +2,8 @@
  * @file
  * Quickstart: generate one valid random model, find NaN/Inf-free
  * inputs with gradient search, run differential testing across the
- * three simulated compilers, and print everything.
+ * three simulated compilers, then run a miniature sharded fuzzing
+ * campaign, and print everything.
  *
  *   ./examples/quickstart [seed]
  */
@@ -11,6 +12,7 @@
 
 #include "autodiff/grad_search.h"
 #include "difftest/oracle.h"
+#include "fuzz/parallel_campaign.h"
 #include "gen/generator.h"
 #include "graph/validate.h"
 
@@ -77,5 +79,33 @@ main(int argc, char** argv)
             std::printf(" %s", d.c_str());
         std::printf("\n");
     }
+
+    // 4. A miniature sharded campaign (fuzz/parallel_campaign.h): two
+    //    worker threads fuzz OrtLite for 30 virtual minutes. The merged
+    //    result is a pure function of the master seed — any --shards
+    //    value yields byte-identical coverage and bugs.
+    fuzz::ParallelCampaignConfig campaign;
+    campaign.campaign.virtualBudget = 30ll * 60 * 1000;
+    campaign.campaign.maxIterations = 40;
+    campaign.campaign.coverageComponent = "ortlite";
+    campaign.campaign.sampleEveryMinutes = 10;
+    campaign.shards = 2;
+    campaign.masterSeed = seed;
+    campaign.fuzzerFactory = [](uint64_t iteration_seed) {
+        fuzz::NNSmithFuzzer::Options options;
+        options.generator.targetOpNodes = 5;
+        return std::make_unique<fuzz::NNSmithFuzzer>(options,
+                                                     iteration_seed);
+    };
+    campaign.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> shard_backends;
+        shard_backends.push_back(backends::makeOrtLite());
+        return shard_backends;
+    };
+    const auto merged = fuzz::runParallelCampaign(campaign);
+    std::printf("\n=== sharded campaign (2 shards, 30 virtual min) ===\n");
+    std::printf("iterations=%zu coverage=%zu bugs=%zu instance keys=%zu\n",
+                merged.iterations, merged.coverAll.count(),
+                merged.bugs.size(), merged.instanceKeys.size());
     return 0;
 }

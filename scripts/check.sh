@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification + strict-warnings build.
+#
+#   scripts/check.sh            # normal build + ctest, then strict build
+#   scripts/check.sh --fast     # skip the strict build
+#
+# Mirrors .github/workflows/ci.yml so CI failures reproduce locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== strict: -Wall -Wextra -Werror =="
+    cmake -B build-strict -S . -DNNSMITH_STRICT=ON
+    cmake --build build-strict -j "$JOBS"
+    ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+fi
+
+echo "== check.sh: all green =="

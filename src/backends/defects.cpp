@@ -260,6 +260,8 @@ DefectRegistry::trigger(const std::string& id)
     return true;
 }
 
+thread_local std::vector<std::string> DefectRegistry::trace_;
+
 void
 DefectRegistry::clearTrace()
 {

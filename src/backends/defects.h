@@ -65,7 +65,13 @@ class DefectRegistry {
      */
     bool trigger(const std::string& id);
 
-    /** Trigger trace management (one test case = one trace window). */
+    /**
+     * Trigger trace management (one test case = one trace window).
+     * The trace is thread-local so concurrent campaign shards each see
+     * only their own test case's triggers; the defect table itself and
+     * the enabled/disabled state are shared (do not call setEnabled
+     * while a sharded campaign is running).
+     */
     void clearTrace();
     const std::vector<std::string>& trace() const { return trace_; }
 
@@ -74,7 +80,7 @@ class DefectRegistry {
 
     std::vector<Defect> defects_;
     std::vector<std::string> disabled_;
-    std::vector<std::string> trace_;
+    static thread_local std::vector<std::string> trace_;
 };
 
 /** Exception thrown by backends on crash-symptom defects (and on

@@ -35,6 +35,28 @@ CoverageMap::minus(const CoverageMap& other) const
     return out;
 }
 
+thread_local CoverageCollector* CoverageRegistry::activeCollector_ = nullptr;
+
+CoverageCollector::CoverageCollector()
+{
+    NNSMITH_ASSERT(CoverageRegistry::activeCollector_ == nullptr,
+                   "a CoverageCollector is already active on this thread");
+    CoverageRegistry::activeCollector_ = this;
+}
+
+CoverageCollector::~CoverageCollector()
+{
+    CoverageRegistry::activeCollector_ = nullptr;
+}
+
+std::vector<BranchId>
+CoverageCollector::take()
+{
+    std::vector<BranchId> out(hits_.begin(), hits_.end());
+    hits_.clear();
+    return out;
+}
+
 CoverageRegistry&
 CoverageRegistry::instance()
 {
@@ -50,6 +72,7 @@ CoverageRegistry::registerSite(const std::string& component,
     const std::string key = component + "|" + file + ":" +
                             std::to_string(line) + "#" +
                             std::to_string(discriminator);
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = byKey_.find(key);
     if (it != byKey_.end())
         return it->second;
@@ -62,7 +85,12 @@ CoverageRegistry::registerSite(const std::string& component,
 void
 CoverageRegistry::hit(BranchId id)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     NNSMITH_ASSERT(id < sites_.size(), "unknown branch id ", id);
+    if (activeCollector_ != nullptr) {
+        activeCollector_->hits_.insert(id);
+        return;
+    }
     sites_[id].hit = true;
 }
 
@@ -71,20 +99,31 @@ CoverageRegistry::hitDynamic(const std::string& component,
                              const std::string& key, bool pass_only)
 {
     const std::string full_key = component + "|dyn|" + key;
-    auto it = byKey_.find(full_key);
-    if (it != byKey_.end()) {
-        hit(it->second);
-        return;
+    const bool collect = activeCollector_ != nullptr;
+    BranchId id;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = byKey_.find(full_key);
+        if (it != byKey_.end()) {
+            id = it->second;
+        } else {
+            id = static_cast<BranchId>(sites_.size());
+            sites_.push_back(Site{component, pass_only, false});
+            byKey_.emplace(full_key, id);
+        }
+        if (!collect) {
+            sites_[id].hit = true;
+            return;
+        }
     }
-    const BranchId id = static_cast<BranchId>(sites_.size());
-    sites_.push_back(Site{component, pass_only, true});
-    byKey_.emplace(full_key, id);
+    activeCollector_->hits_.insert(id);
 }
 
 void
 CoverageRegistry::hitRange(const std::string& component, size_t count,
                            double fraction, bool pass_only)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = ranges_.find(component);
     if (it == ranges_.end()) {
         const BranchId first = static_cast<BranchId>(sites_.size());
@@ -96,6 +135,12 @@ CoverageRegistry::hitRange(const std::string& component, size_t count,
     const size_t n = std::min(
         registered,
         static_cast<size_t>(fraction * static_cast<double>(registered)));
+    if (activeCollector_ != nullptr) {
+        for (size_t i = 0; i < n; ++i)
+            activeCollector_->hits_.insert(
+                static_cast<BranchId>(first + i));
+        return;
+    }
     for (size_t i = 0; i < n; ++i)
         sites_[first + i].hit = true;
 }
@@ -109,6 +154,7 @@ CoverageRegistry::snapshot() const
 CoverageMap
 CoverageRegistry::snapshot(const std::string& component_prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     CoverageMap map;
     for (BranchId id = 0; id < sites_.size(); ++id) {
         const Site& site = sites_[id];
@@ -121,6 +167,7 @@ CoverageRegistry::snapshot(const std::string& component_prefix) const
 CoverageMap
 CoverageRegistry::snapshotPassOnly(const std::string& component_prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     CoverageMap map;
     for (BranchId id = 0; id < sites_.size(); ++id) {
         const Site& site = sites_[id];
@@ -131,9 +178,28 @@ CoverageRegistry::snapshotPassOnly(const std::string& component_prefix) const
     return map;
 }
 
+CoverageMap
+CoverageRegistry::filterIds(const std::vector<BranchId>& ids,
+                            const std::string& component_prefix,
+                            bool pass_only) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CoverageMap map;
+    for (const BranchId id : ids) {
+        NNSMITH_ASSERT(id < sites_.size(), "unknown branch id ", id);
+        const Site& site = sites_[id];
+        if (pass_only && !site.passOnly)
+            continue;
+        if (site.component.rfind(component_prefix, 0) == 0)
+            map.add(id);
+    }
+    return map;
+}
+
 void
 CoverageRegistry::resetHits()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& site : sites_)
         site.hit = false;
 }
@@ -141,6 +207,7 @@ CoverageRegistry::resetHits()
 size_t
 CoverageRegistry::sitesRegistered(const std::string& component_prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t count = 0;
     for (const auto& site : sites_) {
         if (site.component.rfind(component_prefix, 0) == 0)
@@ -152,12 +219,14 @@ CoverageRegistry::sitesRegistered(const std::string& component_prefix) const
 void
 CoverageRegistry::declareTotal(const std::string& component, size_t total)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     declaredTotals_[component] = total;
 }
 
 size_t
 CoverageRegistry::declaredTotal(const std::string& component_prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t total = 0;
     for (const auto& [component, n] : declaredTotals_) {
         if (component.rfind(component_prefix, 0) == 0)

@@ -9,14 +9,20 @@
  * pass-only, mirroring the paper's all-files vs pass-files split
  * (Figs. 4 and 6).
  *
- * The registry is process-global and single-threaded (as is the whole
- * fuzzing loop), so benches can reset hit state between fuzzers while
- * keeping stable branch identities for Venn-diagram set algebra.
+ * The registry is process-global so benches can reset hit state
+ * between fuzzers while keeping stable branch identities for
+ * Venn-diagram set algebra. Site registration and hit recording are
+ * thread-safe; a thread that activates a CoverageCollector records its
+ * hits into that collector instead of the global hit bits, which is
+ * how sharded campaigns (fuzz/parallel_campaign.h) capture
+ * per-iteration coverage deltas without cross-shard interference (see
+ * DESIGN.md "Sharded campaigns").
  */
 #ifndef NNSMITH_COVERAGE_COVERAGE_H
 #define NNSMITH_COVERAGE_COVERAGE_H
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -42,6 +48,30 @@ class CoverageMap {
 
   private:
     std::set<BranchId> branches_;
+};
+
+/**
+ * RAII per-thread hit collector.
+ *
+ * While an instance is alive on a thread, every coverage hit made from
+ * that thread is recorded into the collector instead of the registry's
+ * global hit bits. Sites are still registered globally (ids stay
+ * process-stable); only the *hit* state is redirected. At most one
+ * collector may be active per thread.
+ */
+class CoverageCollector {
+  public:
+    CoverageCollector();
+    ~CoverageCollector();
+    CoverageCollector(const CoverageCollector&) = delete;
+    CoverageCollector& operator=(const CoverageCollector&) = delete;
+
+    /** Ids hit since construction or the last take(), sorted; clears. */
+    std::vector<BranchId> take();
+
+  private:
+    friend class CoverageRegistry;
+    std::set<BranchId> hits_;
 };
 
 /** Process-global branch registry. */
@@ -88,6 +118,16 @@ class CoverageRegistry {
     CoverageMap snapshotPassOnly(
         const std::string& component_prefix = "") const;
 
+    /**
+     * Project a list of hit ids onto a CoverageMap, keeping ids whose
+     * component starts with @p component_prefix (and, when
+     * @p pass_only, only pass-tagged sites). Used by shard merging to
+     * rebuild component-filtered maps from per-iteration deltas.
+     */
+    CoverageMap filterIds(const std::vector<BranchId>& ids,
+                          const std::string& component_prefix,
+                          bool pass_only) const;
+
     /** Clear hit state (registered sites keep their ids). */
     void resetHits();
 
@@ -103,12 +143,18 @@ class CoverageRegistry {
     size_t declaredTotal(const std::string& component_prefix) const;
 
   private:
+    friend class CoverageCollector;
+
     struct Site {
         std::string component;
         bool passOnly;
         bool hit;
     };
 
+    /** The collector active on the calling thread, or nullptr. */
+    static thread_local CoverageCollector* activeCollector_;
+
+    mutable std::mutex mu_;
     std::vector<Site> sites_;
     std::unordered_map<std::string, BranchId> byKey_;
     std::unordered_map<std::string, size_t> declaredTotals_;

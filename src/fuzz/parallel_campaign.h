@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sharded parallel campaign orchestrator.
+ *
+ * Runs one logical fuzzing campaign as N independent shards on a
+ * std::thread worker pool and deterministically merges the shard
+ * results back into a single CampaignResult. The merged result is a
+ * pure function of (master seed, campaign config) — *independent of
+ * the shard count and of thread scheduling* — so `--shards 4` produces
+ * byte-identical coverage sets, bug dedup keys, instance keys and
+ * virtual-time series to `--shards 1` while saturating wall-clock
+ * cores. See DESIGN.md "Sharded campaigns" for the full model.
+ *
+ * How shard-count invariance is achieved: the campaign is defined as a
+ * sequence of *self-seeded* iterations. Iteration i draws everything
+ * from deriveIterationSeed(masterSeed, i), so its behaviour depends on
+ * nothing but the master seed and its own index. Shard j executes the
+ * strided index set {i : i mod N == j} against its own backend
+ * instances, capturing a per-iteration record (virtual cost, bugs,
+ * instance keys, coverage-hit delta via coverage::CoverageCollector).
+ * Merging replays the records in global index order, applying the
+ * virtual budget and iteration cap exactly as the serial campaign
+ * driver does; speculatively executed records past the budget cutoff
+ * are discarded. Execution proceeds in synchronized rounds so that the
+ * speculation overshoot stays bounded.
+ *
+ * The orchestrator requires an iteration-independent fuzzer (NNSmith
+ * and the generative baselines qualify). Mutation-based fuzzers that
+ * carry state across iterate() calls (Tzer) would change behaviour
+ * under sharding; run those through the serial runCampaign instead.
+ *
+ * Caveat on BranchId values: the *set of covered sites* (by site key)
+ * and all counts, series, bug keys and instance keys are pure
+ * functions of the master seed. The numeric BranchId values of
+ * *dynamic* sites, however, are assigned in first-discovery order by
+ * the process-global registry; with concurrent shards racing to
+ * discover new keys, that order is scheduling-dependent. Ids are
+ * stable for the lifetime of the process (so in-process comparisons —
+ * the shards=1 vs shards=4 identity, Venn algebra across campaigns —
+ * are exact), but id sets serialized from different processes should
+ * be compared via counts or canonical site keys.
+ */
+#ifndef NNSMITH_FUZZ_PARALLEL_CAMPAIGN_H
+#define NNSMITH_FUZZ_PARALLEL_CAMPAIGN_H
+
+#include <functional>
+#include <memory>
+
+#include "backends/backend.h"
+#include "fuzz/campaign.h"
+
+namespace nnsmith::fuzz {
+
+/** Builds a fresh fuzzer for one iteration from its derived seed. */
+using FuzzerFactory =
+    std::function<std::unique_ptr<Fuzzer>(uint64_t seed)>;
+
+/** Builds one shard's private backend instances. */
+using BackendFactory =
+    std::function<std::vector<std::unique_ptr<backends::Backend>>()>;
+
+/** Parameters of a sharded campaign. */
+struct ParallelCampaignConfig {
+    /** Budget, caps, coverage component and sampling cadence. */
+    CampaignConfig campaign;
+
+    /** Worker shard count (1 = serial semantics on this thread). */
+    int shards = 1;
+
+    /** Seed every iteration seed is derived from. */
+    uint64_t masterSeed = 2023;
+
+    /**
+     * Iterations each shard executes between budget checks. Larger
+     * blocks amortize the round barrier; smaller blocks bound the
+     * speculative overshoot past the virtual-budget cutoff (at most
+     * shards * blockIterations iterations are executed and then
+     * discarded by the merge). Purely a performance knob — the merged
+     * result does not depend on it.
+     */
+    size_t blockIterations = 16;
+
+    FuzzerFactory fuzzerFactory;
+    BackendFactory backendFactory;
+};
+
+/** Everything one shard observed, keyed for deterministic merging. */
+struct ShardResult {
+    /** Shard index in [0, shards). */
+    int shard = 0;
+
+    /** One executed iteration, in the coordinates of the *global*
+     *  campaign iteration sequence. */
+    struct IterationRecord {
+        size_t index = 0;       ///< global iteration index
+        VirtualMs cost = 0;     ///< virtual cost charged
+        bool produced = false;  ///< a case was generated & executed
+        std::vector<BugRecord> bugs;
+        std::vector<std::string> instanceKeys;
+        /** Sorted coverage-hit delta (any component; filtered later). */
+        std::vector<coverage::BranchId> hits;
+    };
+
+    /** Records for indexes {i : i mod shards == shard}, ascending. */
+    std::vector<IterationRecord> records;
+};
+
+/**
+ * Deterministic per-iteration seed stream (SplitMix64 over the master
+ * seed and the global iteration index).
+ */
+uint64_t deriveIterationSeed(uint64_t master_seed, uint64_t index);
+
+/**
+ * Merge shard results into one CampaignResult by replaying the
+ * iteration records in global index order under @p config's virtual
+ * budget, iteration cap and sampling cadence (mirroring runCampaign's
+ * loop exactly). Order-independent: any permutation of @p shards
+ * yields the same result. @p fuzzer_name labels the result.
+ */
+CampaignResult mergeShardResults(const std::vector<ShardResult>& shards,
+                                 const CampaignConfig& config,
+                                 const std::string& fuzzer_name);
+
+/**
+ * Run a sharded campaign on config.shards worker threads and return
+ * the merged result. Resets global coverage hit state, like
+ * runCampaign.
+ */
+CampaignResult runParallelCampaign(const ParallelCampaignConfig& config);
+
+} // namespace nnsmith::fuzz
+
+#endif // NNSMITH_FUZZ_PARALLEL_CAMPAIGN_H

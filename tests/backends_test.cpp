@@ -138,8 +138,9 @@ TEST(Backends, MatMulScaleDefectCrashesOrtLiteOnly)
     // TVMLite does not share ONNXRuntime's pattern pass — but its own
     // importer rejects the 1x1 (vector-like) MatMul operand, a
     // different bug with a different dedup key. One model, two bugs.
-    if (result.verdicts[1].verdict == Verdict::kCrash)
+    if (result.verdicts[1].verdict == Verdict::kCrash) {
         EXPECT_EQ(result.verdicts[1].crashKind, "tvm.import.matmul_vector");
+    }
     const auto& trace = result.triggeredDefects;
     EXPECT_NE(std::find(trace.begin(), trace.end(),
                         "ort.fuse.matmul_scale_1x1"),

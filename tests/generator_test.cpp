@@ -98,8 +98,9 @@ TEST(Generator, DeterministicForFixedSeed)
     const auto ma = a.generate();
     const auto mb = b.generate();
     ASSERT_EQ(ma.has_value(), mb.has_value());
-    if (ma)
+    if (ma) {
         EXPECT_EQ(ma->graph.toString(), mb->graph.toString());
+    }
 }
 
 TEST(Generator, DifferentSeedsDiversify)

@@ -1,0 +1,201 @@
+/** Tests for the sharded parallel campaign runner: shard-count
+ *  invariance, merge order-independence, and scheduling determinism. */
+#include <gtest/gtest.h>
+
+#include "backends/backend.h"
+#include "fuzz/parallel_campaign.h"
+
+namespace nnsmith {
+namespace {
+
+using fuzz::CampaignConfig;
+using fuzz::CampaignResult;
+using fuzz::ParallelCampaignConfig;
+using fuzz::ShardResult;
+
+ParallelCampaignConfig
+testConfig(int shards, uint64_t master_seed)
+{
+    ParallelCampaignConfig config;
+    config.campaign.virtualBudget = 60ll * 60 * 1000; // 60 virtual min
+    config.campaign.maxIterations = 48;
+    config.campaign.coverageComponent = "ortlite";
+    config.campaign.sampleEveryMinutes = 10;
+    config.shards = shards;
+    config.masterSeed = master_seed;
+    config.fuzzerFactory = [](uint64_t seed) {
+        fuzz::NNSmithFuzzer::Options options;
+        options.generator.targetOpNodes = 5;
+        options.runValueSearch = false;
+        return std::make_unique<fuzz::NNSmithFuzzer>(options, seed);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    return config;
+}
+
+std::set<std::string>
+bugKeys(const CampaignResult& result)
+{
+    std::set<std::string> keys;
+    for (const auto& [key, bug] : result.bugs)
+        keys.insert(key);
+    return keys;
+}
+
+void
+expectIdentical(const CampaignResult& a, const CampaignResult& b)
+{
+    EXPECT_EQ(a.fuzzer, b.fuzzer);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.produced, b.produced);
+    EXPECT_EQ(a.virtualTime, b.virtualTime);
+    EXPECT_EQ(a.activeTime, b.activeTime);
+    EXPECT_EQ(a.coverAll.branches(), b.coverAll.branches());
+    EXPECT_EQ(a.coverPass.branches(), b.coverPass.branches());
+    EXPECT_EQ(bugKeys(a), bugKeys(b));
+    EXPECT_EQ(a.instanceKeys, b.instanceKeys);
+    EXPECT_EQ(a.defectsFound, b.defectsFound);
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (size_t i = 0; i < a.series.size(); ++i) {
+        EXPECT_EQ(a.series[i].minutes, b.series[i].minutes);
+        EXPECT_EQ(a.series[i].iterations, b.series[i].iterations);
+        EXPECT_EQ(a.series[i].coverageAll, b.series[i].coverageAll);
+        EXPECT_EQ(a.series[i].coveragePass, b.series[i].coveragePass);
+    }
+}
+
+TEST(ParallelCampaign, ShardCountDoesNotChangeMergedResult)
+{
+    const auto serial = fuzz::runParallelCampaign(testConfig(1, 2023));
+    const auto sharded = fuzz::runParallelCampaign(testConfig(4, 2023));
+    EXPECT_GT(serial.iterations, 0u);
+    EXPECT_GT(serial.coverAll.count(), 0u);
+    expectIdentical(serial, sharded);
+}
+
+TEST(ParallelCampaign, RepeatedShardedRunsAreDeterministic)
+{
+    const auto first = fuzz::runParallelCampaign(testConfig(4, 77));
+    const auto second = fuzz::runParallelCampaign(testConfig(4, 77));
+    expectIdentical(first, second);
+}
+
+TEST(ParallelCampaign, BlockSizeDoesNotChangeMergedResult)
+{
+    auto small_blocks = testConfig(3, 5);
+    small_blocks.blockIterations = 2;
+    auto large_blocks = testConfig(3, 5);
+    large_blocks.blockIterations = 64;
+    expectIdentical(fuzz::runParallelCampaign(small_blocks),
+                    fuzz::runParallelCampaign(large_blocks));
+}
+
+TEST(ParallelCampaign, DifferentSeedsDiverge)
+{
+    const auto a = fuzz::runParallelCampaign(testConfig(2, 1));
+    const auto b = fuzz::runParallelCampaign(testConfig(2, 2));
+    EXPECT_NE(a.instanceKeys, b.instanceKeys);
+}
+
+TEST(ParallelCampaign, MergeIsOrderIndependent)
+{
+    // Hand-crafted shard results over freshly registered sites so the
+    // merge is exercised in isolation from the fuzzing stack.
+    auto& registry = coverage::CoverageRegistry::instance();
+    std::vector<coverage::BranchId> ids;
+    for (int i = 0; i < 6; ++i) {
+        ids.push_back(registry.registerSite("mergetest/sub", __FILE__,
+                                            __LINE__, i,
+                                            /*pass_only=*/i % 2 == 1));
+    }
+
+    CampaignConfig config;
+    config.virtualBudget = 10ll * 60 * 1000;
+    config.maxIterations = 9;
+    config.coverageComponent = "mergetest";
+    config.sampleEveryMinutes = 2;
+
+    std::vector<ShardResult> shards(3);
+    for (int shard = 0; shard < 3; ++shard) {
+        shards[static_cast<size_t>(shard)].shard = shard;
+        for (size_t index = static_cast<size_t>(shard); index < 9;
+             index += 3) {
+            ShardResult::IterationRecord record;
+            record.index = index;
+            record.cost = 30 * 1000; // half a virtual minute each
+            record.produced = true;
+            record.hits = {ids[index % ids.size()]};
+            fuzz::BugRecord bug;
+            bug.dedupKey = "B|crash|" + std::to_string(index % 4);
+            bug.backend = "B";
+            bug.kind = "crash";
+            record.bugs.push_back(bug);
+            record.instanceKeys = {"op" + std::to_string(index % 5)};
+            shards[static_cast<size_t>(shard)].records.push_back(
+                std::move(record));
+        }
+    }
+
+    const auto forward = mergeShardResults(shards, config, "synthetic");
+    std::vector<ShardResult> reversed = {shards[2], shards[0], shards[1]};
+    const auto shuffled = mergeShardResults(reversed, config, "synthetic");
+    expectIdentical(forward, shuffled);
+    EXPECT_EQ(forward.iterations, 9u);
+    EXPECT_EQ(forward.coverAll.count(), 6u);
+    EXPECT_EQ(forward.coverPass.count(), 3u);
+    EXPECT_EQ(bugKeys(forward).size(), 4u);
+    EXPECT_EQ(forward.instanceKeys.size(), 5u);
+}
+
+TEST(ParallelCampaign, CollectorRedirectsHitsAwayFromGlobalState)
+{
+    auto& registry = coverage::CoverageRegistry::instance();
+    registry.resetHits();
+    const auto id = registry.registerSite("collectortest", __FILE__,
+                                          __LINE__, 0, false);
+    {
+        coverage::CoverageCollector collector;
+        registry.hit(id);
+        registry.hitDynamic("collectortest", "some-key", false);
+        const auto hits = collector.take();
+        EXPECT_EQ(hits.size(), 2u); // the static site + the dynamic one
+        EXPECT_EQ(hits[0], id);
+        registry.hitDynamic("collectortest", "some-key", false);
+        EXPECT_EQ(collector.take().size(), 1u);
+        EXPECT_EQ(registry.snapshot("collectortest").count(), 0u);
+    }
+    registry.hit(id);
+    EXPECT_EQ(registry.snapshot("collectortest").count(), 1u);
+    registry.resetHits();
+}
+
+TEST(ParallelCampaign, WorkerExceptionPropagatesWithoutHanging)
+{
+    auto config = testConfig(4, 11);
+    config.fuzzerFactory = [](uint64_t seed) -> std::unique_ptr<fuzz::Fuzzer> {
+        if (seed % 3 == 0)
+            throw std::runtime_error("factory blew up");
+        fuzz::NNSmithFuzzer::Options options;
+        options.generator.targetOpNodes = 5;
+        options.runValueSearch = false;
+        return std::make_unique<fuzz::NNSmithFuzzer>(options, seed);
+    };
+    EXPECT_THROW(fuzz::runParallelCampaign(config), std::runtime_error);
+}
+
+TEST(ParallelCampaign, SeedDerivationIsStableAndSpreads)
+{
+    EXPECT_EQ(fuzz::deriveIterationSeed(42, 0),
+              fuzz::deriveIterationSeed(42, 0));
+    std::set<uint64_t> seeds;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(fuzz::deriveIterationSeed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+} // namespace
+} // namespace nnsmith
