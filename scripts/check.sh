@@ -1,14 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 verification + strict-warnings build.
+# Tier-1 verification + strict-warnings build + sanitizer build.
 #
 #   scripts/check.sh            # normal build + ctest, then strict build
 #   scripts/check.sh --fast     # skip the strict build
+#   scripts/check.sh --sanitize # the ASan+UBSan build + ctest (own CI job)
 #
 # Mirrors .github/workflows/ci.yml so CI failures reproduce locally.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+run_sanitize() {
+    echo "== sanitize: ASan + UBSan =="
+    cmake -B build-sanitize -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    cmake --build build-sanitize -j "$JOBS"
+    ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+}
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    run_sanitize
+    echo "== check.sh: sanitize green =="
+    exit 0
+fi
 
 echo "== tier-1: configure + build =="
 cmake -B build -S .

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::autodiff {
 
@@ -33,20 +34,31 @@ Adam::step(exec::LeafValues& leaves, const std::map<int, Tensor>& grads)
         auto& v = v_.try_emplace(value_id,
                                  Tensor::zeros(DType::kF64, param.shape()))
                       .first->second;
-        for (int64_t i = 0; i < param.numel(); ++i) {
-            const double g = grad.scalarAt(i);
-            if (g == 0.0 || std::isnan(g) || std::isinf(g))
-                continue;
-            const double mi = beta1_ * m.scalarAt(i) + (1 - beta1_) * g;
-            const double vi = beta2_ * v.scalarAt(i) + (1 - beta2_) * g * g;
-            m.setScalar(i, mi);
-            v.setScalar(i, vi);
-            const double update =
-                lr_ * (mi / bc1) / (std::sqrt(vi / bc2) + eps_);
-            const double before = param.scalarAt(i);
-            param.setScalar(i, before - update);
-            changed |= param.scalarAt(i) != before;
-        }
+        double* pm = m.data<double>();
+        double* pv = v.data<double>();
+        tensor::dispatchDType(param.dtype(), [&](auto tag) {
+            using T = decltype(tag);
+            if constexpr (std::is_floating_point_v<T>) {
+                const T* pg = grad.data<T>();
+                T* pp = param.data<T>();
+                const int64_t n = param.numel();
+                for (int64_t i = 0; i < n; ++i) {
+                    const double g = pg[i];
+                    if (g == 0.0 || std::isnan(g) || std::isinf(g))
+                        continue;
+                    const double mi = beta1_ * pm[i] + (1 - beta1_) * g;
+                    const double vi =
+                        beta2_ * pv[i] + (1 - beta2_) * g * g;
+                    pm[i] = mi;
+                    pv[i] = vi;
+                    const double update =
+                        lr_ * (mi / bc1) / (std::sqrt(vi / bc2) + eps_);
+                    const T before = pp[i];
+                    pp[i] = static_cast<T>(before - update);
+                    changed |= pp[i] != before;
+                }
+            }
+        });
     }
     return changed;
 }

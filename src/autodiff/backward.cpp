@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::autodiff {
 
@@ -23,8 +24,12 @@ accumulate(std::map<int, Tensor>& grads, int value_id, const Tensor& grad)
         return;
     }
     Tensor& acc = it->second;
-    for (int64_t i = 0; i < acc.numel(); ++i)
-        acc.setScalar(i, acc.scalarAt(i) + grad.scalarAt(i));
+    acc = tensor::applyBinary(acc, grad, [](auto x, auto y) {
+        if constexpr (std::is_integral_v<decltype(x)>)
+            return tensor::wrapAdd(x, y);
+        else
+            return x + y;
+    });
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 
 #include "ops/broadcast.h"
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::autodiff {
 
@@ -13,7 +14,9 @@ namespace {
 
 /**
  * Accumulate L = sum max(f(x), 0) and dL/dx = f'(x) * [f(x) > 0] into
- * a LossEval for one input tensor.
+ * a LossEval for one input tensor. Integer tensors contribute no loss
+ * or gradient: Adam cannot move them, so the search falls back to
+ * re-randomization (e.g. an integer Div with a zero divisor).
  */
 template <typename F, typename DF>
 void
@@ -21,21 +24,30 @@ hingeLoss(LossEval& eval, size_t input_index, const Tensor& x, F&& f,
           DF&& df)
 {
     Tensor grad = Tensor::zeros(x.dtype(), x.shape());
-    for (int64_t i = 0; i < x.numel(); ++i) {
-        const double v = x.scalarAt(i);
-        // NaN inputs give no useful gradient; push them down gently so
-        // Adam still moves (the search also re-randomizes NaNs).
-        if (std::isnan(v) || std::isinf(v)) {
-            eval.loss += 1.0;
-            grad.setScalar(i, v > 0 ? 1.0 : -1.0);
-            continue;
+    tensor::dispatchDType(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* px = x.data<T>();
+            T* pg = grad.data<T>();
+            const int64_t n = x.numel();
+            for (int64_t i = 0; i < n; ++i) {
+                const double v = px[i];
+                // NaN inputs give no useful gradient; push them down
+                // gently so Adam still moves (the search also
+                // re-randomizes NaNs).
+                if (std::isnan(v) || std::isinf(v)) {
+                    eval.loss += 1.0;
+                    pg[i] = static_cast<T>(v > 0 ? 1.0 : -1.0);
+                    continue;
+                }
+                const double fx = f(v);
+                if (fx > 0) {
+                    eval.loss += fx;
+                    pg[i] = static_cast<T>(df(v));
+                }
+            }
         }
-        const double fx = f(v);
-        if (fx > 0) {
-            eval.loss += fx;
-            grad.setScalar(i, df(v));
-        }
-    }
+    });
     eval.gradInputs[input_index] = std::move(grad);
 }
 
@@ -126,18 +138,28 @@ domainPow(const std::vector<Tensor>& inputs)
     Tensor gy_full = Tensor::zeros(DType::kF64, out_shape);
     const ops::BroadcastIndexer ix(x.shape(), out_shape);
     const ops::BroadcastIndexer iy(y.shape(), out_shape);
-    for (int64_t i = 0; i < out_shape.numel(); ++i) {
-        const double xv = x.scalarAt(ix.map(i));
-        const double yv = y.scalarAt(iy.map(i));
-        if (xv <= 0)
-            continue; // handled by the first predicate
-        const double f = yv * std::log(xv) - kExpBound;
-        if (f > 0) {
-            eval.loss += f;
-            gx_full.setScalar(i, yv / xv);
-            gy_full.setScalar(i, std::log(xv));
+    double* pgx = gx_full.data<double>();
+    double* pgy = gy_full.data<double>();
+    tensor::dispatchDType(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* px = x.data<T>();
+            const T* py = y.data<T>();
+            const int64_t n = out_shape.numel();
+            for (int64_t i = 0; i < n; ++i) {
+                const double xv = px[ix.map(i)];
+                const double yv = py[iy.map(i)];
+                if (xv <= 0)
+                    continue; // handled by the first predicate
+                const double f = yv * std::log(xv) - kExpBound;
+                if (f > 0) {
+                    eval.loss += f;
+                    pgx[i] = yv / xv;
+                    pgy[i] = std::log(xv);
+                }
+            }
         }
-    }
+    });
     if (eval.loss <= 0)
         return std::nullopt;
     eval.gradInputs[0] =
@@ -170,7 +192,7 @@ firstPositiveLoss(const OpBase& op, const std::vector<Tensor>& inputs)
         return domainAbsLeqOne(inputs);
     if (name == "Log" || name == "Log2" || name == "Sqrt")
         return domainPositive(inputs);
-    if (name == "Div")
+    if (name == "Div" || name == "Mod")
         return domainDivisorNonZero(inputs);
     if (name == "Exp")
         return domainExpBounded(inputs);
@@ -210,7 +232,7 @@ std::vector<std::string>
 vulnerableOpNames()
 {
     return {"Asin", "Acos", "Log", "Log2", "Sqrt",
-            "Div",  "Exp",  "Pow", "BatchNorm"};
+            "Div",  "Mod",  "Exp", "Pow",  "BatchNorm"};
 }
 
 } // namespace nnsmith::autodiff

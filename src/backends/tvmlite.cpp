@@ -56,7 +56,7 @@ opProperty(const std::string& op)
         "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Sin", "Cos", "Asin",
         "Acos", "Atan", "Abs", "Neg", "Exp", "Log", "Log2", "Sqrt",
         "Floor", "Ceil", "Round", "Clip", "Not", "Cast", "Add", "Sub",
-        "Mul", "Div", "Pow", "Max", "Min", "Equal", "Greater", "Less",
+        "Mul", "Div", "Mod", "Pow", "Max", "Min", "Equal", "Greater", "Less",
         "And", "Or", "Xor", "Where", "Reshape", "Flatten", "Squeeze",
         "Unsqueeze", "Transpose", "Slice", "ConstPad", "ReflectPad",
         "ReplicatePad", "BroadcastTo", "Concat"};

@@ -1,11 +1,34 @@
 #include "difftest/compare.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+
+#include "tensor/kernels.h"
 
 namespace nnsmith::difftest {
 
 namespace {
+
+/**
+ * One element pair, compared in double. NaN agrees with NaN;
+ * same-signed infinities agree (subtracting them would produce NaN
+ * and fail the tolerance check); any other infinity is a definite
+ * mismatch — the scaled tolerance would otherwise be infinite too.
+ * The relative tolerance is symmetric (`rtol * max(|x|, |y|)`), so
+ * allClose(a, b) == allClose(b, a).
+ */
+bool
+scalarsClose(double x, double y, const CompareOptions& options)
+{
+    if (std::isnan(x) && std::isnan(y))
+        return true;
+    if (std::isinf(x) || std::isinf(y))
+        return std::isinf(x) && std::isinf(y) && (x > 0) == (y > 0);
+    return std::abs(x - y) <=
+           options.atol +
+               options.rtol * std::max(std::abs(x), std::abs(y));
+}
 
 bool
 elementsClose(const Tensor& a, const Tensor& b,
@@ -16,18 +39,32 @@ elementsClose(const Tensor& a, const Tensor& b,
             *bad_index = -1;
         return false;
     }
-    for (int64_t i = 0; i < a.numel(); ++i) {
-        const double x = a.scalarAt(i);
-        const double y = b.scalarAt(i);
-        if (std::isnan(x) && std::isnan(y))
-            continue;
-        if (std::abs(x - y) <= options.atol + options.rtol * std::abs(y))
-            continue;
-        if (bad_index)
-            *bad_index = i;
-        return false;
-    }
-    return true;
+    return tensor::dispatchDType(a.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        const auto* pa = a.data<Tag>();
+        const auto* pb = b.data<Tag>();
+        const int64_t n = a.numel();
+        for (int64_t i = 0; i < n; ++i) {
+            bool close;
+            if constexpr (std::is_floating_point_v<Tag>) {
+                close = scalarsClose(pa[i], pb[i], options);
+            } else {
+                // Integer/bool semantics are exact (two's-complement
+                // wrap, truncating division — DESIGN.md "Numeric
+                // semantics"), so any deviation is a wrong result; a
+                // float tolerance would hide small perturbations and
+                // a double round-trip would collapse i64 values above
+                // 2^53.
+                close = pa[i] == pb[i];
+            }
+            if (!close) {
+                if (bad_index)
+                    *bad_index = i;
+                return false;
+            }
+        }
+        return true;
+    });
 }
 
 } // namespace

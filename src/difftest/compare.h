@@ -17,13 +17,20 @@ namespace nnsmith::difftest {
 
 using tensor::Tensor;
 
-/** Tolerances for output comparison. */
+/** Tolerances for output comparison (float dtypes only). */
 struct CompareOptions {
     double rtol = 1e-2; ///< high tolerance to avoid FP false alarms
     double atol = 1e-3;
 };
 
-/** Elementwise |a-b| <= atol + rtol*|b|; shapes/dtypes must agree. */
+/**
+ * Elementwise closeness; shapes/dtypes must agree. Float elements use
+ * the symmetric tolerance |a-b| <= atol + rtol*max(|a|, |b|), with
+ * NaN == NaN and same-signed infinities equal (any other infinity is
+ * a definite mismatch). Integer and bool elements compare exactly —
+ * their reference semantics are deterministic (DESIGN.md "Numeric
+ * semantics"), so any deviation is a wrong result.
+ */
 bool allClose(const Tensor& a, const Tensor& b,
               const CompareOptions& options = CompareOptions());
 

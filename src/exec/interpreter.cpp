@@ -35,7 +35,11 @@ execute(const Graph& graph, const LeafValues& leaves)
         NNSMITH_ASSERT(outputs.size() == node.outputs.size(),
                        node.op->name(), " produced wrong output count");
         for (size_t i = 0; i < outputs.size(); ++i) {
-            if (result.firstInvalidNode == -1 && outputs[i].hasNaNOrInf())
+            // NaN/Inf in float outputs and poisoned integer outputs
+            // (div/mod-by-zero, see tensor/kernels.h) disqualify the
+            // case identically.
+            if (result.firstInvalidNode == -1 &&
+                (outputs[i].hasNaNOrInf() || outputs[i].poisoned()))
                 result.firstInvalidNode = node_id;
             result.values.emplace(node.outputs[i], std::move(outputs[i]));
         }

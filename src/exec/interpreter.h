@@ -35,12 +35,14 @@ struct ExecResult {
     std::vector<Tensor> outputs;
 
     /**
-     * First node (in topological order) whose output contains NaN/Inf;
-     * -1 when execution was numerically valid throughout.
+     * First node (in topological order) whose output contains NaN/Inf
+     * or is poisoned (integer div/mod-by-zero substitutes 0 and marks
+     * the tensor, see tensor/kernels.h); -1 when execution was
+     * numerically valid throughout.
      */
     int firstInvalidNode = -1;
 
-    /** True iff no intermediate or output contained NaN/Inf. */
+    /** True iff no intermediate or output was NaN/Inf or poisoned. */
     bool numericallyValid() const { return firstInvalidNode == -1; }
 };
 

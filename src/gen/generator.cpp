@@ -19,13 +19,14 @@ using tensor::TensorType;
 int64_t
 GeneratorConfig::dimCapForRank(int rank) const
 {
+    const int64_t scale = std::max<int64_t>(dimCapScale, 1);
     switch (rank) {
       case 0: return 1;
-      case 1: return 256;
-      case 2: return 64;
-      case 3: return 24;
-      case 4: return 12;
-      default: return 8;
+      case 1: return 256 * scale;
+      case 2: return 64 * scale;
+      case 3: return 24 * scale;
+      case 4: return 12 * scale;
+      default: return 8 * scale;
     }
 }
 
@@ -34,10 +35,12 @@ dimBoundsFor(const TensorType& type, const GeneratorConfig& config)
 {
     std::vector<Pred> preds;
     const int64_t cap = config.dimCapForRank(type.rank());
+    const int64_t floor =
+        std::max<int64_t>(1, std::min(config.dimFloor, cap));
     for (int i = 0; i < type.rank(); ++i) {
         if (type.dim(i)->isConst())
             continue;
-        preds.push_back(symbolic::ge(type.dim(i), 1));
+        preds.push_back(symbolic::ge(type.dim(i), floor));
         preds.push_back(symbolic::le(type.dim(i), cap));
     }
     return preds;

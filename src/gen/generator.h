@@ -54,6 +54,22 @@ struct GeneratorConfig {
     /** Restrict generation to these operators (empty = all). */
     std::vector<std::string> opAllowlist;
 
+    /**
+     * Multiplies every per-rank dimension cap (rank > 0). 1 keeps the
+     * paper-scale models; larger values open heavy-tensor workloads
+     * that stress the execution path (bench/bench_kernels.cpp).
+     */
+    int64_t dimCapScale = 1;
+
+    /**
+     * Lower bound on every free dimension (clamped to the per-rank
+     * cap). The default 1 reproduces the paper-scale models; raising
+     * it pins generated tensors to a heavy-tensor regime. Note that
+     * raising it also makes broadcast-mask constraints demanding a
+     * dim == 1 unsatisfiable, so such insertions are skipped.
+     */
+    int64_t dimFloor = 1;
+
     /** Per-rank dimension caps keeping kernels tractable. */
     int64_t dimCapForRank(int rank) const;
 };

@@ -3,16 +3,12 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::ops {
 
 using tensor::DType;
 using tensor::Shape;
-
-namespace {
-
-
-} // namespace
 
 std::string
 binaryKindName(BinaryKind kind)
@@ -22,6 +18,7 @@ binaryKindName(BinaryKind kind)
       case BinaryKind::kSub: return "Sub";
       case BinaryKind::kMul: return "Mul";
       case BinaryKind::kDiv: return "Div";
+      case BinaryKind::kMod: return "Mod";
       case BinaryKind::kPow: return "Pow";
       case BinaryKind::kMax: return "Max";
       case BinaryKind::kMin: return "Min";
@@ -57,6 +54,7 @@ applyBinaryKind(BinaryKind kind, double a, double b)
       case BinaryKind::kSub: return a - b;
       case BinaryKind::kMul: return a * b;
       case BinaryKind::kDiv: return a / b;
+      case BinaryKind::kMod: return std::fmod(a, b);
       case BinaryKind::kPow: return std::pow(a, b);
       case BinaryKind::kMax: return std::max(a, b);
       case BinaryKind::kMin: return std::min(a, b);
@@ -102,8 +100,13 @@ BinaryOp::dtypeCombos() const
     if (isLogical(kind_))
         return {{{DType::kBool, DType::kBool}, {DType::kBool}}};
     std::vector<DTypeCombo> combos;
-    std::vector<DType> ins = (kind_ == BinaryKind::kDiv ||
-                              kind_ == BinaryKind::kPow)
+    // Comparisons accept every dtype (bool included, as in ONNX
+    // Equal); arithmetic accepts all numeric dtypes — integer Div/Mod
+    // have the defined semantics documented in tensor/kernels.h. Only
+    // Pow stays float (integer exponentiation has no portable backend
+    // semantics).
+    std::vector<DType> ins = isComparison(kind_) ? tensor::allDTypes()
+                             : kind_ == BinaryKind::kPow
                                  ? tensor::floatDTypes()
                                  : tensor::numericDTypes();
     for (DType t : ins) {
@@ -142,15 +145,12 @@ BinaryOp::inferInputTypes(const std::vector<TensorType>& outputs,
 {
     // Both inputs take the output's rank; the mask + shapesEqual
     // constraints then pin each dimension to the output dim or to 1.
-    DType in;
-    if (!inDTypes().empty())
-        in = inDTypes()[0];
-    else if (isLogical(kind_))
-        in = DType::kBool;
-    else if (isComparison(kind_))
-        in = DType::kF32;
-    else
-        in = outputs[0].dtype();
+    // The generator pins the input dtype from dtypeCombos() via
+    // setDTypes() before calling this, so comparisons insert over
+    // every dtype; the bare-call fallback mirrors the output dtype,
+    // which is a legal input for every kind (bool compares included).
+    const DType in =
+        !inDTypes().empty() ? inDTypes()[0] : outputs[0].dtype();
     return {{freshTensorType(symbols, in, outputs[0].rank(), "ba"),
              freshTensorType(symbols, in, outputs[0].rank(), "bb")}};
 }
@@ -166,21 +166,108 @@ BinaryOp::execute(const std::vector<Tensor>& inputs) const
 {
     const Tensor& a = inputs[0];
     const Tensor& b = inputs[1];
-    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
-    const DType out_dtype =
-        isComparison(kind_) || isLogical(kind_) ? DType::kBool : a.dtype();
-    Tensor out = Tensor::zeros(out_dtype, out_shape);
-    const BroadcastIndexer ia(a.shape(), out_shape);
-    const BroadcastIndexer ib(b.shape(), out_shape);
-    const bool integral = tensor::isInt(a.dtype());
-    for (int64_t i = 0; i < out.numel(); ++i) {
-        const double x = a.scalarAt(ia.map(i));
-        const double y = b.scalarAt(ib.map(i));
-        double r = applyBinaryKind(kind_, x, y);
-        if (integral && !isComparison(kind_))
-            r = std::trunc(r); // integer division semantics
-        out.setScalar(i, r);
+    // Dispatch the dtype once per tensor (tensor/kernels.h), not twice
+    // per element. Integer semantics: native two's-complement wrap for
+    // Add/Sub/Mul, C++ truncating division for Div/Mod, and
+    // div/mod-by-zero yields 0 with the output tensor poisoned so the
+    // interpreter records it in ExecResult.firstInvalidNode.
+    if (isComparison(kind_)) {
+        switch (kind_) {
+          case BinaryKind::kEqual:
+            return {tensor::applyCompare(
+                a, b, [](auto x, auto y) { return x == y; })};
+          case BinaryKind::kGreater:
+            return {tensor::applyCompare(
+                a, b, [](auto x, auto y) { return x > y; })};
+          default:
+            return {tensor::applyCompare(
+                a, b, [](auto x, auto y) { return x < y; })};
+        }
     }
+    if (isLogical(kind_)) {
+        switch (kind_) {
+          case BinaryKind::kAnd:
+            return {tensor::applyBinary(a, b, [](auto x, auto y) {
+                return x != 0 && y != 0 ? 1 : 0;
+            })};
+          case BinaryKind::kOr:
+            return {tensor::applyBinary(a, b, [](auto x, auto y) {
+                return x != 0 || y != 0 ? 1 : 0;
+            })};
+          default:
+            return {tensor::applyBinary(a, b, [](auto x, auto y) {
+                return (x != 0) != (y != 0) ? 1 : 0;
+            })};
+        }
+    }
+    bool poison = false;
+    Tensor out;
+    switch (kind_) {
+      case BinaryKind::kAdd:
+        out = tensor::applyBinary(a, b, [](auto x, auto y) {
+            if constexpr (std::is_integral_v<decltype(x)>)
+                return tensor::wrapAdd(x, y);
+            else
+                return x + y;
+        });
+        break;
+      case BinaryKind::kSub:
+        out = tensor::applyBinary(a, b, [](auto x, auto y) {
+            if constexpr (std::is_integral_v<decltype(x)>)
+                return tensor::wrapSub(x, y);
+            else
+                return x - y;
+        });
+        break;
+      case BinaryKind::kMul:
+        out = tensor::applyBinary(a, b, [](auto x, auto y) {
+            if constexpr (std::is_integral_v<decltype(x)>)
+                return tensor::wrapMul(x, y);
+            else
+                return x * y;
+        });
+        break;
+      case BinaryKind::kDiv:
+        out = tensor::applyBinary(a, b, [&poison](auto x, auto y) {
+            if constexpr (std::is_integral_v<decltype(x)>)
+                return tensor::wrapDiv(x, y, poison);
+            else
+                return x / y;
+        });
+        break;
+      case BinaryKind::kMod:
+        out = tensor::applyBinary(a, b, [&poison](auto x, auto y) {
+            using T = decltype(x);
+            if constexpr (std::is_integral_v<T>)
+                return tensor::wrapMod(x, y, poison);
+            else
+                return static_cast<T>(
+                    std::fmod(static_cast<double>(x),
+                              static_cast<double>(y)));
+        });
+        break;
+      case BinaryKind::kPow:
+        out = tensor::applyBinary(a, b, [](auto x, auto y) {
+            using T = decltype(x);
+            const double r = std::pow(static_cast<double>(x),
+                                      static_cast<double>(y));
+            if constexpr (std::is_integral_v<T>)
+                return tensor::saturateCast<T>(std::trunc(r));
+            else
+                return static_cast<T>(r);
+        });
+        break;
+      case BinaryKind::kMax:
+        out = tensor::applyBinary(
+            a, b, [](auto x, auto y) { return x < y ? y : x; });
+        break;
+      default: // kMin
+        out = tensor::applyBinary(
+            a, b, [](auto x, auto y) { return y < x ? y : x; });
+        break;
+    }
+    if (poison)
+        out.markPoisoned();
     return {out};
 }
 
@@ -201,35 +288,56 @@ BinaryOp::backward(const std::vector<Tensor>& inputs,
     Tensor gb_full = Tensor::zeros(b.dtype(), out_shape);
     const BroadcastIndexer ia(a.shape(), out_shape);
     const BroadcastIndexer ib(b.shape(), out_shape);
-    for (int64_t i = 0; i < gy.numel(); ++i) {
-        const double x = a.scalarAt(ia.map(i));
-        const double y = b.scalarAt(ib.map(i));
-        const double g = gy.scalarAt(i);
-        double da = 0.0;
-        double db = 0.0;
-        switch (kind_) {
-          case BinaryKind::kAdd: da = 1; db = 1; break;
-          case BinaryKind::kSub: da = 1; db = -1; break;
-          case BinaryKind::kMul: da = y; db = x; break;
-          case BinaryKind::kDiv: da = 1.0 / y; db = -x / (y * y); break;
-          case BinaryKind::kPow:
-            da = y * std::pow(x, y - 1.0);
-            db = std::pow(x, y) * std::log(x);
-            break;
-          case BinaryKind::kMax:
-            da = x > y ? 1.0 : (x < y ? proxyAlpha() : 0.5);
-            db = y > x ? 1.0 : (y < x ? proxyAlpha() : 0.5);
-            break;
-          case BinaryKind::kMin:
-            da = x < y ? 1.0 : (x > y ? proxyAlpha() : 0.5);
-            db = y < x ? 1.0 : (y > x ? proxyAlpha() : 0.5);
-            break;
-          default:
-            break;
+    const BinaryKind kind = kind_;
+    tensor::dispatchDType(a.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* pa = a.data<T>();
+            const T* pb = b.data<T>();
+            const T* pg = gy.data<T>();
+            T* pga = ga_full.data<T>();
+            T* pgb = gb_full.data<T>();
+            const int64_t n = gy.numel();
+            for (int64_t i = 0; i < n; ++i) {
+                const double x = pa[ia.map(i)];
+                const double y = pb[ib.map(i)];
+                const double g = pg[i];
+                double da = 0.0;
+                double db = 0.0;
+                switch (kind) {
+                  case BinaryKind::kAdd: da = 1; db = 1; break;
+                  case BinaryKind::kSub: da = 1; db = -1; break;
+                  case BinaryKind::kMul: da = y; db = x; break;
+                  case BinaryKind::kDiv:
+                    da = 1.0 / y;
+                    db = -x / (y * y);
+                    break;
+                  case BinaryKind::kMod:
+                    // d(fmod(x,y))/dx = 1 a.e.; treat the quotient as
+                    // locally constant for the y side.
+                    da = 1.0;
+                    db = -std::trunc(x / y);
+                    break;
+                  case BinaryKind::kPow:
+                    da = y * std::pow(x, y - 1.0);
+                    db = std::pow(x, y) * std::log(x);
+                    break;
+                  case BinaryKind::kMax:
+                    da = x > y ? 1.0 : (x < y ? proxyAlpha() : 0.5);
+                    db = y > x ? 1.0 : (y < x ? proxyAlpha() : 0.5);
+                    break;
+                  case BinaryKind::kMin:
+                    da = x < y ? 1.0 : (x > y ? proxyAlpha() : 0.5);
+                    db = y < x ? 1.0 : (y > x ? proxyAlpha() : 0.5);
+                    break;
+                  default:
+                    break;
+                }
+                pga[i] = static_cast<T>(g * da);
+                pgb[i] = static_cast<T>(g * db);
+            }
         }
-        ga_full.setScalar(i, g * da);
-        gb_full.setScalar(i, g * db);
-    }
+    });
     return {reduceGradToShape(ga_full, a.shape()),
             reduceGradToShape(gb_full, b.shape())};
 }
@@ -258,6 +366,7 @@ registerBinaryOps(OpRegistry& registry)
     register_binary(BinaryKind::kSub);
     register_binary(BinaryKind::kMul);
     register_binary(BinaryKind::kDiv);
+    register_binary(BinaryKind::kMod);
     register_binary(BinaryKind::kPow);
     register_binary(BinaryKind::kMax);
     register_binary(BinaryKind::kMin);

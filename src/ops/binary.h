@@ -1,10 +1,13 @@
 /**
  * @file
  * Elementwise two-input operators with numpy-style broadcasting:
- * arithmetic (Add..Pow), comparisons (Equal/Greater/Less, bool output)
- * and boolean logic (And/Or/Xor).
+ * arithmetic (Add..Pow), comparisons (Equal/Greater/Less over every
+ * dtype, bool output) and boolean logic (And/Or/Xor).
  *
- * Div and Pow are vulnerable operators (paper Table 1).
+ * Div, Mod and Pow are vulnerable operators (paper Table 1). Integer
+ * Div/Mod follow the defined semantics in tensor/kernels.h (C++
+ * truncating division; div/mod-by-zero yields 0 and poisons the
+ * output).
  */
 #ifndef NNSMITH_OPS_BINARY_H
 #define NNSMITH_OPS_BINARY_H
@@ -21,6 +24,7 @@ enum class BinaryKind {
     kSub,
     kMul,
     kDiv,
+    kMod,
     kPow,
     kMax,
     kMin,

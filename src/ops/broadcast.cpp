@@ -91,70 +91,4 @@ broadcastShape(const TensorType& a, const TensorType& b,
     return out;
 }
 
-Shape
-broadcastShapes(const Shape& a, const Shape& b)
-{
-    const int ra = a.rank();
-    const int rb = b.rank();
-    const int out_rank = std::max(ra, rb);
-    Shape out;
-    out.dims.assign(static_cast<size_t>(out_rank), 1);
-    for (int pos = 0; pos < out_rank; ++pos) {
-        const int ia = ra - 1 - pos;
-        const int ib = rb - 1 - pos;
-        const int64_t da = ia >= 0 ? a.dims[static_cast<size_t>(ia)] : 1;
-        const int64_t db = ib >= 0 ? b.dims[static_cast<size_t>(ib)] : 1;
-        NNSMITH_ASSERT(da == db || da == 1 || db == 1,
-                       "incompatible broadcast ", a.toString(), " vs ",
-                       b.toString());
-        out.dims[static_cast<size_t>(out_rank - 1 - pos)] = std::max(da, db);
-    }
-    return out;
-}
-
-BroadcastIndexer::BroadcastIndexer(const Shape& in, const Shape& out)
-    : outDims_(out.dims)
-{
-    const auto in_strides = rowMajorStrides(in);
-    const int ro = out.rank();
-    const int ri = in.rank();
-    strides_.assign(static_cast<size_t>(ro), 0);
-    for (int pos = 0; pos < ro; ++pos) {
-        const int io = ro - 1 - pos;
-        const int ii = ri - 1 - pos;
-        if (ii < 0)
-            continue;
-        if (in.dims[static_cast<size_t>(ii)] == 1 &&
-            out.dims[static_cast<size_t>(io)] != 1)
-            continue; // broadcast: stride 0
-        strides_[static_cast<size_t>(io)] =
-            in_strides[static_cast<size_t>(ii)];
-    }
-}
-
-int64_t
-BroadcastIndexer::map(int64_t out_flat) const
-{
-    int64_t in_flat = 0;
-    for (int i = static_cast<int>(outDims_.size()) - 1; i >= 0; --i) {
-        const int64_t dim = outDims_[static_cast<size_t>(i)];
-        const int64_t coord = out_flat % dim;
-        out_flat /= dim;
-        in_flat += coord * strides_[static_cast<size_t>(i)];
-    }
-    return in_flat;
-}
-
-Tensor
-reduceGradToShape(const Tensor& grad, const Shape& in_shape)
-{
-    Tensor out = Tensor::zeros(grad.dtype(), in_shape);
-    const BroadcastIndexer indexer(in_shape, grad.shape());
-    for (int64_t i = 0; i < grad.numel(); ++i) {
-        const int64_t j = indexer.map(i);
-        out.setScalar(j, out.scalarAt(j) + grad.scalarAt(i));
-    }
-    return out;
-}
-
 } // namespace nnsmith::ops

@@ -17,6 +17,7 @@
 
 #include "support/rng.h"
 #include "symbolic/pred.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_type.h"
 
@@ -46,30 +47,19 @@ std::vector<symbolic::ExprRef>
 broadcastShape(const tensor::TensorType& a, const tensor::TensorType& b,
                const std::vector<int64_t>& mask);
 
-/** Concrete numpy broadcast of two shapes (no mask; actual semantics). */
-tensor::Shape broadcastShapes(const tensor::Shape& a,
-                              const tensor::Shape& b);
-
-/**
- * Maps flat indices of a broadcast output to flat indices of one input
- * (stride-0 on broadcast dimensions).
- */
-class BroadcastIndexer {
-  public:
-    BroadcastIndexer(const tensor::Shape& in, const tensor::Shape& out);
-
-    /** Input flat index corresponding to @p out_flat. */
-    int64_t map(int64_t out_flat) const;
-
-  private:
-    std::vector<int64_t> outDims_;
-    std::vector<int64_t> strides_; ///< input strides, 0 on broadcast dims
-};
+// The concrete (runtime) broadcast machinery — broadcastShapes and the
+// BroadcastIndexer — lives in tensor/kernels.h with the typed kernel
+// layer; only the symbolic mask-based specification parts stay here.
+using tensor::broadcastShapes;
+using tensor::BroadcastIndexer;
 
 /** Sum-reduce @p grad (shaped like the broadcast output) back to
  *  @p in_shape (reverse of broadcasting, used by backward kernels). */
-tensor::Tensor reduceGradToShape(const tensor::Tensor& grad,
-                                 const tensor::Shape& in_shape);
+inline tensor::Tensor
+reduceGradToShape(const tensor::Tensor& grad, const tensor::Shape& in_shape)
+{
+    return tensor::sumToShape(grad, in_shape);
+}
 
 } // namespace nnsmith::ops
 

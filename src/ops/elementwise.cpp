@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::ops {
 
@@ -11,16 +12,18 @@ using tensor::Shape;
 
 namespace {
 
-
-/** Apply f elementwise (double round-trip keeps semantics uniform). */
+/**
+ * Apply a double->double function elementwise with one dtype dispatch.
+ * Float math stays in double precision (the historical semantics);
+ * only the store narrows to the element type.
+ */
 template <typename F>
 Tensor
-mapUnary(const Tensor& in, DType out_dtype, F&& f)
+mapViaDouble(const Tensor& in, F&& f)
 {
-    Tensor out = Tensor::zeros(out_dtype, in.shape());
-    for (int64_t i = 0; i < in.numel(); ++i)
-        out.setScalar(i, f(in.scalarAt(i)));
-    return out;
+    return tensor::applyUnary(in, [&f](auto x) {
+        return static_cast<decltype(x)>(f(static_cast<double>(x)));
+    });
 }
 
 double
@@ -179,8 +182,36 @@ std::vector<Tensor>
 UnaryOp::execute(const std::vector<Tensor>& inputs) const
 {
     const UnaryKind kind = kind_;
-    return {mapUnary(inputs[0], inputs[0].dtype(),
-                     [kind](double x) { return applyUnary(kind, x); })};
+    // Abs/Neg also run on integer tensors: use native integer
+    // arithmetic (wrapping at INT_MIN) so i64 values above 2^53 are
+    // not corrupted by a double round-trip.
+    switch (kind) {
+      case UnaryKind::kAbs:
+        return {tensor::applyUnary(inputs[0], [](auto x) {
+            using T = decltype(x);
+            if constexpr (std::is_floating_point_v<T>)
+                return std::abs(x);
+            else if constexpr (std::is_signed_v<T>)
+                return x < 0 ? tensor::wrapSub(T{0}, x) : x;
+            else
+                return x;
+        })};
+      case UnaryKind::kNeg:
+        return {tensor::applyUnary(inputs[0], [](auto x) {
+            using T = decltype(x);
+            if constexpr (std::is_floating_point_v<T>)
+                return static_cast<T>(-x);
+            else
+                return tensor::wrapSub(T{0}, x);
+        })};
+      case UnaryKind::kNot:
+        return {tensor::applyUnary(
+            inputs[0], [](auto x) { return x != 0 ? 0 : 1; })};
+      default:
+        return {mapViaDouble(inputs[0], [kind](double x) {
+            return applyUnary(kind, x);
+        })};
+    }
 }
 
 std::vector<Tensor>
@@ -191,12 +222,20 @@ UnaryOp::backward(const std::vector<Tensor>& inputs,
     if (!tensor::isFloat(inputs[0].dtype()))
         return {};
     Tensor grad = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
-    for (int64_t i = 0; i < grad.numel(); ++i) {
-        const double x = inputs[0].scalarAt(i);
-        const double y = outputs[0].scalarAt(i);
-        grad.setScalar(i, grad_outputs[0].scalarAt(i) *
-                              unaryDerivative(kind_, x, y));
-    }
+    const UnaryKind kind = kind_;
+    tensor::dispatchDType(grad.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* px = inputs[0].data<T>();
+            const T* py = outputs[0].data<T>();
+            const T* pg = grad_outputs[0].data<T>();
+            T* pd = grad.data<T>();
+            const int64_t n = grad.numel();
+            for (int64_t i = 0; i < n; ++i)
+                pd[i] = static_cast<T>(
+                    pg[i] * unaryDerivative(kind, px[i], py[i]));
+        }
+    });
     return {grad};
 }
 
@@ -279,32 +318,30 @@ SoftmaxOp::execute(const std::vector<Tensor>& inputs) const
     const auto strides = rowMajorStrides(shape);
     const int64_t axis_dim = shape.dims[static_cast<size_t>(ax)];
     const int64_t axis_stride = strides[static_cast<size_t>(ax)];
-    const int64_t n_slices = x.numel() / std::max<int64_t>(axis_dim, 1);
 
     Tensor out = Tensor::zeros(x.dtype(), shape);
-    // Enumerate the start offset of every 1-D slice along `ax`.
-    for (int64_t s = 0; s < n_slices; ++s) {
-        // Decompose s into coordinates of all non-axis dims.
-        int64_t rem = s;
-        int64_t base = 0;
-        for (int i = shape.rank() - 1; i >= 0; --i) {
-            if (i == ax)
-                continue;
-            const int64_t dim = shape.dims[static_cast<size_t>(i)];
-            base += (rem % dim) * strides[static_cast<size_t>(i)];
-            rem /= dim;
+    tensor::dispatchDType(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* src = x.data<T>();
+            T* dst = out.data<T>();
+            tensor::forEachSlice(shape, ax, [&](int64_t, int64_t base) {
+                double max_v = -HUGE_VAL;
+                for (int64_t k = 0; k < axis_dim; ++k)
+                    max_v = std::max(
+                        max_v,
+                        static_cast<double>(src[base + k * axis_stride]));
+                double sum = 0.0;
+                for (int64_t k = 0; k < axis_dim; ++k)
+                    sum += std::exp(src[base + k * axis_stride] - max_v);
+                for (int64_t k = 0; k < axis_dim; ++k) {
+                    const int64_t idx = base + k * axis_stride;
+                    dst[idx] =
+                        static_cast<T>(std::exp(src[idx] - max_v) / sum);
+                }
+            });
         }
-        double max_v = -HUGE_VAL;
-        for (int64_t k = 0; k < axis_dim; ++k)
-            max_v = std::max(max_v, x.scalarAt(base + k * axis_stride));
-        double sum = 0.0;
-        for (int64_t k = 0; k < axis_dim; ++k)
-            sum += std::exp(x.scalarAt(base + k * axis_stride) - max_v);
-        for (int64_t k = 0; k < axis_dim; ++k) {
-            const int64_t idx = base + k * axis_stride;
-            out.setScalar(idx, std::exp(x.scalarAt(idx) - max_v) / sum);
-        }
-    }
+    });
     return {out};
 }
 
@@ -320,29 +357,27 @@ SoftmaxOp::backward(const std::vector<Tensor>& inputs,
     const auto strides = rowMajorStrides(shape);
     const int64_t axis_dim = shape.dims[static_cast<size_t>(ax)];
     const int64_t axis_stride = strides[static_cast<size_t>(ax)];
-    const int64_t n_slices = y.numel() / std::max<int64_t>(axis_dim, 1);
 
     Tensor gx = Tensor::zeros(inputs[0].dtype(), shape);
-    for (int64_t s = 0; s < n_slices; ++s) {
-        int64_t rem = s;
-        int64_t base = 0;
-        for (int i = shape.rank() - 1; i >= 0; --i) {
-            if (i == ax)
-                continue;
-            const int64_t dim = shape.dims[static_cast<size_t>(i)];
-            base += (rem % dim) * strides[static_cast<size_t>(i)];
-            rem /= dim;
+    tensor::dispatchDType(gx.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* py = y.data<T>();
+            const T* pg = gy.data<T>();
+            T* pd = gx.data<T>();
+            tensor::forEachSlice(shape, ax, [&](int64_t, int64_t base) {
+                double dot = 0.0;
+                for (int64_t k = 0; k < axis_dim; ++k) {
+                    const int64_t idx = base + k * axis_stride;
+                    dot += static_cast<double>(pg[idx]) * py[idx];
+                }
+                for (int64_t k = 0; k < axis_dim; ++k) {
+                    const int64_t idx = base + k * axis_stride;
+                    pd[idx] = static_cast<T>(py[idx] * (pg[idx] - dot));
+                }
+            });
         }
-        double dot = 0.0;
-        for (int64_t k = 0; k < axis_dim; ++k) {
-            const int64_t idx = base + k * axis_stride;
-            dot += gy.scalarAt(idx) * y.scalarAt(idx);
-        }
-        for (int64_t k = 0; k < axis_dim; ++k) {
-            const int64_t idx = base + k * axis_stride;
-            gx.setScalar(idx, y.scalarAt(idx) * (gy.scalarAt(idx) - dot));
-        }
-    }
+    });
     return {gx};
 }
 
@@ -409,10 +444,15 @@ ClipOp::clone() const
 std::vector<Tensor>
 ClipOp::execute(const std::vector<Tensor>& inputs) const
 {
-    const double lo = static_cast<double>(attrValue("lo"));
-    const double hi = static_cast<double>(attrValue("hi"));
-    return {mapUnary(inputs[0], inputs[0].dtype(), [lo, hi](double x) {
-        return std::min(std::max(x, lo), hi);
+    const int64_t lo = attrValue("lo");
+    const int64_t hi = attrValue("hi");
+    // Clip bounds are small integer attributes, exactly representable
+    // in every element type — clamp natively per dtype.
+    return {tensor::applyUnary(inputs[0], [lo, hi](auto x) {
+        using T = decltype(x);
+        const T tlo = static_cast<T>(lo);
+        const T thi = static_cast<T>(hi);
+        return x < tlo ? tlo : (x > thi ? thi : x);
     })};
 }
 
@@ -427,11 +467,21 @@ ClipOp::backward(const std::vector<Tensor>& inputs,
     const double lo = static_cast<double>(attrValue("lo"));
     const double hi = static_cast<double>(attrValue("hi"));
     Tensor grad = Tensor::zeros(inputs[0].dtype(), inputs[0].shape());
-    for (int64_t i = 0; i < grad.numel(); ++i) {
-        const double x = inputs[0].scalarAt(i);
-        const double d = (x >= lo && x <= hi) ? 1.0 : proxyAlpha();
-        grad.setScalar(i, grad_outputs[0].scalarAt(i) * d);
-    }
+    tensor::dispatchDType(grad.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* px = inputs[0].data<T>();
+            const T* pg = grad_outputs[0].data<T>();
+            T* pd = grad.data<T>();
+            const int64_t n = grad.numel();
+            for (int64_t i = 0; i < n; ++i) {
+                const double x = px[i];
+                const double d =
+                    (x >= lo && x <= hi) ? 1.0 : proxyAlpha();
+                pd[i] = static_cast<T>(pg[i] * d);
+            }
+        }
+    });
     return {grad};
 }
 

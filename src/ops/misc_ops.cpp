@@ -2,6 +2,7 @@
 
 #include "ops/broadcast.h"
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::ops {
 
@@ -125,19 +126,7 @@ WhereOp::clone() const
 std::vector<Tensor>
 WhereOp::execute(const std::vector<Tensor>& inputs) const
 {
-    const Shape out_shape = broadcastShapes(
-        broadcastShapes(inputs[0].shape(), inputs[1].shape()),
-        inputs[2].shape());
-    Tensor out = Tensor::zeros(inputs[1].dtype(), out_shape);
-    const BroadcastIndexer ic(inputs[0].shape(), out_shape);
-    const BroadcastIndexer it(inputs[1].shape(), out_shape);
-    const BroadcastIndexer iff(inputs[2].shape(), out_shape);
-    for (int64_t i = 0; i < out.numel(); ++i) {
-        const bool c = inputs[0].scalarAt(ic.map(i)) != 0.0;
-        out.setScalar(i, c ? inputs[1].scalarAt(it.map(i))
-                           : inputs[2].scalarAt(iff.map(i)));
-    }
-    return {out};
+    return {tensor::applyWhere(inputs[0], inputs[1], inputs[2])};
 }
 
 std::vector<Tensor>
@@ -152,13 +141,22 @@ WhereOp::backward(const std::vector<Tensor>& inputs,
     Tensor gt_full = Tensor::zeros(inputs[1].dtype(), out_shape);
     Tensor gf_full = Tensor::zeros(inputs[2].dtype(), out_shape);
     const BroadcastIndexer ic(inputs[0].shape(), out_shape);
-    for (int64_t i = 0; i < gy.numel(); ++i) {
-        const bool c = inputs[0].scalarAt(ic.map(i)) != 0.0;
-        if (c)
-            gt_full.setScalar(i, gy.scalarAt(i));
-        else
-            gf_full.setScalar(i, gy.scalarAt(i));
-    }
+    const uint8_t* pc = inputs[0].data<bool>();
+    tensor::dispatchDType(gy.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* pg = gy.data<T>();
+            T* pt = gt_full.data<T>();
+            T* pf = gf_full.data<T>();
+            const int64_t n = gy.numel();
+            for (int64_t i = 0; i < n; ++i) {
+                if (pc[ic.map(i)] != 0)
+                    pt[i] = pg[i];
+                else
+                    pf[i] = pg[i];
+            }
+        }
+    });
     return {Tensor{}, reduceGradToShape(gt_full, inputs[1].shape()),
             reduceGradToShape(gf_full, inputs[2].shape())};
 }

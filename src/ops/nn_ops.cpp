@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::ops {
 
@@ -15,6 +16,21 @@ using tensor::Shape;
 namespace {
 
 constexpr double kBatchNormEps = 1e-5;
+
+/**
+ * NN ops are float-passthrough (dtypeCombos); dispatch once and run
+ * the typed body. Accumulation stays in double (historical numerics).
+ */
+template <typename Fn>
+void
+forFloat(DType dtype, Fn&& fn)
+{
+    tensor::dispatchDType(dtype, [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>)
+            fn(tag);
+    });
+}
 
 std::vector<DTypeCombo>
 floatPassthrough(int n_inputs)
@@ -138,32 +154,42 @@ Conv2dOp::execute(const std::vector<Tensor>& inputs) const
     const int64_t oh = convOutExtent(h, kh, pad, stride);
     const int64_t ow = convOutExtent(w, kw, pad, stride);
     Tensor out = Tensor::zeros(x.dtype(), Shape{{n, co, oh, ow}});
-    for (int64_t b = 0; b < n; ++b) {
-        for (int64_t oc = 0; oc < co; ++oc) {
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox) {
-                    double acc = 0.0;
-                    for (int64_t ic = 0; ic < ci; ++ic) {
-                        for (int64_t ky = 0; ky < kh; ++ky) {
-                            const int64_t iy = oy * stride + ky - pad;
-                            if (iy < 0 || iy >= h)
-                                continue;
-                            for (int64_t kx = 0; kx < kw; ++kx) {
-                                const int64_t ix = ox * stride + kx - pad;
-                                if (ix < 0 || ix >= w)
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        const T* pk = k.data<T>();
+        T* po = out.data<T>();
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t oc = 0; oc < co; ++oc) {
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        double acc = 0.0;
+                        for (int64_t ic = 0; ic < ci; ++ic) {
+                            for (int64_t ky = 0; ky < kh; ++ky) {
+                                const int64_t iy = oy * stride + ky - pad;
+                                if (iy < 0 || iy >= h)
                                     continue;
-                                acc += x.scalarAt(((b * ci + ic) * h + iy) *
-                                                      w + ix) *
-                                       k.scalarAt(((oc * ci + ic) * kh + ky) *
-                                                      kw + kx);
+                                for (int64_t kx = 0; kx < kw; ++kx) {
+                                    const int64_t ix =
+                                        ox * stride + kx - pad;
+                                    if (ix < 0 || ix >= w)
+                                        continue;
+                                    acc +=
+                                        static_cast<double>(
+                                            px[((b * ci + ic) * h + iy) * w +
+                                               ix]) *
+                                        pk[((oc * ci + ic) * kh + ky) * kw +
+                                           kx];
+                                }
                             }
                         }
+                        po[((b * co + oc) * oh + oy) * ow + ox] =
+                            static_cast<T>(acc);
                     }
-                    out.setScalar(((b * co + oc) * oh + oy) * ow + ox, acc);
                 }
             }
         }
-    }
+    });
     return {out};
 }
 
@@ -185,36 +211,46 @@ Conv2dOp::backward(const std::vector<Tensor>& inputs,
     const int64_t oh = gd[2], ow = gd[3];
     Tensor gx = Tensor::zeros(x.dtype(), x.shape());
     Tensor gk = Tensor::zeros(k.dtype(), k.shape());
-    for (int64_t b = 0; b < n; ++b) {
-        for (int64_t oc = 0; oc < co; ++oc) {
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox) {
-                    const double g =
-                        gy.scalarAt(((b * co + oc) * oh + oy) * ow + ox);
-                    for (int64_t ic = 0; ic < ci; ++ic) {
-                        for (int64_t ky = 0; ky < kh; ++ky) {
-                            const int64_t iy = oy * stride + ky - pad;
-                            if (iy < 0 || iy >= h)
-                                continue;
-                            for (int64_t kx = 0; kx < kw; ++kx) {
-                                const int64_t ix = ox * stride + kx - pad;
-                                if (ix < 0 || ix >= w)
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        const T* pk = k.data<T>();
+        const T* pg = gy.data<T>();
+        T* pgx = gx.data<T>();
+        T* pgk = gk.data<T>();
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t oc = 0; oc < co; ++oc) {
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        const double g =
+                            pg[((b * co + oc) * oh + oy) * ow + ox];
+                        for (int64_t ic = 0; ic < ci; ++ic) {
+                            for (int64_t ky = 0; ky < kh; ++ky) {
+                                const int64_t iy = oy * stride + ky - pad;
+                                if (iy < 0 || iy >= h)
                                     continue;
-                                const int64_t xi =
-                                    ((b * ci + ic) * h + iy) * w + ix;
-                                const int64_t ki =
-                                    ((oc * ci + ic) * kh + ky) * kw + kx;
-                                gx.setScalar(xi, gx.scalarAt(xi) +
-                                                     g * k.scalarAt(ki));
-                                gk.setScalar(ki, gk.scalarAt(ki) +
-                                                     g * x.scalarAt(xi));
+                                for (int64_t kx = 0; kx < kw; ++kx) {
+                                    const int64_t ix =
+                                        ox * stride + kx - pad;
+                                    if (ix < 0 || ix >= w)
+                                        continue;
+                                    const int64_t xi =
+                                        ((b * ci + ic) * h + iy) * w + ix;
+                                    const int64_t ki =
+                                        ((oc * ci + ic) * kh + ky) * kw +
+                                        kx;
+                                    pgx[xi] = static_cast<T>(
+                                        pgx[xi] + g * pk[ki]);
+                                    pgk[ki] = static_cast<T>(
+                                        pgk[ki] + g * px[xi]);
+                                }
                             }
                         }
                     }
                 }
             }
         }
-    }
+    });
     return {gx, gk};
 }
 
@@ -303,34 +339,41 @@ Pool2dOp::execute(const std::vector<Tensor>& inputs) const
     const int64_t oh = convOutExtent(h, kh, pad, stride);
     const int64_t ow = convOutExtent(w, kw, pad, stride);
     Tensor out = Tensor::zeros(x.dtype(), Shape{{n, c, oh, ow}});
-    for (int64_t b = 0; b < n; ++b) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox) {
-                    double best = -HUGE_VAL;
-                    double sum = 0.0;
-                    for (int64_t ky = 0; ky < kh; ++ky) {
-                        const int64_t iy = oy * stride + ky - pad;
-                        for (int64_t kx = 0; kx < kw; ++kx) {
-                            const int64_t ix = ox * stride + kx - pad;
-                            double v = 0.0; // zero padding for average
-                            if (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                v = x.scalarAt(((b * c + ch) * h + iy) * w +
-                                               ix);
-                            else if (isMax_)
-                                continue; // max ignores padding
-                            best = std::max(best, v);
-                            sum += v;
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        T* po = out.data<T>();
+        const bool is_max = isMax_;
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t ch = 0; ch < c; ++ch) {
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        double best = -HUGE_VAL;
+                        double sum = 0.0;
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = oy * stride + ky - pad;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ox * stride + kx - pad;
+                                double v = 0.0; // zero pad for average
+                                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                    v = px[((b * c + ch) * h + iy) * w +
+                                           ix];
+                                else if (is_max)
+                                    continue; // max ignores padding
+                                best = std::max(best, v);
+                                sum += v;
+                            }
                         }
+                        const double r =
+                            is_max ? best
+                                   : sum / static_cast<double>(kh * kw);
+                        po[((b * c + ch) * oh + oy) * ow + ox] =
+                            static_cast<T>(r);
                     }
-                    const double r =
-                        isMax_ ? best
-                               : sum / static_cast<double>(kh * kw);
-                    out.setScalar(((b * c + ch) * oh + oy) * ow + ox, r);
                 }
             }
         }
-    }
+    });
     return {out};
 }
 
@@ -350,35 +393,44 @@ Pool2dOp::backward(const std::vector<Tensor>& inputs,
     const auto& od = gy.shape().dims;
     const int64_t oh = od[2], ow = od[3];
     Tensor gx = Tensor::zeros(x.dtype(), x.shape());
-    for (int64_t b = 0; b < n; ++b) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox) {
-                    const int64_t oi = ((b * c + ch) * oh + oy) * ow + ox;
-                    const double g = gy.scalarAt(oi);
-                    const double y = outputs[0].scalarAt(oi);
-                    for (int64_t ky = 0; ky < kh; ++ky) {
-                        const int64_t iy = oy * stride + ky - pad;
-                        if (iy < 0 || iy >= h)
-                            continue;
-                        for (int64_t kx = 0; kx < kw; ++kx) {
-                            const int64_t ix = ox * stride + kx - pad;
-                            if (ix < 0 || ix >= w)
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        const T* pg = gy.data<T>();
+        const T* py = outputs[0].data<T>();
+        T* pgx = gx.data<T>();
+        const bool is_max = isMax_;
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t ch = 0; ch < c; ++ch) {
+                for (int64_t oy = 0; oy < oh; ++oy) {
+                    for (int64_t ox = 0; ox < ow; ++ox) {
+                        const int64_t oi =
+                            ((b * c + ch) * oh + oy) * ow + ox;
+                        const double g = pg[oi];
+                        const double y = py[oi];
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = oy * stride + ky - pad;
+                            if (iy < 0 || iy >= h)
                                 continue;
-                            const int64_t xi =
-                                ((b * c + ch) * h + iy) * w + ix;
-                            double d;
-                            if (isMax_)
-                                d = x.scalarAt(xi) == y ? 1.0 : 0.0;
-                            else
-                                d = 1.0 / static_cast<double>(kh * kw);
-                            gx.setScalar(xi, gx.scalarAt(xi) + g * d);
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix = ox * stride + kx - pad;
+                                if (ix < 0 || ix >= w)
+                                    continue;
+                                const int64_t xi =
+                                    ((b * c + ch) * h + iy) * w + ix;
+                                double d;
+                                if (is_max)
+                                    d = px[xi] == y ? 1.0 : 0.0;
+                                else
+                                    d = 1.0 / static_cast<double>(kh * kw);
+                                pgx[xi] = static_cast<T>(pgx[xi] + g * d);
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     return {gx};
 }
 
@@ -442,14 +494,21 @@ MatMulOp::execute(const std::vector<Tensor>& inputs) const
     const int64_t kk = a.shape().dims[1];
     const int64_t nn = b.shape().dims[1];
     Tensor out = Tensor::zeros(a.dtype(), Shape{{m, nn}});
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < nn; ++j) {
-            double acc = 0.0;
-            for (int64_t k = 0; k < kk; ++k)
-                acc += a.scalarAt(i * kk + k) * b.scalarAt(k * nn + j);
-            out.setScalar(i * nn + j, acc);
+    forFloat(a.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pa = a.data<T>();
+        const T* pb = b.data<T>();
+        T* po = out.data<T>();
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < nn; ++j) {
+                double acc = 0.0;
+                for (int64_t k = 0; k < kk; ++k)
+                    acc += static_cast<double>(pa[i * kk + k]) *
+                           pb[k * nn + j];
+                po[i * nn + j] = static_cast<T>(acc);
+            }
         }
-    }
+    });
     return {out};
 }
 
@@ -466,22 +525,32 @@ MatMulOp::backward(const std::vector<Tensor>& inputs,
     const int64_t nn = b.shape().dims[1];
     Tensor ga = Tensor::zeros(a.dtype(), a.shape());
     Tensor gb = Tensor::zeros(b.dtype(), b.shape());
-    for (int64_t i = 0; i < m; ++i) {
+    forFloat(a.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pa = a.data<T>();
+        const T* pb = b.data<T>();
+        const T* pg = gy.data<T>();
+        T* pga = ga.data<T>();
+        T* pgb = gb.data<T>();
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t k = 0; k < kk; ++k) {
+                double acc = 0.0;
+                for (int64_t j = 0; j < nn; ++j)
+                    acc += static_cast<double>(pg[i * nn + j]) *
+                           pb[k * nn + j];
+                pga[i * kk + k] = static_cast<T>(acc);
+            }
+        }
         for (int64_t k = 0; k < kk; ++k) {
-            double acc = 0.0;
-            for (int64_t j = 0; j < nn; ++j)
-                acc += gy.scalarAt(i * nn + j) * b.scalarAt(k * nn + j);
-            ga.setScalar(i * kk + k, acc);
+            for (int64_t j = 0; j < nn; ++j) {
+                double acc = 0.0;
+                for (int64_t i = 0; i < m; ++i)
+                    acc += static_cast<double>(pa[i * kk + k]) *
+                           pg[i * nn + j];
+                pgb[k * nn + j] = static_cast<T>(acc);
+            }
         }
-    }
-    for (int64_t k = 0; k < kk; ++k) {
-        for (int64_t j = 0; j < nn; ++j) {
-            double acc = 0.0;
-            for (int64_t i = 0; i < m; ++i)
-                acc += a.scalarAt(i * kk + k) * gy.scalarAt(i * nn + j);
-            gb.setScalar(k * nn + j, acc);
-        }
-    }
+    });
     return {ga, gb};
 }
 
@@ -537,17 +606,24 @@ BatchMatMulOp::execute(const std::vector<Tensor>& inputs) const
     const int64_t kk = a.shape().dims[2];
     const int64_t nn = b.shape().dims[2];
     Tensor out = Tensor::zeros(a.dtype(), Shape{{bs, m, nn}});
-    for (int64_t s = 0; s < bs; ++s) {
-        for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < nn; ++j) {
-                double acc = 0.0;
-                for (int64_t k = 0; k < kk; ++k)
-                    acc += a.scalarAt((s * m + i) * kk + k) *
-                           b.scalarAt((s * kk + k) * nn + j);
-                out.setScalar((s * m + i) * nn + j, acc);
+    forFloat(a.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pa = a.data<T>();
+        const T* pb = b.data<T>();
+        T* po = out.data<T>();
+        for (int64_t s = 0; s < bs; ++s) {
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < nn; ++j) {
+                    double acc = 0.0;
+                    for (int64_t k = 0; k < kk; ++k)
+                        acc += static_cast<double>(
+                                   pa[(s * m + i) * kk + k]) *
+                               pb[(s * kk + k) * nn + j];
+                    po[(s * m + i) * nn + j] = static_cast<T>(acc);
+                }
             }
         }
-    }
+    });
     return {out};
 }
 
@@ -565,26 +641,36 @@ BatchMatMulOp::backward(const std::vector<Tensor>& inputs,
     const int64_t nn = b.shape().dims[2];
     Tensor ga = Tensor::zeros(a.dtype(), a.shape());
     Tensor gb = Tensor::zeros(b.dtype(), b.shape());
-    for (int64_t s = 0; s < bs; ++s) {
-        for (int64_t i = 0; i < m; ++i) {
+    forFloat(a.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pa = a.data<T>();
+        const T* pb = b.data<T>();
+        const T* pg = gy.data<T>();
+        T* pga = ga.data<T>();
+        T* pgb = gb.data<T>();
+        for (int64_t s = 0; s < bs; ++s) {
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t k = 0; k < kk; ++k) {
+                    double acc = 0.0;
+                    for (int64_t j = 0; j < nn; ++j)
+                        acc += static_cast<double>(
+                                   pg[(s * m + i) * nn + j]) *
+                               pb[(s * kk + k) * nn + j];
+                    pga[(s * m + i) * kk + k] = static_cast<T>(acc);
+                }
+            }
             for (int64_t k = 0; k < kk; ++k) {
-                double acc = 0.0;
-                for (int64_t j = 0; j < nn; ++j)
-                    acc += gy.scalarAt((s * m + i) * nn + j) *
-                           b.scalarAt((s * kk + k) * nn + j);
-                ga.setScalar((s * m + i) * kk + k, acc);
+                for (int64_t j = 0; j < nn; ++j) {
+                    double acc = 0.0;
+                    for (int64_t i = 0; i < m; ++i)
+                        acc += static_cast<double>(
+                                   pa[(s * m + i) * kk + k]) *
+                               pg[(s * m + i) * nn + j];
+                    pgb[(s * kk + k) * nn + j] = static_cast<T>(acc);
+                }
             }
         }
-        for (int64_t k = 0; k < kk; ++k) {
-            for (int64_t j = 0; j < nn; ++j) {
-                double acc = 0.0;
-                for (int64_t i = 0; i < m; ++i)
-                    acc += a.scalarAt((s * m + i) * kk + k) *
-                           gy.scalarAt((s * m + i) * nn + j);
-                gb.setScalar((s * kk + k) * nn + j, acc);
-            }
-        }
-    }
+    });
     return {ga, gb};
 }
 
@@ -636,11 +722,15 @@ DenseOp::execute(const std::vector<Tensor>& inputs) const
     Tensor out = mm.execute({inputs[0], inputs[1]})[0];
     const int64_t m = out.shape().dims[0];
     const int64_t nn = out.shape().dims[1];
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < nn; ++j)
-            out.setScalar(i * nn + j, out.scalarAt(i * nn + j) +
-                                          inputs[2].scalarAt(j));
-    }
+    forFloat(out.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pbias = inputs[2].data<T>();
+        T* po = out.data<T>();
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < nn; ++j)
+                po[i * nn + j] = static_cast<T>(po[i * nn + j] + pbias[j]);
+        }
+    });
     return {out};
 }
 
@@ -655,12 +745,17 @@ DenseOp::backward(const std::vector<Tensor>& inputs,
     Tensor gbias = Tensor::zeros(inputs[2].dtype(), inputs[2].shape());
     const int64_t m = gy.shape().dims[0];
     const int64_t nn = gy.shape().dims[1];
-    for (int64_t j = 0; j < nn; ++j) {
-        double acc = 0.0;
-        for (int64_t i = 0; i < m; ++i)
-            acc += gy.scalarAt(i * nn + j);
-        gbias.setScalar(j, acc);
-    }
+    forFloat(gy.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pg = gy.data<T>();
+        T* pgb = gbias.data<T>();
+        for (int64_t j = 0; j < nn; ++j) {
+            double acc = 0.0;
+            for (int64_t i = 0; i < m; ++i)
+                acc += pg[i * nn + j];
+            pgb[j] = static_cast<T>(acc);
+        }
+    });
     return {mats[0], mats[1], gbias};
 }
 
@@ -714,20 +809,29 @@ BatchNormOp::execute(const std::vector<Tensor>& inputs) const
     const auto& xd = x.shape().dims;
     const int64_t n = xd[0], c = xd[1], hw = xd[2] * xd[3];
     Tensor out = Tensor::zeros(x.dtype(), x.shape());
-    for (int64_t b = 0; b < n; ++b) {
-        for (int64_t ch = 0; ch < c; ++ch) {
-            const double scale = inputs[1].scalarAt(ch);
-            const double bias = inputs[2].scalarAt(ch);
-            const double mean = inputs[3].scalarAt(ch);
-            const double var = inputs[4].scalarAt(ch);
-            const double inv = 1.0 / std::sqrt(var + kBatchNormEps);
-            for (int64_t i = 0; i < hw; ++i) {
-                const int64_t idx = (b * c + ch) * hw + i;
-                out.setScalar(idx,
-                              scale * (x.scalarAt(idx) - mean) * inv + bias);
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        const T* pscale = inputs[1].data<T>();
+        const T* pbias = inputs[2].data<T>();
+        const T* pmean = inputs[3].data<T>();
+        const T* pvar = inputs[4].data<T>();
+        T* po = out.data<T>();
+        for (int64_t b = 0; b < n; ++b) {
+            for (int64_t ch = 0; ch < c; ++ch) {
+                const double scale = pscale[ch];
+                const double bias = pbias[ch];
+                const double mean = pmean[ch];
+                const double inv =
+                    1.0 / std::sqrt(pvar[ch] + kBatchNormEps);
+                for (int64_t i = 0; i < hw; ++i) {
+                    const int64_t idx = (b * c + ch) * hw + i;
+                    po[idx] = static_cast<T>(
+                        scale * (px[idx] - mean) * inv + bias);
+                }
             }
         }
-    }
+    });
     return {out};
 }
 
@@ -745,29 +849,41 @@ BatchNormOp::backward(const std::vector<Tensor>& inputs,
     Tensor gbias = Tensor::zeros(x.dtype(), inputs[2].shape());
     Tensor gmean = Tensor::zeros(x.dtype(), inputs[3].shape());
     Tensor gvar = Tensor::zeros(x.dtype(), inputs[4].shape());
-    for (int64_t ch = 0; ch < c; ++ch) {
-        const double scale = inputs[1].scalarAt(ch);
-        const double mean = inputs[3].scalarAt(ch);
-        const double var = inputs[4].scalarAt(ch);
-        const double inv = 1.0 / std::sqrt(var + kBatchNormEps);
-        double gs = 0.0, gb = 0.0, gm = 0.0, gv = 0.0;
-        for (int64_t b = 0; b < n; ++b) {
-            for (int64_t i = 0; i < hw; ++i) {
-                const int64_t idx = (b * c + ch) * hw + i;
-                const double g = gy.scalarAt(idx);
-                const double xc = x.scalarAt(idx) - mean;
-                gx.setScalar(idx, g * scale * inv);
-                gs += g * xc * inv;
-                gb += g;
-                gm += -g * scale * inv;
-                gv += -0.5 * g * scale * xc * inv * inv * inv;
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        const T* pg = gy.data<T>();
+        const T* pscale = inputs[1].data<T>();
+        const T* pmean = inputs[3].data<T>();
+        const T* pvar = inputs[4].data<T>();
+        T* pgx = gx.data<T>();
+        T* pgs = gscale.data<T>();
+        T* pgb = gbias.data<T>();
+        T* pgm = gmean.data<T>();
+        T* pgv = gvar.data<T>();
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const double scale = pscale[ch];
+            const double mean = pmean[ch];
+            const double inv = 1.0 / std::sqrt(pvar[ch] + kBatchNormEps);
+            double gs = 0.0, gb = 0.0, gm = 0.0, gv = 0.0;
+            for (int64_t b = 0; b < n; ++b) {
+                for (int64_t i = 0; i < hw; ++i) {
+                    const int64_t idx = (b * c + ch) * hw + i;
+                    const double g = pg[idx];
+                    const double xc = px[idx] - mean;
+                    pgx[idx] = static_cast<T>(g * scale * inv);
+                    gs += g * xc * inv;
+                    gb += g;
+                    gm += -g * scale * inv;
+                    gv += -0.5 * g * scale * xc * inv * inv * inv;
+                }
             }
+            pgs[ch] = static_cast<T>(gs);
+            pgb[ch] = static_cast<T>(gb);
+            pgm[ch] = static_cast<T>(gm);
+            pgv[ch] = static_cast<T>(gv);
         }
-        gscale.setScalar(ch, gs);
-        gbias.setScalar(ch, gb);
-        gmean.setScalar(ch, gm);
-        gvar.setScalar(ch, gv);
-    }
+    });
     return {gx, gscale, gbias, gmean, gvar};
 }
 
@@ -843,24 +959,30 @@ ResizeOp::execute(const std::vector<Tensor>& inputs) const
             scales[static_cast<size_t>(i)];
     }
     Tensor out = Tensor::zeros(x.dtype(), out_shape);
-    for (int64_t i = 0; i < out.numel(); ++i) {
-        // Map output coords to input coords (floor division on spatial).
-        int64_t rem = i;
-        std::vector<int64_t> coords(out_shape.dims.size());
-        for (int d = out_shape.rank() - 1; d >= 0; --d) {
-            coords[static_cast<size_t>(d)] =
-                rem % out_shape.dims[static_cast<size_t>(d)];
-            rem /= out_shape.dims[static_cast<size_t>(d)];
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* px = x.data<T>();
+        T* po = out.data<T>();
+        const int64_t n = out.numel();
+        int64_t coords[kMaxRank + 2];
+        for (int64_t i = 0; i < n; ++i) {
+            // Map output coords to input coords (floor division on
+            // spatial dims).
+            int64_t rem = i;
+            for (int d = out_shape.rank() - 1; d >= 0; --d) {
+                coords[d] = rem % out_shape.dims[static_cast<size_t>(d)];
+                rem /= out_shape.dims[static_cast<size_t>(d)];
+            }
+            for (int s = 0; s < spatialDims_; ++s)
+                coords[2 + s] /= scales[static_cast<size_t>(s)];
+            int64_t in_flat = 0;
+            for (int d = 0; d < x.rank(); ++d)
+                in_flat =
+                    in_flat * x.shape().dims[static_cast<size_t>(d)] +
+                    coords[d];
+            po[i] = px[in_flat];
         }
-        for (int s = 0; s < spatialDims_; ++s)
-            coords[static_cast<size_t>(2 + s)] /=
-                scales[static_cast<size_t>(s)];
-        int64_t in_flat = 0;
-        for (int d = 0; d < x.rank(); ++d)
-            in_flat = in_flat * x.shape().dims[static_cast<size_t>(d)] +
-                      coords[static_cast<size_t>(d)];
-        out.setScalar(i, x.scalarAt(in_flat));
-    }
+    });
     return {out};
 }
 
@@ -877,23 +999,28 @@ ResizeOp::backward(const std::vector<Tensor>& inputs,
             attrValue("scale" + std::to_string(i));
     Tensor gx = Tensor::zeros(x.dtype(), x.shape());
     const Shape& out_shape = gy.shape();
-    for (int64_t i = 0; i < gy.numel(); ++i) {
-        int64_t rem = i;
-        std::vector<int64_t> coords(out_shape.dims.size());
-        for (int d = out_shape.rank() - 1; d >= 0; --d) {
-            coords[static_cast<size_t>(d)] =
-                rem % out_shape.dims[static_cast<size_t>(d)];
-            rem /= out_shape.dims[static_cast<size_t>(d)];
+    forFloat(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        const T* pg = gy.data<T>();
+        T* pgx = gx.data<T>();
+        const int64_t n = gy.numel();
+        int64_t coords[kMaxRank + 2];
+        for (int64_t i = 0; i < n; ++i) {
+            int64_t rem = i;
+            for (int d = out_shape.rank() - 1; d >= 0; --d) {
+                coords[d] = rem % out_shape.dims[static_cast<size_t>(d)];
+                rem /= out_shape.dims[static_cast<size_t>(d)];
+            }
+            for (int s = 0; s < spatialDims_; ++s)
+                coords[2 + s] /= scales[static_cast<size_t>(s)];
+            int64_t in_flat = 0;
+            for (int d = 0; d < x.rank(); ++d)
+                in_flat =
+                    in_flat * x.shape().dims[static_cast<size_t>(d)] +
+                    coords[d];
+            pgx[in_flat] = static_cast<T>(pgx[in_flat] + pg[i]);
         }
-        for (int s = 0; s < spatialDims_; ++s)
-            coords[static_cast<size_t>(2 + s)] /=
-                scales[static_cast<size_t>(s)];
-        int64_t in_flat = 0;
-        for (int d = 0; d < x.rank(); ++d)
-            in_flat = in_flat * x.shape().dims[static_cast<size_t>(d)] +
-                      coords[static_cast<size_t>(d)];
-        gx.setScalar(in_flat, gx.scalarAt(in_flat) + gy.scalarAt(i));
-    }
+    });
     return {gx};
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "tensor/kernels.h"
 
 namespace nnsmith::ops {
 
@@ -136,43 +137,60 @@ std::vector<Tensor>
 ReduceOp::execute(const std::vector<Tensor>& inputs) const
 {
     const Tensor& x = inputs[0];
-    const AxisSlices slices(x.shape(), axis());
-    Shape out_shape;
-    for (int i = 0; i < x.rank(); ++i) {
-        if (i == axis()) {
-            if (keepDims())
-                out_shape.dims.push_back(1);
-            continue;
-        }
-        out_shape.dims.push_back(x.shape().dims[static_cast<size_t>(i)]);
-    }
-    Tensor out = Tensor::zeros(x.dtype(), out_shape);
-    for (int64_t s = 0; s < slices.numSlices; ++s) {
-        const int64_t base = slices.base(s);
-        double acc;
-        switch (kind_) {
-          case ReduceKind::kSum:
-          case ReduceKind::kMean: acc = 0.0; break;
-          case ReduceKind::kProd: acc = 1.0; break;
-          case ReduceKind::kMax: acc = -HUGE_VAL; break;
-          case ReduceKind::kMin: acc = HUGE_VAL; break;
-          default: acc = 0.0; break;
-        }
-        for (int64_t k = 0; k < slices.axisDim; ++k) {
-            const double v = x.scalarAt(base + k * slices.axisStride);
-            switch (kind_) {
-              case ReduceKind::kSum:
-              case ReduceKind::kMean: acc += v; break;
-              case ReduceKind::kProd: acc *= v; break;
-              case ReduceKind::kMax: acc = std::max(acc, v); break;
-              case ReduceKind::kMin: acc = std::min(acc, v); break;
+    // Accumulation rule: float reduces accumulate in double (the
+    // historical semantics); integer reduces accumulate natively with
+    // two's-complement wrap, so i64 sums/products beyond 2^53 are
+    // exact (modulo 2^64) rather than silently rounded.
+    const auto init = [kind = kind_](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            switch (kind) {
+              case ReduceKind::kProd: return 1.0;
+              case ReduceKind::kMax: return -HUGE_VAL;
+              case ReduceKind::kMin: return HUGE_VAL;
+              default: return 0.0;
+            }
+        } else {
+            switch (kind) {
+              case ReduceKind::kProd: return T{1};
+              case ReduceKind::kMax: return std::numeric_limits<T>::min();
+              case ReduceKind::kMin: return std::numeric_limits<T>::max();
+              default: return T{0};
             }
         }
-        if (kind_ == ReduceKind::kMean)
-            acc /= static_cast<double>(slices.axisDim);
-        out.setScalar(s, acc);
-    }
-    return {out};
+    };
+    const auto combine = [kind = kind_](auto acc, auto v) {
+        using Acc = decltype(acc);
+        if constexpr (std::is_floating_point_v<Acc>) {
+            const double d = static_cast<double>(v);
+            switch (kind) {
+              case ReduceKind::kProd: return acc * d;
+              case ReduceKind::kMax: return std::max(acc, d);
+              case ReduceKind::kMin: return std::min(acc, d);
+              default: return acc + d;
+            }
+        } else {
+            const Acc t = static_cast<Acc>(v);
+            switch (kind) {
+              case ReduceKind::kProd: return tensor::wrapMul(acc, t);
+              case ReduceKind::kMax: return std::max(acc, t);
+              case ReduceKind::kMin: return std::min(acc, t);
+              default: return tensor::wrapAdd(acc, t);
+            }
+        }
+    };
+    const auto finalize = [kind = kind_](auto acc, int64_t axis_dim) {
+        using Acc = decltype(acc);
+        if constexpr (std::is_floating_point_v<Acc>) {
+            return kind == ReduceKind::kMean
+                       ? acc / static_cast<double>(axis_dim)
+                       : acc;
+        } else {
+            return acc; // Mean is float-only by dtypeCombos()
+        }
+    };
+    return {tensor::applyReduce(x, axis(), keepDims(), init, combine,
+                                finalize)};
 }
 
 std::vector<Tensor>
@@ -186,32 +204,42 @@ ReduceOp::backward(const std::vector<Tensor>& inputs,
     const Tensor& gy = grad_outputs[0];
     const AxisSlices slices(x.shape(), axis());
     Tensor gx = Tensor::zeros(x.dtype(), x.shape());
-    for (int64_t s = 0; s < slices.numSlices; ++s) {
-        const int64_t base = slices.base(s);
-        const double g = gy.scalarAt(s);
-        const double y = outputs[0].scalarAt(s);
-        for (int64_t k = 0; k < slices.axisDim; ++k) {
-            const int64_t idx = base + k * slices.axisStride;
-            const double v = x.scalarAt(idx);
-            double d = 0.0;
-            switch (kind_) {
-              case ReduceKind::kSum: d = 1.0; break;
-              case ReduceKind::kMean:
-                d = 1.0 / static_cast<double>(slices.axisDim);
-                break;
-              case ReduceKind::kProd:
-                d = v != 0.0 ? y / v : proxyAlpha();
-                break;
-              case ReduceKind::kMax:
-                d = v == y ? 1.0 : proxyAlpha();
-                break;
-              case ReduceKind::kMin:
-                d = v == y ? 1.0 : proxyAlpha();
-                break;
+    const ReduceKind kind = kind_;
+    tensor::dispatchDType(x.dtype(), [&](auto tag) {
+        using T = decltype(tag);
+        if constexpr (std::is_floating_point_v<T>) {
+            const T* px = x.data<T>();
+            const T* py = outputs[0].data<T>();
+            const T* pg = gy.data<T>();
+            T* pd = gx.data<T>();
+            for (int64_t s = 0; s < slices.numSlices; ++s) {
+                const int64_t base = slices.base(s);
+                const double g = pg[s];
+                const double y = py[s];
+                for (int64_t k = 0; k < slices.axisDim; ++k) {
+                    const int64_t idx = base + k * slices.axisStride;
+                    const double v = px[idx];
+                    double d = 0.0;
+                    switch (kind) {
+                      case ReduceKind::kSum: d = 1.0; break;
+                      case ReduceKind::kMean:
+                        d = 1.0 / static_cast<double>(slices.axisDim);
+                        break;
+                      case ReduceKind::kProd:
+                        d = v != 0.0 ? y / v : proxyAlpha();
+                        break;
+                      case ReduceKind::kMax:
+                        d = v == y ? 1.0 : proxyAlpha();
+                        break;
+                      case ReduceKind::kMin:
+                        d = v == y ? 1.0 : proxyAlpha();
+                        break;
+                    }
+                    pd[idx] = static_cast<T>(g * d);
+                }
             }
-            gx.setScalar(idx, g * d);
         }
-    }
+    });
     return {gx};
 }
 
@@ -278,19 +306,25 @@ ArgExtremumOp::execute(const std::vector<Tensor>& inputs) const
             out_shape.dims.push_back(x.shape().dims[static_cast<size_t>(i)]);
     }
     Tensor out = Tensor::zeros(DType::kI64, out_shape);
-    for (int64_t s = 0; s < slices.numSlices; ++s) {
-        const int64_t base = slices.base(s);
-        double best = x.scalarAt(base);
-        int64_t best_k = 0;
-        for (int64_t k = 1; k < slices.axisDim; ++k) {
-            const double v = x.scalarAt(base + k * slices.axisStride);
-            if ((isMax_ && v > best) || (!isMax_ && v < best)) {
-                best = v;
-                best_k = k;
+    int64_t* dst = out.data<int64_t>();
+    const bool is_max = isMax_;
+    tensor::dispatchDType(x.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        const auto* src = x.data<Tag>();
+        for (int64_t s = 0; s < slices.numSlices; ++s) {
+            const int64_t base = slices.base(s);
+            auto best = src[base];
+            int64_t best_k = 0;
+            for (int64_t k = 1; k < slices.axisDim; ++k) {
+                const auto v = src[base + k * slices.axisStride];
+                if ((is_max && v > best) || (!is_max && v < best)) {
+                    best = v;
+                    best_k = k;
+                }
             }
+            dst[s] = best_k;
         }
-        out.setScalar(s, static_cast<double>(best_k));
-    }
+    });
     return {out};
 }
 

@@ -24,11 +24,8 @@ OpRegistry::OpRegistry()
 const OpMeta*
 OpRegistry::find(const std::string& name) const
 {
-    for (const auto& m : metas_) {
-        if (m.name == name)
-            return &m;
-    }
-    return nullptr;
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &metas_[it->second];
 }
 
 std::vector<const OpMeta*>
@@ -70,6 +67,7 @@ OpRegistry::registerOp(OpMeta meta)
     NNSMITH_ASSERT(find(meta.name) == nullptr, "duplicate op ", meta.name);
     NNSMITH_ASSERT(meta.make && meta.reconstruct, "incomplete meta for ",
                    meta.name);
+    index_.emplace(meta.name, metas_.size());
     metas_.push_back(std::move(meta));
 }
 

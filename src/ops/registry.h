@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ops/op_base.h"
@@ -64,7 +65,7 @@ class OpRegistry {
 
     const std::vector<OpMeta>& all() const { return metas_; }
 
-    /** Lookup by operator name; nullptr when unknown. */
+    /** O(1) lookup by operator name; nullptr when unknown. */
     const OpMeta* find(const std::string& name) const;
 
     /** All records of one category. */
@@ -81,6 +82,13 @@ class OpRegistry {
     OpRegistry();
 
     std::vector<OpMeta> metas_;
+
+    /**
+     * Name -> index into metas_. find() sits on the generator's
+     * per-iteration hot path (allowlist resolution, serialization
+     * replay), so a linear scan over ~60 ops is measurable.
+     */
+    std::unordered_map<std::string, size_t> index_;
 };
 
 // Registration entry points, one per implementation file.

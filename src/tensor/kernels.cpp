@@ -1,0 +1,118 @@
+#include "tensor/kernels.h"
+
+namespace nnsmith::tensor {
+
+Shape
+broadcastShapes(const Shape& a, const Shape& b)
+{
+    const int ra = a.rank();
+    const int rb = b.rank();
+    const int out_rank = std::max(ra, rb);
+    Shape out;
+    out.dims.assign(static_cast<size_t>(out_rank), 1);
+    for (int pos = 0; pos < out_rank; ++pos) {
+        const int ia = ra - 1 - pos;
+        const int ib = rb - 1 - pos;
+        const int64_t da = ia >= 0 ? a.dims[static_cast<size_t>(ia)] : 1;
+        const int64_t db = ib >= 0 ? b.dims[static_cast<size_t>(ib)] : 1;
+        NNSMITH_ASSERT(da == db || da == 1 || db == 1,
+                       "incompatible broadcast ", a.toString(), " vs ",
+                       b.toString());
+        out.dims[static_cast<size_t>(out_rank - 1 - pos)] = std::max(da, db);
+    }
+    return out;
+}
+
+BroadcastIndexer::BroadcastIndexer(const Shape& in, const Shape& out)
+    : outDims_(out.dims)
+{
+    const auto in_strides = rowMajorStrides(in);
+    const int ro = out.rank();
+    const int ri = in.rank();
+    strides_.assign(static_cast<size_t>(ro), 0);
+    for (int pos = 0; pos < ro; ++pos) {
+        const int io = ro - 1 - pos;
+        const int ii = ri - 1 - pos;
+        if (ii < 0)
+            continue;
+        if (in.dims[static_cast<size_t>(ii)] == 1 &&
+            out.dims[static_cast<size_t>(io)] != 1)
+            continue; // broadcast: stride 0
+        strides_[static_cast<size_t>(io)] =
+            in_strides[static_cast<size_t>(ii)];
+    }
+    identity_ = in.dims == out.dims;
+}
+
+int64_t
+BroadcastIndexer::map(int64_t out_flat) const
+{
+    int64_t in_flat = 0;
+    for (int i = static_cast<int>(outDims_.size()) - 1; i >= 0; --i) {
+        const int64_t dim = outDims_[static_cast<size_t>(i)];
+        const int64_t coord = out_flat % dim;
+        out_flat /= dim;
+        in_flat += coord * strides_[static_cast<size_t>(i)];
+    }
+    return in_flat;
+}
+
+Tensor
+applyWhere(const Tensor& cond, const Tensor& on_true,
+           const Tensor& on_false)
+{
+    NNSMITH_ASSERT(cond.dtype() == DType::kBool, "applyWhere needs bool cond");
+    NNSMITH_ASSERT(on_true.dtype() == on_false.dtype(),
+                   "applyWhere value dtype mismatch");
+    const Shape out_shape = broadcastShapes(
+        broadcastShapes(cond.shape(), on_true.shape()), on_false.shape());
+    return dispatchDType(on_true.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(on_true.dtype(), out_shape);
+        const uint8_t* pc = cond.data<bool>();
+        const auto* pt = on_true.data<Tag>();
+        const auto* pf = on_false.data<Tag>();
+        auto* dst = out.data<Tag>();
+        const int64_t n = out.numel();
+        const BroadcastIndexer ic(cond.shape(), out_shape);
+        const BroadcastIndexer it(on_true.shape(), out_shape);
+        const BroadcastIndexer iff(on_false.shape(), out_shape);
+        if (ic.isIdentity() && it.isIdentity() && iff.isIdentity()) {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = pc[i] != 0 ? pt[i] : pf[i];
+        } else {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = pc[ic.map(i)] != 0 ? pt[it.map(i)]
+                                            : pf[iff.map(i)];
+        }
+        return out;
+    });
+}
+
+Tensor
+sumToShape(const Tensor& grad, const Shape& in_shape)
+{
+    return dispatchDType(grad.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(grad.dtype(), in_shape);
+        const auto* src = grad.data<Tag>();
+        auto* dst = out.data<Tag>();
+        const int64_t n = grad.numel();
+        const BroadcastIndexer indexer(in_shape, grad.shape());
+        if (indexer.isIdentity()) {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = src[i];
+        } else if constexpr (std::is_integral_v<detail::NativeT<Tag>>) {
+            for (int64_t i = 0; i < n; ++i) {
+                const int64_t j = indexer.map(i);
+                dst[j] = wrapAdd(dst[j], src[i]);
+            }
+        } else {
+            for (int64_t i = 0; i < n; ++i)
+                dst[indexer.map(i)] += src[i];
+        }
+        return out;
+    });
+}
+
+} // namespace nnsmith::tensor

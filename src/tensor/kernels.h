@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Typed kernel layer: dispatch-once element loops over dense tensors.
+ *
+ * Every operator's reference kernel used to funnel each element through
+ * `Tensor::scalarAt`/`setScalar`, paying a `std::variant` visit *twice
+ * per element* and silently round-tripping integers through double
+ * (which corrupts i64 values above 2^53 and turns integer
+ * division-by-zero into undefined float->int casts). The helpers here
+ * dispatch on the dtype *once per tensor* via `dispatchDType` and then
+ * run a tight loop over typed pointers.
+ *
+ * Numeric semantics (see DESIGN.md "Numeric semantics"):
+ *  - i32/i64 arithmetic is native two's-complement; Add/Sub/Mul wrap
+ *    (use wrapAdd/wrapSub/wrapMul — signed overflow must not reach the
+ *    hardware instruction, UBSan enforces this);
+ *  - integer division truncates toward zero (C++ semantics); integer
+ *    div/mod-by-zero yields 0 and poisons the output tensor, which the
+ *    interpreter records exactly like NaN-poisoning via
+ *    `ExecResult.firstInvalidNode`; INT_MIN / -1 wraps to INT_MIN;
+ *  - casting a non-finite or out-of-range double to an integer type
+ *    saturates (NaN -> 0), see `saturateCast`.
+ *
+ * Functors passed to the apply* templates are generic lambdas invoked
+ * with the *native* element type (bool tensors use uint8_t storage);
+ * they are instantiated for every dtype the kernel dispatches over, so
+ * use `if constexpr` for type-dependent branches.
+ */
+#ifndef NNSMITH_TENSOR_KERNELS_H
+#define NNSMITH_TENSOR_KERNELS_H
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "tensor/tensor.h"
+
+namespace nnsmith::tensor {
+
+/** Concrete numpy broadcast of two shapes (trailing-aligned). */
+Shape broadcastShapes(const Shape& a, const Shape& b);
+
+/**
+ * Maps flat indices of a broadcast output to flat indices of one input
+ * (stride-0 on broadcast dimensions). `isIdentity()` is true when the
+ * input already has the output shape, enabling the no-remap fast path.
+ */
+class BroadcastIndexer {
+  public:
+    BroadcastIndexer(const Shape& in, const Shape& out);
+
+    /** Input flat index corresponding to @p out_flat. */
+    int64_t map(int64_t out_flat) const;
+
+    /** True when map() is the identity (same shape, no broadcasting). */
+    bool isIdentity() const { return identity_; }
+
+  private:
+    std::vector<int64_t> outDims_;
+    std::vector<int64_t> strides_; ///< input strides, 0 on broadcast dims
+    bool identity_ = false;
+};
+
+namespace detail {
+
+/** Native storage type for a dispatch tag (bool tensors store uint8_t). */
+template <typename Tag>
+using NativeT = std::conditional_t<std::is_same_v<Tag, bool>, uint8_t, Tag>;
+
+} // namespace detail
+
+// ---- defined scalar conversions -------------------------------------------
+
+/**
+ * Double -> integer conversion with defined out-of-range behavior:
+ * NaN maps to 0, anything at or beyond the representable range
+ * saturates to the type's min/max. In-range values truncate toward
+ * zero as usual.
+ */
+template <typename To>
+To
+saturateCast(double v)
+{
+    static_assert(std::is_integral_v<To>);
+    if (std::isnan(v))
+        return To{0};
+    // min() is a power of two, so both bounds are exact doubles; max()
+    // is not (for i64), hence the >= comparison against -min.
+    constexpr double kLo = static_cast<double>(std::numeric_limits<To>::min());
+    constexpr double kHi = -kLo;
+    if (v >= kHi)
+        return std::numeric_limits<To>::max();
+    if (v < kLo)
+        return std::numeric_limits<To>::min();
+    return static_cast<To>(v);
+}
+
+/** Wrapping signed arithmetic (two's complement, no UB on overflow). */
+template <typename T>
+T
+wrapAdd(T a, T b)
+{
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+}
+
+template <typename T>
+T
+wrapSub(T a, T b)
+{
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+}
+
+template <typename T>
+T
+wrapMul(T a, T b)
+{
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+}
+
+/**
+ * Truncating integer division with defined edge cases: b == 0 yields 0
+ * and sets @p poison; the INT_MIN / -1 overflow wraps to INT_MIN.
+ */
+template <typename T>
+T
+wrapDiv(T a, T b, bool& poison)
+{
+    static_assert(std::is_integral_v<T>);
+    if (b == 0) {
+        poison = true;
+        return T{0};
+    }
+    if constexpr (std::is_signed_v<T>) {
+        if (a == std::numeric_limits<T>::min() && b == static_cast<T>(-1))
+            return a;
+    }
+    return static_cast<T>(a / b);
+}
+
+/** Integer remainder matching wrapDiv (b == 0 yields 0 and poisons). */
+template <typename T>
+T
+wrapMod(T a, T b, bool& poison)
+{
+    static_assert(std::is_integral_v<T>);
+    if (b == 0) {
+        poison = true;
+        return T{0};
+    }
+    if constexpr (std::is_signed_v<T>) {
+        if (a == std::numeric_limits<T>::min() && b == static_cast<T>(-1))
+            return T{0};
+    }
+    return static_cast<T>(a % b);
+}
+
+// ---- dispatch-once element loops ------------------------------------------
+
+/**
+ * Elementwise map with out dtype == in dtype:
+ * `out[i] = fn(in[i])`, fn invoked with the native element type.
+ */
+template <typename Fn>
+Tensor
+applyUnary(const Tensor& in, Fn&& fn)
+{
+    return dispatchDType(in.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(in.dtype(), in.shape());
+        const auto* src = in.data<Tag>();
+        auto* dst = out.data<Tag>();
+        const int64_t n = in.numel();
+        for (int64_t i = 0; i < n; ++i)
+            dst[i] = fn(src[i]);
+        return out;
+    });
+}
+
+/**
+ * Broadcasting elementwise combine with out dtype == lhs dtype:
+ * `out[i] = fn(a[ia(i)], b[ib(i)])`. Inputs must share a dtype.
+ */
+template <typename Fn>
+Tensor
+applyBinary(const Tensor& a, const Tensor& b, Fn&& fn)
+{
+    NNSMITH_ASSERT(a.dtype() == b.dtype(), "applyBinary dtype mismatch");
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    return dispatchDType(a.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(a.dtype(), out_shape);
+        const auto* pa = a.data<Tag>();
+        const auto* pb = b.data<Tag>();
+        auto* dst = out.data<Tag>();
+        const int64_t n = out.numel();
+        const BroadcastIndexer ia(a.shape(), out_shape);
+        const BroadcastIndexer ib(b.shape(), out_shape);
+        if (ia.isIdentity() && ib.isIdentity()) {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = fn(pa[i], pb[i]);
+        } else {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = fn(pa[ia.map(i)], pb[ib.map(i)]);
+        }
+        return out;
+    });
+}
+
+/**
+ * Broadcasting comparison with bool output:
+ * `out[i] = fn(a[ia(i)], b[ib(i)]) ? 1 : 0`. Inputs share a dtype.
+ */
+template <typename Fn>
+Tensor
+applyCompare(const Tensor& a, const Tensor& b, Fn&& fn)
+{
+    NNSMITH_ASSERT(a.dtype() == b.dtype(), "applyCompare dtype mismatch");
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    return dispatchDType(a.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(DType::kBool, out_shape);
+        const auto* pa = a.data<Tag>();
+        const auto* pb = b.data<Tag>();
+        auto* dst = out.data<bool>();
+        const int64_t n = out.numel();
+        const BroadcastIndexer ia(a.shape(), out_shape);
+        const BroadcastIndexer ib(b.shape(), out_shape);
+        if (ia.isIdentity() && ib.isIdentity()) {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = fn(pa[i], pb[i]) ? 1 : 0;
+        } else {
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = fn(pa[ia.map(i)], pb[ib.map(i)]) ? 1 : 0;
+        }
+        return out;
+    });
+}
+
+/**
+ * Enumerate the 1-D slices of @p shape along @p axis:
+ * `fn(base_offset)` is called once per slice; elements of the slice
+ * live at `base + k * stride(axis)` for k in [0, dims[axis]).
+ */
+template <typename Fn>
+void
+forEachSlice(const Shape& shape, int axis, Fn&& fn)
+{
+    const auto strides = rowMajorStrides(shape);
+    const int64_t axis_dim = shape.dims[static_cast<size_t>(axis)];
+    const int64_t n_slices =
+        shape.numel() / std::max<int64_t>(axis_dim, 1);
+    for (int64_t s = 0; s < n_slices; ++s) {
+        int64_t rem = s;
+        int64_t base = 0;
+        for (int i = shape.rank() - 1; i >= 0; --i) {
+            if (i == axis)
+                continue;
+            const int64_t dim = shape.dims[static_cast<size_t>(i)];
+            base += (rem % dim) * strides[static_cast<size_t>(i)];
+            rem /= dim;
+        }
+        fn(s, base);
+    }
+}
+
+/**
+ * Axis reduction. For each slice along @p axis:
+ * `acc = init(tag)`, then `acc = combine(acc, v)` over the slice, then
+ * `out[slice] = finalize(acc, axis_dim)`. Output dtype == input dtype.
+ */
+template <typename InitFn, typename CombineFn, typename FinalFn>
+Tensor
+applyReduce(const Tensor& in, int axis, bool keepdims, InitFn&& init,
+            CombineFn&& combine, FinalFn&& finalize)
+{
+    Shape out_shape;
+    for (int i = 0; i < in.rank(); ++i) {
+        if (i == axis) {
+            if (keepdims)
+                out_shape.dims.push_back(1);
+            continue;
+        }
+        out_shape.dims.push_back(in.shape().dims[static_cast<size_t>(i)]);
+    }
+    return dispatchDType(in.dtype(), [&](auto tag) {
+        using Tag = decltype(tag);
+        Tensor out = Tensor::zeros(in.dtype(), out_shape);
+        const auto* src = in.data<Tag>();
+        auto* dst = out.data<Tag>();
+        const auto strides = rowMajorStrides(in.shape());
+        const int64_t axis_dim =
+            in.shape().dims[static_cast<size_t>(axis)];
+        const int64_t stride = strides[static_cast<size_t>(axis)];
+        forEachSlice(in.shape(), axis, [&](int64_t s, int64_t base) {
+            auto acc = init(detail::NativeT<Tag>{});
+            for (int64_t k = 0; k < axis_dim; ++k)
+                acc = combine(acc, src[base + k * stride]);
+            dst[s] = finalize(acc, axis_dim);
+        });
+        return out;
+    });
+}
+
+/**
+ * Broadcasting three-way select: out dtype/shape follow the value
+ * operands; @p cond is a bool tensor.
+ */
+Tensor applyWhere(const Tensor& cond, const Tensor& on_true,
+                  const Tensor& on_false);
+
+/**
+ * Sum-reduce @p grad (shaped like a broadcast output) back to
+ * @p in_shape — the reverse of broadcasting, used by backward kernels.
+ */
+Tensor sumToShape(const Tensor& grad, const Shape& in_shape);
+
+} // namespace nnsmith::tensor
+
+#endif // NNSMITH_TENSOR_KERNELS_H

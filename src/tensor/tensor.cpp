@@ -1,8 +1,31 @@
 #include "tensor/tensor.h"
 
+#include <cassert>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace nnsmith::tensor {
+
+namespace {
+
+/** Defined element conversion between any two native element types. */
+template <typename Dst, typename Src>
+Dst
+convertElem(Src v)
+{
+    if constexpr (std::is_floating_point_v<Src> && std::is_integral_v<Dst>) {
+        const Dst out = saturateCast<Dst>(static_cast<double>(v));
+        assert(!std::isnan(static_cast<double>(v)) || out == Dst{0});
+        return out;
+    } else {
+        // int->int narrows modulo 2^n (C++20), int<->float and
+        // float<->float are ordinary conversions.
+        return static_cast<Dst>(v);
+    }
+}
+
+} // namespace
 
 Tensor
 Tensor::zeros(DType dtype, const Shape& shape)
@@ -12,11 +35,21 @@ Tensor::zeros(DType dtype, const Shape& shape)
     t.shape_ = shape;
     const size_t n = static_cast<size_t>(shape.numel());
     switch (dtype) {
-      case DType::kF32:  t.storage_ = std::vector<float>(n, 0.0f); break;
-      case DType::kF64:  t.storage_ = std::vector<double>(n, 0.0); break;
-      case DType::kI32:  t.storage_ = std::vector<int32_t>(n, 0); break;
-      case DType::kI64:  t.storage_ = std::vector<int64_t>(n, 0); break;
-      case DType::kBool: t.storage_ = std::vector<uint8_t>(n, 0); break;
+      case DType::kF32:
+        t.storage_ = std::make_shared<Storage>(std::vector<float>(n, 0.0f));
+        break;
+      case DType::kF64:
+        t.storage_ = std::make_shared<Storage>(std::vector<double>(n, 0.0));
+        break;
+      case DType::kI32:
+        t.storage_ = std::make_shared<Storage>(std::vector<int32_t>(n, 0));
+        break;
+      case DType::kI64:
+        t.storage_ = std::make_shared<Storage>(std::vector<int64_t>(n, 0));
+        break;
+      case DType::kBool:
+        t.storage_ = std::make_shared<Storage>(std::vector<uint8_t>(n, 0));
+        break;
     }
     return t;
 }
@@ -35,26 +68,34 @@ Tensor::random(DType dtype, const Shape& shape, Rng& rng, double lo,
                double hi)
 {
     Tensor t = zeros(dtype, shape);
-    for (int64_t i = 0; i < t.numel(); ++i) {
-        if (dtype == DType::kBool) {
-            t.setScalar(i, rng.chance(0.5) ? 1.0 : 0.0);
-        } else if (isInt(dtype)) {
-            t.setScalar(i, static_cast<double>(rng.uniformInt(
-                               static_cast<int64_t>(lo),
-                               static_cast<int64_t>(hi))));
+    dispatchDType(dtype, [&](auto tag) {
+        using Tag = decltype(tag);
+        auto* p = t.data<Tag>();
+        const int64_t n = t.numel();
+        if constexpr (std::is_same_v<Tag, bool>) {
+            for (int64_t i = 0; i < n; ++i)
+                p[i] = rng.chance(0.5) ? 1 : 0;
+        } else if constexpr (std::is_integral_v<Tag>) {
+            const auto ilo = static_cast<int64_t>(lo);
+            const auto ihi = static_cast<int64_t>(hi);
+            for (int64_t i = 0; i < n; ++i)
+                p[i] = static_cast<Tag>(rng.uniformInt(ilo, ihi));
         } else {
-            t.setScalar(i, rng.uniformReal(lo, hi));
+            for (int64_t i = 0; i < n; ++i)
+                p[i] = static_cast<Tag>(rng.uniformReal(lo, hi));
         }
-    }
+    });
     return t;
 }
 
 bool
 Tensor::defined() const
 {
+    if (storage_ == nullptr)
+        return false;
     const auto stored = std::visit(
         [](const auto& v) { return static_cast<int64_t>(v.size()); },
-        storage_);
+        *storage_);
     return stored == numel();
 }
 
@@ -62,20 +103,32 @@ double
 Tensor::scalarAt(int64_t i) const
 {
     NNSMITH_ASSERT(i >= 0 && i < numel(), "scalarAt out of range");
+    NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
     return std::visit(
-        [i](const auto& v) { return static_cast<double>(v[i]); }, storage_);
+        [i](const auto& v) { return static_cast<double>(v[i]); },
+        *storage_);
 }
 
 void
 Tensor::setScalar(int64_t i, double value)
 {
     NNSMITH_ASSERT(i >= 0 && i < numel(), "setScalar out of range");
+    NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
+    detach();
     std::visit(
-        [i, value](auto& v) {
+        [i, value, this](auto& v) {
             using Elem = typename std::decay_t<decltype(v)>::value_type;
-            v[i] = static_cast<Elem>(value);
+            if constexpr (std::is_floating_point_v<Elem>) {
+                v[i] = static_cast<Elem>(value);
+            } else if (dtype_ == DType::kBool) {
+                v[i] = value != 0.0 ? 1 : 0;
+            } else {
+                // Non-finite / out-of-range doubles would be UB under a
+                // plain cast; saturate with the documented rule.
+                v[i] = saturateCast<Elem>(value);
+            }
         },
-        storage_);
+        *storage_);
 }
 
 bool
@@ -83,12 +136,18 @@ Tensor::hasNaNOrInf() const
 {
     if (!isFloat(dtype_))
         return false;
-    for (int64_t i = 0; i < numel(); ++i) {
-        const double x = scalarAt(i);
-        if (std::isnan(x) || std::isinf(x))
-            return true;
-    }
-    return false;
+    return dispatchDType(dtype_, [&](auto tag) {
+        using Tag = decltype(tag);
+        if constexpr (std::is_floating_point_v<Tag>) {
+            const auto* p = data<Tag>();
+            const int64_t n = numel();
+            for (int64_t i = 0; i < n; ++i) {
+                if (!std::isfinite(p[i]))
+                    return true;
+            }
+        }
+        return false;
+    });
 }
 
 Tensor
@@ -107,12 +166,25 @@ Tensor::castTo(DType target) const
     if (target == dtype_)
         return *this;
     Tensor t = zeros(target, shape_);
-    for (int64_t i = 0; i < numel(); ++i) {
-        double v = scalarAt(i);
-        if (target == DType::kBool)
-            v = (v != 0.0) ? 1.0 : 0.0;
-        t.setScalar(i, v);
-    }
+    const int64_t n = numel();
+    dispatchDType(dtype_, [&](auto src_tag) {
+        using Src = decltype(src_tag);
+        const auto* src = data<Src>();
+        if (target == DType::kBool) {
+            auto* dst = t.data<bool>();
+            for (int64_t i = 0; i < n; ++i)
+                dst[i] = src[i] != 0 ? 1 : 0;
+            return;
+        }
+        dispatchDType(target, [&](auto dst_tag) {
+            using Dst = decltype(dst_tag);
+            if constexpr (!std::is_same_v<Dst, bool>) {
+                auto* dst = t.data<Dst>();
+                for (int64_t i = 0; i < n; ++i)
+                    dst[i] = convertElem<Dst>(src[i]);
+            }
+        });
+    });
     return t;
 }
 
@@ -121,15 +193,21 @@ Tensor::equals(const Tensor& other) const
 {
     if (dtype_ != other.dtype_ || !(shape_ == other.shape_))
         return false;
-    for (int64_t i = 0; i < numel(); ++i) {
-        const double a = scalarAt(i);
-        const double b = other.scalarAt(i);
-        if (std::isnan(a) && std::isnan(b))
-            continue;
-        if (a != b)
-            return false;
-    }
-    return true;
+    return dispatchDType(dtype_, [&](auto tag) {
+        using Tag = decltype(tag);
+        const auto* a = data<Tag>();
+        const auto* b = other.data<Tag>();
+        const int64_t n = numel();
+        for (int64_t i = 0; i < n; ++i) {
+            if constexpr (std::is_floating_point_v<Tag>) {
+                if (std::isnan(a[i]) && std::isnan(b[i]))
+                    continue;
+            }
+            if (a[i] != b[i])
+                return false;
+        }
+        return true;
+    });
 }
 
 std::string

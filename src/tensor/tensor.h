@@ -7,6 +7,7 @@
 #define NNSMITH_TENSOR_TENSOR_H
 
 #include <cmath>
+#include <memory>
 #include <variant>
 #include <vector>
 
@@ -32,6 +33,11 @@ template <> struct DTypeOf<bool>    { static constexpr DType value = DType::kBoo
  *
  * Bool tensors are stored as uint8_t (0/1) to keep contiguous access
  * (std::vector<bool> has no data()).
+ *
+ * Storage is copy-on-write: copies share the payload until a mutable
+ * access (`data<T>()` non-const, `setScalar`) detaches it. The
+ * interpreter keeps every intermediate in maps and hands ops value
+ * vectors — with eager copies that was a full memcpy per edge.
  */
 class Tensor {
   public:
@@ -85,33 +91,63 @@ class Tensor {
     int rank() const { return shape_.rank(); }
     int64_t numel() const { return shape_.numel(); }
 
-    /** Typed raw pointer; panics on dtype mismatch. Bool -> uint8_t. */
+    /**
+     * Typed raw pointer; panics on dtype mismatch. `data<bool>()`
+     * returns the stored `uint8_t*` directly — reinterpreting the
+     * uint8_t storage as `bool*` would violate strict aliasing. The
+     * non-const overload detaches shared storage (copy-on-write).
+     */
     template <typename T>
-    T*
-    data()
+    auto
+    data() -> std::conditional_t<std::is_same_v<T, bool>, uint8_t, T>*
     {
         using Stored = std::conditional_t<std::is_same_v<T, bool>, uint8_t, T>;
         NNSMITH_ASSERT(detail::DTypeOf<T>::value == dtype_,
                        "tensor dtype mismatch");
-        return reinterpret_cast<T*>(
-            std::get<std::vector<Stored>>(storage_).data());
+        NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
+        detach();
+        return std::get<std::vector<Stored>>(*storage_).data();
     }
 
     template <typename T>
-    const T*
+    auto
     data() const
+        -> const std::conditional_t<std::is_same_v<T, bool>, uint8_t, T>*
     {
-        return const_cast<Tensor*>(this)->data<T>();
+        using Stored = std::conditional_t<std::is_same_v<T, bool>, uint8_t, T>;
+        NNSMITH_ASSERT(detail::DTypeOf<T>::value == dtype_,
+                       "tensor dtype mismatch");
+        NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
+        return std::get<std::vector<Stored>>(*storage_).data();
     }
 
-    /** Element read as double, whatever the dtype (flat index). */
+    /**
+     * Element read as double, whatever the dtype (flat index).
+     * Cold-path convenience: i64 values above 2^53 lose precision, so
+     * hot loops and integer-exact code must use data<T>() (see
+     * tensor/kernels.h).
+     */
     double scalarAt(int64_t i) const;
 
-    /** Element write from double, cast to the dtype (flat index). */
+    /**
+     * Element write from double, cast to the dtype (flat index).
+     * Defined for every double: integer dtypes saturate on
+     * out-of-range/Inf and map NaN to 0 (see kernels.h saturateCast);
+     * bool normalizes to 0/1.
+     */
     void setScalar(int64_t i, double value);
 
     /** Any element NaN or Inf? (floating dtypes only; false otherwise) */
     bool hasNaNOrInf() const;
+
+    /**
+     * Poison marker for defined-but-invalid integer results (integer
+     * div/mod-by-zero substitutes 0 and marks the output poisoned).
+     * The interpreter records poisoned outputs in
+     * `ExecResult.firstInvalidNode` exactly like NaN/Inf.
+     */
+    bool poisoned() const { return poisoned_; }
+    void markPoisoned() { poisoned_ = true; }
 
     /** Reinterpret with a new shape of equal numel (shares nothing). */
     Tensor reshaped(const Shape& shape) const;
@@ -129,9 +165,18 @@ class Tensor {
                                  std::vector<int32_t>, std::vector<int64_t>,
                                  std::vector<uint8_t>>;
 
+    /** Clone shared storage before a mutation (copy-on-write). */
+    void
+    detach()
+    {
+        if (storage_ != nullptr && storage_.use_count() > 1)
+            storage_ = std::make_shared<Storage>(*storage_);
+    }
+
     DType dtype_;
     Shape shape_;
-    Storage storage_;
+    std::shared_ptr<Storage> storage_;
+    bool poisoned_ = false;
 };
 
 /**
