@@ -12,6 +12,12 @@
  *                   results are byte-identical for any N, so --shards
  *                   only changes wall-clock time; Tzer is stateful
  *                   across iterations and always runs serially)
+ *   --pass-fuzz     run TVMLite with randomized TIR pass sequences
+ *                   (tirlite/tir_passes.h drawPassSequence) instead of
+ *                   the fixed default pipeline; the sequence is a pure
+ *                   function of (campaign seed, lowered program), so
+ *                   sharding stays byte-identical. Affects only the
+ *                   TVM system under test.
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
@@ -43,6 +49,7 @@ struct BenchOptions {
     size_t iters = 600;
     int minutes = 240;
     int shards = 1;
+    bool passFuzz = false;
 };
 
 inline BenchOptions
@@ -61,6 +68,8 @@ parseArgs(int argc, char** argv)
             options.minutes = std::stoi(argv[++i]);
         else if (want("--shards"))
             options.shards = std::max(1, std::stoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--pass-fuzz") == 0)
+            options.passFuzz = true;
     }
     return options;
 }
@@ -123,8 +132,12 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
             return makeFuzzer(fuzzer_name, seed);
         };
         parallel.backendFactory =
-            [index = static_cast<size_t>(sut.backendIndex)]() {
+            [index = static_cast<size_t>(sut.backendIndex),
+             pass_fuzz = options.passFuzz, seed = options.seed]() {
                 auto owned = difftest::makeAllBackends();
+                if (pass_fuzz)
+                    owned[1] = backends::makeTvmLite(
+                        /*pass_fuzz_seed=*/seed | 1);
                 std::vector<std::unique_ptr<backends::Backend>> picked;
                 picked.push_back(std::move(owned[index]));
                 return picked;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification + strict-warnings build + sanitizer build.
 #
-#   scripts/check.sh            # normal build + ctest, then strict build
+#   scripts/check.sh            # docs check + build + ctest, then strict build
 #   scripts/check.sh --fast     # skip the strict build
 #   scripts/check.sh --sanitize # the ASan+UBSan build + ctest (own CI job)
 #
@@ -25,6 +25,9 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     echo "== check.sh: sanitize green =="
     exit 0
 fi
+
+echo "== docs: README fig→driver table vs bench/ targets =="
+scripts/check_docs.sh
 
 echo "== tier-1: configure + build =="
 cmake -B build -S .

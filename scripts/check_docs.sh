@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Docs-consistency check: README.md's fig→driver table must stay in
+# sync with the actual bench/ target list, in both directions, so the
+# table cannot silently rot as drivers are added or renamed.
+#
+# Run standalone or via scripts/check.sh / CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# Every bench driver must appear (as `driver`) in README's table.
+for src in bench/*.cpp; do
+    name="$(basename "$src" .cpp)"
+    [[ "$name" == "bench_util" ]] && continue # shared header-style plumbing
+    if ! grep -q "^| \`$name\`" README.md; then
+        echo "check_docs: README.md fig→driver table is missing bench driver '$name'"
+        fail=1
+    fi
+done
+
+# Every driver the README's table names must exist in bench/.
+while IFS= read -r name; do
+    if [[ ! -f "bench/$name.cpp" ]]; then
+        echo "check_docs: README.md names nonexistent bench driver '$name'"
+        fail=1
+    fi
+done < <(grep -oE '^\| `[A-Za-z0-9_]+`' README.md | sed -e 's/^| `//' -e 's/`$//')
+
+if [[ "$fail" == 0 ]]; then
+    echo "check_docs: README fig→driver table matches bench/ targets"
+fi
+exit "$fail"

@@ -53,7 +53,17 @@ class Backend {
 };
 
 std::unique_ptr<Backend> makeOrtLite();
-std::unique_ptr<Backend> makeTvmLite();
+
+/**
+ * TVMLite. With @p pass_fuzz_seed == 0 (the default) the low-level
+ * TIR stage runs the fixed default pipeline. With a nonzero seed it
+ * runs a *randomized* pass sequence per lowered program, drawn
+ * deterministically from `pass_fuzz_seed ^ hashTirProgram(program)` —
+ * a pure function of the test case, so sharded campaigns stay
+ * byte-identical (DESIGN.md "TIR pass pipeline & sequence fuzzing").
+ */
+std::unique_ptr<Backend> makeTvmLite(uint64_t pass_fuzz_seed = 0);
+
 std::unique_ptr<Backend> makeTrtLite();
 
 /**

@@ -87,6 +87,11 @@ attrOr(const OnnxNode& n, const std::string& key, int64_t fallback)
 /** TVMLite backend implementation. */
 class TvmLite final : public Backend {
   public:
+    explicit TvmLite(uint64_t pass_fuzz_seed)
+        : passFuzzSeed_(pass_fuzz_seed)
+    {
+    }
+
     std::string name() const override { return "TVMLite"; }
     System system() const override { return System::kTvmLite; }
 
@@ -513,21 +518,35 @@ class TvmLite final : public Backend {
                 ++bucket;
             covPass("schedule",
                     node.op->name() + "/n" + std::to_string(bucket));
-            tirlite::runTirPipeline(*program, fired_semantic);
+            if (passFuzzSeed_ != 0) {
+                // Pass-fuzz mode: randomized sequence, derived from
+                // the lowered program's structural hash so the draw is
+                // a pure function of the test case (shard-invariant —
+                // backend instances stay stateless across runs).
+                Rng rng(passFuzzSeed_ ^
+                        tirlite::hashTirProgram(*program));
+                const auto sequence = tirlite::drawPassSequence(rng);
+                tirlite::recordSequenceCoverage(sequence);
+                tirlite::runTirPasses(*program, sequence,
+                                      fired_semantic);
+            } else {
+                tirlite::runTirPipeline(*program, fired_semantic);
+            }
         }
     }
 
     std::vector<std::string> fired_semantic_import_;
+    uint64_t passFuzzSeed_ = 0;
 };
 
 } // namespace
 
 std::unique_ptr<Backend>
-makeTvmLite()
+makeTvmLite(uint64_t pass_fuzz_seed)
 {
     // Paper §5.1: TVM's instrumented branch population is ~103k.
     coverage::CoverageRegistry::instance().declareTotal("tvmlite", 102994);
-    return std::make_unique<TvmLite>();
+    return std::make_unique<TvmLite>(pass_fuzz_seed);
 }
 
 void

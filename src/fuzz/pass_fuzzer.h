@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The TIR pass-sequence fuzzer.
+ *
+ * Tzer (baselines/tzer.h) mutates TIR *programs* but always runs the
+ * fixed default pipeline over them; this fuzzer makes the pipeline
+ * itself the fuzzed dimension. Every iteration draws a random TIR
+ * program (optionally mutated a few steps) and a random pass
+ * *sequence* — subset and order — from the registry
+ * (tirlite/tir_passes.h), then uses the TIR interpreter as a
+ * differential oracle: the optimized program must produce bitwise the
+ * same buffers as the unoptimized one. Crash-symptom tvm.tir.* defects
+ * surface as crash bug records; semantic defects and genuine
+ * sequence-induced miscompiles surface as wrong-result records.
+ *
+ * Unlike Tzer, the fuzzer keeps no corpus: each iterate() draws
+ * everything from its own RNG stream, so a fresh instance per derived
+ * seed is iteration-independent and qualifies for the sharded
+ * parallel campaign runner (fuzz/parallel_campaign.h) — merged
+ * results stay byte-identical for any shard count.
+ */
+#ifndef NNSMITH_FUZZ_PASS_FUZZER_H
+#define NNSMITH_FUZZ_PASS_FUZZER_H
+
+#include "fuzz/fuzzer.h"
+#include "tirlite/tir_passes.h"
+
+namespace nnsmith::fuzz {
+
+/** Fuzzes randomized TIR pass sequences against the interp oracle. */
+class PassSequenceFuzzer final : public Fuzzer {
+  public:
+    struct Options {
+        /** Virtual cost per case (TIR cases are cheap, like Tzer's). */
+        VirtualMs caseCost = 500;
+
+        /** Max mutate() steps applied on top of randomProgram. */
+        int maxMutations = 3;
+    };
+
+    explicit PassSequenceFuzzer(uint64_t seed);
+    PassSequenceFuzzer(uint64_t seed, Options options);
+
+    std::string name() const override { return "PassFuzz"; }
+    IterationOutcome
+    iterate(const std::vector<backends::Backend*>& backend_list) override;
+
+  private:
+    Options options_;
+    Rng rng_;
+};
+
+} // namespace nnsmith::fuzz
+
+#endif // NNSMITH_FUZZ_PASS_FUZZER_H

@@ -1,7 +1,9 @@
 #include "tirlite/tir_passes.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
+#include <set>
 
 #include "backends/defects.h"
 #include "coverage/coverage.h"
@@ -182,11 +184,23 @@ collectLoads(const TirExprRef& e, std::vector<std::string>& keys)
         collectLoads(e->b, keys);
 }
 
-/** The index-expression simplifier (hosts tvm.tir.simplify_mod). */
-TirStmtRef
-simplifyIndex(const TirStmtRef& s)
+// ---- fold -----------------------------------------------------------------
+
+TirProgram
+passFold(const TirProgram& program, std::vector<std::string>&)
 {
-    return mapStmts(s, [](const TirExprRef& e) {
+    TirProgram out = program;
+    out.body = mapStmts(program.body, foldExpr);
+    return out;
+}
+
+// ---- simplify-index (hosts tvm.tir.simplify_mod) --------------------------
+
+TirProgram
+passSimplifyIndex(const TirProgram& program, std::vector<std::string>&)
+{
+    TirProgram out = program;
+    out.body = mapStmts(program.body, [](const TirExprRef& e) {
         if (hasNestedMod(e)) {
             cov("simplify", "nested_mod");
             if (DefectRegistry::instance().trigger("tvm.tir.simplify_mod"))
@@ -198,13 +212,15 @@ simplifyIndex(const TirStmtRef& s)
             cov("simplify", "div");
         if (e->kind == TirExprKind::kMod)
             cov("simplify", "mod");
-        return foldExpr(e);
+        return e;
     });
+    return out;
 }
 
-/** Loop unrolling for tiny extents (hosts tvm.tir.unroll_offset). */
+// ---- unroll (hosts tvm.tir.unroll_offset) ---------------------------------
+
 TirStmtRef
-unroll(const TirStmtRef& s)
+unrollStmt(const TirStmtRef& s)
 {
     switch (s->kind) {
       case TirStmtKind::kFor: {
@@ -221,21 +237,31 @@ unroll(const TirStmtRef& s)
         }
         // Only annotate/recurse; actual peeling is not observable in
         // our interpreter, so we keep the loop.
-        return TirStmt::forLoop(s->depth, s->extent, unroll(s->body));
+        return TirStmt::forLoop(s->depth, s->extent,
+                                unrollStmt(s->body));
       }
       case TirStmtKind::kStore:
         return s;
       case TirStmtKind::kSeq: {
         std::vector<TirStmtRef> out;
         for (const auto& sub : s->stmts)
-            out.push_back(unroll(sub));
+            out.push_back(unrollStmt(sub));
         return TirStmt::seq(std::move(out));
       }
     }
     NNSMITH_PANIC("bad TirStmtKind");
 }
 
-/** Vectorization annotation (hosts tvm.tir.vectorize_rem). */
+TirProgram
+passUnroll(const TirProgram& program, std::vector<std::string>&)
+{
+    TirProgram out = program;
+    out.body = unrollStmt(program.body);
+    return out;
+}
+
+// ---- vectorize-annotate (hosts tvm.tir.vectorize_rem) ---------------------
+
 void
 vectorizeScan(const TirStmtRef& s, const TirStats& stats)
 {
@@ -258,7 +284,15 @@ vectorizeScan(const TirStmtRef& s, const TirStats& stats)
     }
 }
 
-/** Dead-store scan (hosts tvm.tir.dead_store, semantic). */
+TirProgram
+passVectorize(const TirProgram& program, std::vector<std::string>&)
+{
+    vectorizeScan(program.body, analyze(program));
+    return program;
+}
+
+// ---- dead-store-elim (hosts tvm.tir.dead_store, semantic) -----------------
+
 void
 deadStoreScan(const TirStmtRef& s, std::vector<std::string>& fired)
 {
@@ -284,7 +318,16 @@ deadStoreScan(const TirStmtRef& s, std::vector<std::string>& fired)
     }
 }
 
-/** CSE scan (hosts tvm.tir.cse_load, crash). */
+TirProgram
+passDeadStoreElim(const TirProgram& program,
+                  std::vector<std::string>& fired_semantic)
+{
+    deadStoreScan(program.body, fired_semantic);
+    return program;
+}
+
+// ---- cse (hosts tvm.tir.cse_load, crash) ----------------------------------
+
 void
 cseScan(const TirStmtRef& s)
 {
@@ -311,20 +354,398 @@ cseScan(const TirStmtRef& s)
     }
 }
 
+TirProgram
+passCse(const TirProgram& program, std::vector<std::string>&)
+{
+    cseScan(program.body);
+    return program;
+}
+
+// ---- loop-fusion ----------------------------------------------------------
+
+void
+collectBufferUse(const TirExprRef& e, std::set<int>& loads)
+{
+    if (!e)
+        return;
+    if (e->kind == TirExprKind::kLoad)
+        loads.insert(e->buffer);
+    collectBufferUse(e->a, loads);
+    if (e->b)
+        collectBufferUse(e->b, loads);
+}
+
+void
+collectBufferUse(const TirStmtRef& s, std::set<int>& stores,
+                 std::set<int>& loads)
+{
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        collectBufferUse(s->body, stores, loads);
+        return;
+      case TirStmtKind::kStore:
+        stores.insert(s->buffer);
+        collectBufferUse(s->index, loads);
+        collectBufferUse(s->value, loads);
+        return;
+      case TirStmtKind::kSeq:
+        for (const auto& sub : s->stmts)
+            collectBufferUse(sub, stores, loads);
+        return;
+    }
+}
+
+bool
+disjoint(const std::set<int>& a, const std::set<int>& b)
+{
+    for (int x : a) {
+        if (b.count(x) != 0)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Two sibling loops `for i: A; for i: B` (same depth, same extent) may
+ * be fused into `for i: {A; B}` only when neither statement can
+ * observe the other's stores and the stores cannot race for a final
+ * value: store-buffer sets disjoint, and each side's loads disjoint
+ * from the other side's stores. Loop extents are compile-time
+ * constants and the IR has no conditionals, so a body's loop-variable
+ * environment effects are identical on every iteration — fusing never
+ * changes what a stale inner-loop variable reads.
+ */
+bool
+canFuse(const TirStmtRef& a, const TirStmtRef& b)
+{
+    if (a->kind != TirStmtKind::kFor || b->kind != TirStmtKind::kFor ||
+        a->depth != b->depth || a->extent != b->extent)
+        return false;
+    std::set<int> stores_a, loads_a, stores_b, loads_b;
+    collectBufferUse(a->body, stores_a, loads_a);
+    collectBufferUse(b->body, stores_b, loads_b);
+    return disjoint(stores_a, stores_b) && disjoint(stores_a, loads_b) &&
+           disjoint(stores_b, loads_a);
+}
+
+/** Append @p s to @p out, splicing nested Seq statements flat. */
+void
+appendFlattened(std::vector<TirStmtRef>& out, const TirStmtRef& s)
+{
+    if (s->kind == TirStmtKind::kSeq) {
+        cov("fusion", "flatten");
+        for (const auto& sub : s->stmts)
+            appendFlattened(out, sub);
+        return;
+    }
+    out.push_back(s);
+}
+
+TirStmtRef
+fuseStmt(const TirStmtRef& s)
+{
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        return TirStmt::forLoop(s->depth, s->extent, fuseStmt(s->body));
+      case TirStmtKind::kStore:
+        return s;
+      case TirStmtKind::kSeq: {
+        std::vector<TirStmtRef> flat;
+        for (const auto& sub : s->stmts)
+            appendFlattened(flat, fuseStmt(sub));
+        std::vector<TirStmtRef> out;
+        for (const auto& sub : flat) {
+            if (!out.empty() && canFuse(out.back(), sub)) {
+                cov("fusion", "fuse/" + extentBucket(sub->extent));
+                std::vector<TirStmtRef> merged;
+                appendFlattened(merged, out.back()->body);
+                appendFlattened(merged, sub->body);
+                out.back() = TirStmt::forLoop(sub->depth, sub->extent,
+                                              TirStmt::seq(
+                                                  std::move(merged)));
+                continue;
+            }
+            if (!out.empty() && out.back()->kind == TirStmtKind::kFor &&
+                sub->kind == TirStmtKind::kFor)
+                cov("fusion", "blocked");
+            out.push_back(sub);
+        }
+        return TirStmt::seq(std::move(out));
+      }
+    }
+    NNSMITH_PANIC("bad TirStmtKind");
+}
+
+TirProgram
+passLoopFusion(const TirProgram& program, std::vector<std::string>&)
+{
+    TirProgram out = program;
+    out.body = fuseStmt(program.body);
+    return out;
+}
+
+// ---- const-hoist ----------------------------------------------------------
+
+/**
+ * Canonicalize commutative Add/Mul so immediates sit on the right —
+ * "hoisting" constants out of the operand position later passes
+ * inspect (fold's x*1 / x+0 identities only check the right operand).
+ * IEEE addition and multiplication are value-commutative, so swapping
+ * is bitwise semantics-preserving.
+ */
+TirExprRef
+hoistExpr(const TirExprRef& e)
+{
+    if (!e->a)
+        return e;
+    TirExprRef a = hoistExpr(e->a);
+    TirExprRef b = e->b ? hoistExpr(e->b) : nullptr;
+    if (e->kind == TirExprKind::kLoad)
+        return TirExpr::load(e->buffer, a);
+    if (!b)
+        return TirExpr::intrinsic(e->kind, a);
+    if ((e->kind == TirExprKind::kAdd || e->kind == TirExprKind::kMul) &&
+        isImm(a) && !isImm(b)) {
+        cov("hoist", std::string("swap/") + exprKindKey(e->kind));
+        std::swap(a, b);
+    }
+    return TirExpr::binary(e->kind, a, b);
+}
+
+TirProgram
+passConstHoist(const TirProgram& program, std::vector<std::string>&)
+{
+    TirProgram out = program;
+    out.body = mapStmts(program.body, hoistExpr);
+    return out;
+}
+
+// ---- strength-reduce ------------------------------------------------------
+
+/**
+ * Strength reduction limited to rewrites that are bitwise-exact under
+ * the interpreter's semantics: x*2 -> x+x (exact in IEEE), x-0 -> x,
+ * and Mod(x, 1) -> 0 (the interpreter's Mod is integer with a positive
+ * modulus, so any value mod 1 is 0). Div is left alone — the
+ * interpreter floors quotients, so Div(x, 1) is floor(x), not x.
+ */
+TirExprRef
+reduceExpr(const TirExprRef& e)
+{
+    if (!e->a)
+        return e;
+    TirExprRef a = reduceExpr(e->a);
+    TirExprRef b = e->b ? reduceExpr(e->b) : nullptr;
+    if (e->kind == TirExprKind::kLoad)
+        return TirExpr::load(e->buffer, a);
+    if (!b)
+        return TirExpr::intrinsic(e->kind, a);
+    if (e->kind == TirExprKind::kMul) {
+        if (isImm(b) && immValue(b) == 2.0) {
+            cov("strength", "mul2");
+            return TirExpr::binary(TirExprKind::kAdd, a, a);
+        }
+        if (isImm(a) && immValue(a) == 2.0) {
+            cov("strength", "mul2");
+            return TirExpr::binary(TirExprKind::kAdd, b, b);
+        }
+    }
+    if (e->kind == TirExprKind::kSub && isImm(b) && immValue(b) == 0.0) {
+        cov("strength", "sub0");
+        return a;
+    }
+    if (e->kind == TirExprKind::kMod && isImm(b) && immValue(b) == 1.0) {
+        cov("strength", "mod1");
+        return TirExpr::intImm(0);
+    }
+    return TirExpr::binary(e->kind, a, b);
+}
+
+TirProgram
+passStrengthReduce(const TirProgram& program, std::vector<std::string>&)
+{
+    TirProgram out = program;
+    out.body = mapStmts(program.body, reduceExpr);
+    return out;
+}
+
 } // namespace
+
+const std::vector<TirPass>&
+tirPasses()
+{
+    static const std::vector<TirPass> registry = {
+        {"fold", passFold},
+        {"simplify-index", passSimplifyIndex},
+        {"unroll", passUnroll},
+        {"vectorize-annotate", passVectorize},
+        {"dead-store-elim", passDeadStoreElim},
+        {"cse", passCse},
+        {"loop-fusion", passLoopFusion},
+        {"const-hoist", passConstHoist},
+        {"strength-reduce", passStrengthReduce},
+    };
+    return registry;
+}
+
+const TirPass*
+findTirPass(const std::string& name)
+{
+    for (const auto& pass : tirPasses()) {
+        if (name == pass.name)
+            return &pass;
+    }
+    return nullptr;
+}
+
+const std::vector<std::string>&
+defaultTirPipeline()
+{
+    // simplify-index before fold preserves the historical pipeline
+    // exactly: the nested-mod defect trigger inspects the *unfolded*
+    // index expressions, and everything downstream of fold sees the
+    // folded tree.
+    static const std::vector<std::string> pipeline = {
+        "simplify-index", "fold",           "unroll",
+        "vectorize-annotate", "dead-store-elim", "cse",
+    };
+    return pipeline;
+}
+
+TirProgram
+runTirPasses(const TirProgram& program,
+             const std::vector<std::string>& pass_names,
+             std::vector<std::string>& fired_semantic)
+{
+    TirProgram out = program;
+    for (const auto& name : pass_names) {
+        const TirPass* pass = findTirPass(name);
+        NNSMITH_ASSERT(pass != nullptr, "unknown TIR pass ", name);
+        std::vector<std::string> fired;
+        out = pass->apply(out, fired);
+        for (auto& id : fired) {
+            if (std::find(fired_semantic.begin(), fired_semantic.end(),
+                          id) == fired_semantic.end())
+                fired_semantic.push_back(std::move(id));
+        }
+    }
+    return out;
+}
 
 TirProgram
 runTirPipeline(const TirProgram& program,
                std::vector<std::string>& fired_semantic)
 {
-    TirProgram out = program;
-    out.body = simplifyIndex(program.body);
-    out.body = unroll(out.body);
-    const TirStats stats = analyze(out);
-    vectorizeScan(out.body, stats);
-    deadStoreScan(out.body, fired_semantic);
-    cseScan(out.body);
-    return out;
+    return runTirPasses(program, defaultTirPipeline(), fired_semantic);
+}
+
+std::vector<std::string>
+drawPassSequence(Rng& rng)
+{
+    const auto& registry = tirPasses();
+    std::vector<std::string> names;
+    for (const auto& pass : registry) {
+        if (rng.chance(0.6))
+            names.push_back(pass.name);
+    }
+    if (names.empty())
+        names.push_back(registry[rng.index(registry.size())].name);
+    rng.shuffle(names);
+    return names;
+}
+
+void
+recordSequenceCoverage(const std::vector<std::string>& sequence)
+{
+    if (sequence.empty())
+        return;
+    auto& registry = CoverageRegistry::instance();
+    const auto hit = [&registry](const std::string& key) {
+        registry.hitDynamic("tvmlite/tir/seq", key, /*pass_only=*/true);
+    };
+    hit("len/" + std::to_string(sequence.size()));
+    hit("first/" + sequence.front());
+    hit("last/" + sequence.back());
+    for (size_t i = 0; i + 1 < sequence.size(); ++i)
+        hit("pair/" + sequence[i] + ">" + sequence[i + 1]);
+}
+
+namespace {
+
+void
+hashMix(uint64_t& h, uint64_t v)
+{
+    // FNV-1a over the 8 bytes of v.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFFu;
+        h *= 0x100000001B3ull;
+    }
+}
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+void
+hashExpr(const TirExprRef& e, uint64_t& h)
+{
+    if (!e) {
+        hashMix(h, 0xFEu);
+        return;
+    }
+    hashMix(h, static_cast<uint64_t>(e->kind));
+    hashMix(h, static_cast<uint64_t>(e->intValue));
+    hashMix(h, doubleBits(e->floatValue));
+    hashMix(h, static_cast<uint64_t>(e->varDepth));
+    hashMix(h, static_cast<uint64_t>(e->buffer));
+    hashExpr(e->a, h);
+    hashExpr(e->b, h);
+}
+
+void
+hashStmt(const TirStmtRef& s, uint64_t& h)
+{
+    if (!s) {
+        hashMix(h, 0xFDu);
+        return;
+    }
+    hashMix(h, static_cast<uint64_t>(s->kind));
+    switch (s->kind) {
+      case TirStmtKind::kFor:
+        hashMix(h, static_cast<uint64_t>(s->extent));
+        hashMix(h, static_cast<uint64_t>(s->depth));
+        hashStmt(s->body, h);
+        return;
+      case TirStmtKind::kStore:
+        hashMix(h, static_cast<uint64_t>(s->buffer));
+        hashExpr(s->index, h);
+        hashExpr(s->value, h);
+        return;
+      case TirStmtKind::kSeq:
+        hashMix(h, s->stmts.size());
+        for (const auto& sub : s->stmts)
+            hashStmt(sub, h);
+        return;
+    }
+}
+
+} // namespace
+
+uint64_t
+hashTirProgram(const TirProgram& program)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    hashMix(h, static_cast<uint64_t>(program.numInputs));
+    hashMix(h, program.bufferSizes.size());
+    for (int64_t size : program.bufferSizes)
+        hashMix(h, static_cast<uint64_t>(size));
+    hashStmt(program.body, h);
+    return h;
 }
 
 } // namespace nnsmith::tirlite

@@ -4,6 +4,7 @@
 
 #include "backends/backend.h"
 #include "fuzz/parallel_campaign.h"
+#include "fuzz/pass_fuzzer.h"
 
 namespace nnsmith {
 namespace {
@@ -185,6 +186,57 @@ TEST(ParallelCampaign, WorkerExceptionPropagatesWithoutHanging)
         return std::make_unique<fuzz::NNSmithFuzzer>(options, seed);
     };
     EXPECT_THROW(fuzz::runParallelCampaign(config), std::runtime_error);
+}
+
+TEST(ParallelCampaign, PassSequenceFuzzerIsShardInvariant)
+{
+    // The pass-sequence fuzzer draws program + pass order from its
+    // per-iteration seed and keeps no corpus, so it qualifies for the
+    // sharded runner: merged results must be byte-identical.
+    auto make = [](int shards) {
+        ParallelCampaignConfig config;
+        config.campaign.virtualBudget = 60ll * 60 * 1000;
+        config.campaign.maxIterations = 80;
+        config.campaign.coverageComponent = "tvmlite";
+        config.campaign.sampleEveryMinutes = 10;
+        config.shards = shards;
+        config.masterSeed = 2023;
+        config.fuzzerFactory = [](uint64_t seed) {
+            return std::make_unique<fuzz::PassSequenceFuzzer>(seed);
+        };
+        config.backendFactory = [] {
+            return std::vector<std::unique_ptr<backends::Backend>>{};
+        };
+        return config;
+    };
+    const auto serial = fuzz::runParallelCampaign(make(1));
+    const auto sharded = fuzz::runParallelCampaign(make(4));
+    EXPECT_GT(serial.coverPass.count(), 0u);
+    EXPECT_FALSE(serial.instanceKeys.empty()); // tirseq/... keys
+    expectIdentical(serial, sharded);
+}
+
+TEST(ParallelCampaign, PassFuzzedTvmLiteIsShardInvariant)
+{
+    // TVMLite in pass-fuzz mode derives each lowered program's pass
+    // sequence from the program's structural hash — a pure function
+    // of the test case — so randomized sequences cannot break the
+    // shard-count identity.
+    auto make = [](int shards) {
+        auto config = testConfig(shards, 2024);
+        config.campaign.coverageComponent = "tvmlite";
+        config.backendFactory = [] {
+            std::vector<std::unique_ptr<backends::Backend>> owned;
+            owned.push_back(
+                backends::makeTvmLite(/*pass_fuzz_seed=*/2024));
+            return owned;
+        };
+        return config;
+    };
+    const auto serial = fuzz::runParallelCampaign(make(1));
+    const auto sharded = fuzz::runParallelCampaign(make(3));
+    EXPECT_GT(serial.coverAll.count(), 0u);
+    expectIdentical(serial, sharded);
 }
 
 TEST(ParallelCampaign, SeedDerivationIsStableAndSpreads)

@@ -189,6 +189,114 @@ TEST(TirPasses, DeadStoreDefectIsSemanticNotCrash)
     EXPECT_EQ(fired, std::vector<std::string>{"tvm.tir.dead_store"});
 }
 
+TEST(TirPasses, DeadStoreSemanticFiringIsDeduplicated)
+{
+    // Two independent overwrite pairs in one program: the defect
+    // trigger matches twice, but the fired list must report the
+    // defect once (regression: it used to be appended per trigger and
+    // double-counted downstream).
+    TirProgram program;
+    program.bufferSizes = {2, 2, 2};
+    program.numInputs = 1;
+    program.body = TirStmt::seq({
+        TirStmt::store(1, TirExpr::intImm(0), TirExpr::floatImm(1.0)),
+        TirStmt::store(1, TirExpr::intImm(0), TirExpr::floatImm(2.0)),
+        TirStmt::store(2, TirExpr::intImm(0), TirExpr::floatImm(3.0)),
+        TirStmt::store(2, TirExpr::intImm(0), TirExpr::floatImm(4.0)),
+    });
+    std::vector<std::string> fired;
+    DefectRegistry::instance().clearTrace();
+    runTirPipeline(program, fired);
+    EXPECT_EQ(fired, std::vector<std::string>{"tvm.tir.dead_store"});
+}
+
+TEST(TirPasses, RegistryExposesNamedPasses)
+{
+    EXPECT_GE(tirPasses().size(), 9u);
+    for (const char* name :
+         {"fold", "simplify-index", "unroll", "vectorize-annotate",
+          "dead-store-elim", "cse", "loop-fusion", "const-hoist",
+          "strength-reduce"})
+        EXPECT_NE(findTirPass(name), nullptr) << name;
+    EXPECT_EQ(findTirPass("no-such-pass"), nullptr);
+    for (const auto& name : defaultTirPipeline())
+        EXPECT_NE(findTirPass(name), nullptr) << name;
+}
+
+TEST(TirPasses, LoopFusionMergesIndependentSiblings)
+{
+    // for i: b1[i] = b0[i];  for i: b2[i] = b0[i]  — disjoint stores,
+    // neither loads the other's stores: fusable into one loop.
+    TirProgram program;
+    program.bufferSizes = {4, 4, 4};
+    program.numInputs = 1;
+    const auto i = TirExpr::loopVar(0);
+    program.body = TirStmt::seq({
+        TirStmt::forLoop(0, 4,
+                         TirStmt::store(1, i, TirExpr::load(0, i))),
+        TirStmt::forLoop(0, 4,
+                         TirStmt::store(2, i, TirExpr::load(0, i))),
+    });
+    std::vector<std::string> fired;
+    const auto fused = runTirPasses(program, {"loop-fusion"}, fired);
+    EXPECT_EQ(analyze(fused).loops, 1);
+    Rng rng(3);
+    tirlite::Buffers initial = makeBuffers(program, rng);
+    tirlite::Buffers a = initial, b = initial;
+    run(program, a);
+    run(fused, b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(TirPasses, LoopFusionBlockedByCrossLoopDependence)
+{
+    // The second loop loads b1, which the first loop stores — fusing
+    // would let iteration i of the consumer observe only a prefix of
+    // the producer's stores.
+    TirProgram program;
+    program.bufferSizes = {4, 4, 4};
+    program.numInputs = 1;
+    const auto i = TirExpr::loopVar(0);
+    program.body = TirStmt::seq({
+        TirStmt::forLoop(0, 4,
+                         TirStmt::store(1, i, TirExpr::load(0, i))),
+        TirStmt::forLoop(0, 4,
+                         TirStmt::store(2, i, TirExpr::load(1, i))),
+    });
+    std::vector<std::string> fired;
+    const auto out = runTirPasses(program, {"loop-fusion"}, fired);
+    EXPECT_EQ(analyze(out).loops, 2);
+}
+
+TEST(TirPasses, StrengthReduceAndConstHoistPreserveValues)
+{
+    // b1[i] = 2 * b0[i] - 0: const-hoist swaps the immediate to the
+    // right, strength-reduce rewrites *2 into an add and drops -0.
+    TirProgram program;
+    program.bufferSizes = {4, 4};
+    program.numInputs = 1;
+    const auto i = TirExpr::loopVar(0);
+    const auto value = TirExpr::binary(
+        TirExprKind::kSub,
+        TirExpr::binary(TirExprKind::kMul, TirExpr::floatImm(2.0),
+                        TirExpr::load(0, i)),
+        TirExpr::floatImm(0.0));
+    program.body =
+        TirStmt::forLoop(0, 4, TirStmt::store(1, i, value));
+    std::vector<std::string> fired;
+    const auto optimized = runTirPasses(
+        program, {"const-hoist", "strength-reduce"}, fired);
+    // The multiply and the subtract are both gone.
+    TirStats stats = analyze(optimized);
+    EXPECT_EQ(stats.loads, 2); // load duplicated by x*2 -> x+x
+    Buffers a = {{1, 2, 3, 4}, {0, 0, 0, 0}};
+    Buffers b = a;
+    run(program, a);
+    run(optimized, b);
+    EXPECT_EQ(a[1], b[1]);
+    EXPECT_EQ(b[1], (std::vector<double>{2, 4, 6, 8}));
+}
+
 TEST(TirProgramText, RendersReadably)
 {
     const auto text = addOneProgram().toString();
