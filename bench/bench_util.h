@@ -18,6 +18,12 @@
  *                   function of (campaign seed, lowered program), so
  *                   sharding stays byte-identical. Affects only the
  *                   TVM system under test.
+ *   --minimize      delta-debug every flagged case to a minimal repro
+ *                   before dedup (reduce/reducer.h); dedup keys become
+ *                   minimized fingerprints. Off by default so the
+ *                   committed BENCH_*.json records stay comparable.
+ *   --report-dir D  write one minimized-repro report per deduped bug
+ *                   into directory D (reduce/report.h)
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
@@ -50,6 +56,8 @@ struct BenchOptions {
     int minutes = 240;
     int shards = 1;
     bool passFuzz = false;
+    bool minimize = false;  ///< ddmin flagged cases before dedup
+    std::string reportDir;  ///< write minimized repro reports here
 };
 
 inline BenchOptions
@@ -70,6 +78,10 @@ parseArgs(int argc, char** argv)
             options.shards = std::max(1, std::stoi(argv[++i]));
         else if (std::strcmp(argv[i], "--pass-fuzz") == 0)
             options.passFuzz = true;
+        else if (std::strcmp(argv[i], "--minimize") == 0)
+            options.minimize = true;
+        else if (want("--report-dir"))
+            options.reportDir = argv[++i];
     }
     return options;
 }
@@ -123,6 +135,8 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
     config.maxIterations = iter_cap;
     config.coverageComponent = sut.component;
     config.sampleEveryMinutes = 10;
+    config.minimize = options.minimize;
+    config.reportDir = options.reportDir;
     if (fuzzer_name != "Tzer") {
         fuzz::ParallelCampaignConfig parallel;
         parallel.campaign = config;

@@ -2,8 +2,9 @@
  * @file
  * Quickstart: generate one valid random model, find NaN/Inf-free
  * inputs with gradient search, run differential testing across the
- * three simulated compilers, then run a miniature sharded fuzzing
- * campaign, and print everything.
+ * three simulated compilers, run a miniature sharded fuzzing
+ * campaign, then delta-debug one flagged case to a minimized repro,
+ * and print everything.
  *
  *   ./examples/quickstart [seed]
  */
@@ -15,6 +16,7 @@
 #include "fuzz/parallel_campaign.h"
 #include "gen/generator.h"
 #include "graph/validate.h"
+#include "reduce/reducer.h"
 
 int
 main(int argc, char** argv)
@@ -107,5 +109,29 @@ main(int argc, char** argv)
     std::printf("iterations=%zu coverage=%zu bugs=%zu instance keys=%zu\n",
                 merged.iterations, merged.coverAll.count(),
                 merged.bugs.size(), merged.instanceKeys.size());
+
+    // 5. Minimized repro (reduce/reducer.h): delta-debug the first
+    //    flagged case down to the smallest subgraph that still fires
+    //    the identical defect-trace fingerprint. Campaigns do this
+    //    automatically with CampaignConfig::minimize (bench drivers:
+    //    --minimize, plus --report-dir for on-disk repro reports).
+    std::printf("\n=== minimized repro ===\n");
+    bool reduced_one = false;
+    for (const auto& [key, bug] : merged.bugs) {
+        fuzz::BugRecord minimized = bug;
+        std::vector<backends::Backend*> ort = {owned[0].get()};
+        if (!reduce::minimizeBug(minimized, ort))
+            continue;
+        std::printf("bug %s\n  reduced %zu -> %zu op nodes; still "
+                    "fires: %s\n%s\n",
+                    minimized.dedupKey.c_str(), minimized.originalSize,
+                    minimized.minimizedSize,
+                    reduce::reproStillFires(minimized, ort) ? "yes" : "no",
+                    minimized.graphRepro->graph.toString().c_str());
+        reduced_one = true;
+        break;
+    }
+    if (!reduced_one)
+        std::printf("(no reducible flagged case this seed)\n");
     return 0;
 }

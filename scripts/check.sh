@@ -36,6 +36,15 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== minimization smoke: tiny --minimize campaign writes repro reports =="
+rm -rf build/repro-smoke
+./build/bench/bench_reduce --iters 60 --report-dir build/repro-smoke \
+    --out build/BENCH_reduce_smoke.json
+if ! ls build/repro-smoke/*.repro.txt >/dev/null 2>&1; then
+    echo "check.sh: --report-dir produced no .repro.txt report"
+    exit 1
+fi
+
 if [[ "${1:-}" != "--fast" ]]; then
     echo "== strict: -Wall -Wextra -Werror =="
     cmake -B build-strict -S . -DNNSMITH_STRICT=ON

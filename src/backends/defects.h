@@ -71,9 +71,29 @@ class DefectRegistry {
      * only their own test case's triggers; the defect table itself and
      * the enabled/disabled state are shared (do not call setEnabled
      * while a sharded campaign is running).
+     *
+     * Prefer TraceScope over calling clearTrace() manually: the RAII
+     * guard clears on entry *and* on exit, so a trace cannot leak into
+     * the next test case through an early return or an exception
+     * (which manual clearing at window entry silently allowed).
      */
     void clearTrace();
     const std::vector<std::string>& trace() const { return trace_; }
+
+    /** RAII trace window: clears the calling thread's trigger trace on
+     *  construction and again on destruction. */
+    class TraceScope {
+      public:
+        TraceScope() { DefectRegistry::instance().clearTrace(); }
+        ~TraceScope() { DefectRegistry::instance().clearTrace(); }
+        TraceScope(const TraceScope&) = delete;
+        TraceScope& operator=(const TraceScope&) = delete;
+
+        /** The triggers recorded so far inside this window. */
+        const std::vector<std::string>& trace() const {
+            return DefectRegistry::instance().trace();
+        }
+    };
 
   private:
     DefectRegistry();

@@ -101,6 +101,12 @@ class TvmLite final : public Backend {
             OptLevel level,
             std::vector<std::string>& fired_semantic) override
     {
+        // Stale import-defect state must not leak across runs: a
+        // crash later in a previous compile (or an O0 run, which
+        // never reaches graphPasses) leaves entries behind, and a
+        // backend whose verdicts depend on its own history breaks the
+        // sharded campaign's iteration independence.
+        fired_semantic_import_.clear();
         importChecks(model); // conversion defects fire at any level
         std::unordered_map<int, int> id_map;
         graph::Graph graph = onnx::importToGraph(model, &id_map);

@@ -38,7 +38,7 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
             ? tirlite::randomProgram(rng_)
             : tirlite::mutate(corpus_[rng_.index(corpus_.size())], rng_);
 
-    backends::DefectRegistry::instance().clearTrace();
+    backends::DefectRegistry::TraceScope trace_scope;
     std::vector<std::string> fired_semantic;
     bool crashed = false;
     try {
@@ -53,7 +53,7 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
         bug.backend = "TVMLite";
         bug.kind = "crash";
         bug.detail = error.what();
-        bug.defects = backends::DefectRegistry::instance().trace();
+        bug.defects = trace_scope.trace();
         outcome.bugs.push_back(std::move(bug));
     }
     for (const auto& defect : fired_semantic) {
@@ -64,6 +64,15 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
         bug.detail = defect;
         bug.defects = {defect};
         outcome.bugs.push_back(std::move(bug));
+    }
+    if (!outcome.bugs.empty()) {
+        // Tzer always runs the fixed default pipeline; the reducer can
+        // still ddmin that pipeline to the minimal failing subsequence.
+        auto repro = std::make_shared<fuzz::SeqRepro>();
+        repro->program = program;
+        repro->sequence = tirlite::defaultTirPipeline();
+        for (auto& bug : outcome.bugs)
+            bug.seqRepro = repro;
     }
 
     // Coverage feedback: keep inputs that grew the TIR branch set.

@@ -42,7 +42,9 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
         const CompareOptions& options)
 {
     CaseResult result;
-    DefectRegistry::instance().clearTrace();
+    // RAII window: the trace is cleared again on every exit path, so a
+    // crashing export cannot leak its triggers into the next case.
+    DefectRegistry::TraceScope trace_scope;
 
     // Reference (oracle) execution — a "free lunch" by-product of the
     // gradient search (§4).
@@ -56,7 +58,7 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
     } catch (const BackendError& error) {
         result.exportOk = false;
         result.exportCrashKind = error.kind();
-        result.triggeredDefects = DefectRegistry::instance().trace();
+        result.triggeredDefects = trace_scope.trace();
         return result;
     }
 
@@ -87,7 +89,7 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
         }
         result.verdicts.push_back(std::move(verdict));
     }
-    result.triggeredDefects = DefectRegistry::instance().trace();
+    result.triggeredDefects = trace_scope.trace();
     return result;
 }
 

@@ -1,5 +1,7 @@
 #include "fuzz/campaign.h"
 
+#include "reduce/reducer.h"
+#include "reduce/report.h"
 #include "support/logging.h"
 
 namespace nnsmith::fuzz {
@@ -38,6 +40,14 @@ runCampaign(Fuzzer& fuzzer,
         ++result.iterations;
         result.produced += outcome.produced ? 1 : 0;
         clock.advance(std::max<VirtualMs>(outcome.cost, 1));
+        if (config.minimize && !outcome.bugs.empty()) {
+            // Keep the reduction's oracle re-runs out of the global
+            // coverage hit bits so --minimize does not change coverage
+            // (requires no collector active on this thread; sharded
+            // campaigns go through runParallelCampaign instead).
+            coverage::CoverageCollector scratch;
+            reduce::minimizeBugs(outcome.bugs, backends);
+        }
         for (auto& bug : outcome.bugs) {
             for (const auto& defect : bug.defects)
                 result.defectsFound.insert(defect);
@@ -73,6 +83,8 @@ runCampaign(Fuzzer& fuzzer,
     result.coverPass =
         registry.snapshotPassOnly(config.coverageComponent);
     result.virtualTime = clock.now();
+    if (!config.reportDir.empty())
+        reduce::writeReproReports(result.bugs, config.reportDir);
     return result;
 }
 

@@ -31,6 +31,23 @@ struct CampaignConfig {
 
     /** Sample the coverage series every this many virtual minutes. */
     int sampleEveryMinutes = 5;
+
+    /**
+     * Delta-debug every flagged case before dedup (reduce/reducer.h):
+     * each bug's repro is ddmin-minimized while its defect-trace
+     * fingerprint is held fixed, and the dedup key becomes the
+     * minimized fingerprint, collapsing reports that differ only in
+     * trigger order or unrelated co-triggered defects. Off by default
+     * so existing campaign records stay comparable. Minimization
+     * re-runs the oracle outside coverage collection, so coverage
+     * results are unchanged, and it is deterministic per iteration, so
+     * sharded campaigns stay byte-identical for any shard count.
+     */
+    bool minimize = false;
+
+    /** When non-empty, write one minimized-repro report per deduped
+     *  bug into this directory at campaign end (reduce/report.h). */
+    std::string reportDir;
 };
 
 /** One sample of the coverage growth curves. */

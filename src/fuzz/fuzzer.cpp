@@ -62,6 +62,15 @@ executeGraphCase(const graph::Graph& graph, const exec::LeafValues& leaves,
     const CaseResult result =
         difftest::runCase(graph, leaves, backend_list);
     outcome.bugs = bugsFromCase(result);
+    if (!outcome.bugs.empty()) {
+        // One shared repro for all of this case's records; the
+        // reduction subsystem (reduce/reducer.h) delta-debugs it.
+        auto repro = std::make_shared<GraphRepro>();
+        repro->graph = graph;
+        repro->leaves = leaves;
+        for (auto& bug : outcome.bugs)
+            bug.graphRepro = repro;
+    }
     for (const auto* backend : backend_list) {
         if (backend->name() == "OrtLite")
             outcome.cost += cost.backendCompileOrt + cost.run;

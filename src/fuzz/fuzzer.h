@@ -19,8 +19,32 @@
 #include "gen/generator.h"
 #include "support/rng.h"
 #include "support/vclock.h"
+#include "tirlite/tir_interp.h"
 
 namespace nnsmith::fuzz {
+
+/**
+ * Repro material of a flagged graph-level test case: the concrete
+ * model plus the leaf tensors that triggered the defect. Attached to
+ * every bug record by executeGraphCase so the reduction subsystem
+ * (reduce/reducer.h) can delta-debug the case after the fact. Shared
+ * (immutable) because one flagged iteration may emit several records.
+ */
+struct GraphRepro {
+    graph::Graph graph;
+    exec::LeafValues leaves;
+};
+
+/**
+ * Repro material of a flagged TIR pass-sequence case: the program, the
+ * pass sequence that was run over it, and (when the flagging oracle
+ * was the differential interpreter) the initial buffer contents.
+ */
+struct SeqRepro {
+    tirlite::TirProgram program;
+    std::vector<std::string> sequence;
+    tirlite::Buffers initial; ///< empty when the oracle needed none
+};
 
 /** One deduplicable bug observation. */
 struct BugRecord {
@@ -29,6 +53,19 @@ struct BugRecord {
     std::string kind;     ///< "crash" | "wrong-result" | "export-crash"
     std::string detail;
     std::vector<std::string> defects; ///< seeded defects in the trace
+
+    /** At most one of these is set; both null for repro-less fuzzers. */
+    std::shared_ptr<const GraphRepro> graphRepro;
+    std::shared_ptr<const SeqRepro> seqRepro;
+
+    /** Filled by reduce::minimizeBug: size is op nodes for graph
+     *  repros, passes for sequence repros. `defects` keeps the
+     *  discovery-time trace (found/seeded accounting); the minimized
+     *  repro's own trace lands in `minimizedDefects`. */
+    bool minimized = false;
+    size_t originalSize = 0;
+    size_t minimizedSize = 0;
+    std::vector<std::string> minimizedDefects;
 };
 
 /** Result of one fuzzer iteration. */

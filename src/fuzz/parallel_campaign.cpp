@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "reduce/reducer.h"
+#include "reduce/report.h"
 #include "support/logging.h"
 
 namespace nnsmith::fuzz {
@@ -201,6 +203,16 @@ runParallelCampaign(const ParallelCampaignConfig& config)
                     record.bugs = std::move(outcome.bugs);
                     record.instanceKeys = std::move(outcome.instanceKeys);
                     record.hits = collector.take();
+                    if (config.campaign.minimize && !record.bugs.empty()) {
+                        // Minimize inside the shard: ddmin is a pure
+                        // function of the record, so the merge stays
+                        // shard-count invariant, and the reduction
+                        // parallelizes with the campaign itself. The
+                        // oracle re-runs land in the collector; drop
+                        // them so --minimize cannot perturb coverage.
+                        reduce::minimizeBugs(record.bugs, backend_list);
+                        collector.take();
+                    }
                     mine.records.push_back(std::move(record));
                 }
                 {
@@ -280,7 +292,11 @@ runParallelCampaign(const ParallelCampaignConfig& config)
 
     const auto probe =
         config.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));
-    return mergeShardResults(results, config.campaign, probe->name());
+    CampaignResult merged =
+        mergeShardResults(results, config.campaign, probe->name());
+    if (!config.campaign.reportDir.empty())
+        reduce::writeReproReports(merged.bugs, config.campaign.reportDir);
+    return merged;
 }
 
 } // namespace nnsmith::fuzz

@@ -1,8 +1,5 @@
 #include "fuzz/pass_fuzzer.h"
 
-#include <cmath>
-#include <cstring>
-
 #include "backends/defects.h"
 #include "tirlite/tir_interp.h"
 
@@ -10,37 +7,9 @@ namespace nnsmith::fuzz {
 
 using backends::BackendError;
 using backends::DefectRegistry;
+using tirlite::buffersEquivalent; // the shared bitwise oracle contract
 
 namespace {
-
-/**
- * Bitwise buffer equality, with NaN == NaN (a pass may legally fold a
- * NaN-producing subexpression at compile time, changing the payload).
- * Every other deviation — including a flipped zero sign — is a
- * miscompile: the registered passes are bitwise-exact by contract.
- */
-bool
-buffersEquivalent(const tirlite::Buffers& a, const tirlite::Buffers& b)
-{
-    if (a.size() != b.size())
-        return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-        if (a[i].size() != b[i].size())
-            return false;
-        for (size_t j = 0; j < a[i].size(); ++j) {
-            const double x = a[i][j];
-            const double y = b[i][j];
-            if (std::isnan(x) && std::isnan(y))
-                continue;
-            uint64_t xb = 0, yb = 0;
-            std::memcpy(&xb, &x, sizeof(xb));
-            std::memcpy(&yb, &y, sizeof(yb));
-            if (xb != yb)
-                return false;
-        }
-    }
-    return true;
-}
 
 std::string
 joinSequence(const std::vector<std::string>& sequence)
@@ -88,7 +57,7 @@ PassSequenceFuzzer::iterate(const std::vector<backends::Backend*>&)
     tirlite::recordSequenceCoverage(sequence);
     outcome.instanceKeys.push_back("tirseq/" + joinSequence(sequence));
 
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
 
     // Differential oracle: unoptimized vs optimized interpretation
     // over identical initial buffers.
@@ -122,7 +91,7 @@ PassSequenceFuzzer::iterate(const std::vector<backends::Backend*>&)
         bug.backend = "TVMLite";
         bug.kind = "crash";
         bug.detail = error.what();
-        bug.defects = DefectRegistry::instance().trace();
+        bug.defects = trace_scope.trace();
         outcome.bugs.push_back(std::move(bug));
     }
     for (const auto& defect : fired_semantic) {
@@ -133,6 +102,16 @@ PassSequenceFuzzer::iterate(const std::vector<backends::Backend*>&)
         bug.detail = defect;
         bug.defects = {defect};
         outcome.bugs.push_back(std::move(bug));
+    }
+    if (!outcome.bugs.empty()) {
+        // Repro for the pass-sequence reducer: the (mutated) program,
+        // the flagged sequence, and the oracle's initial buffers.
+        auto repro = std::make_shared<SeqRepro>();
+        repro->program = program;
+        repro->sequence = sequence;
+        repro->initial = initial;
+        for (auto& bug : outcome.bugs)
+            bug.seqRepro = repro;
     }
     return outcome;
 }

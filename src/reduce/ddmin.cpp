@@ -1,0 +1,102 @@
+#include "reduce/ddmin.h"
+
+#include <algorithm>
+
+namespace nnsmith::reduce {
+
+namespace {
+
+/** current[begin..end) — one ddmin chunk as a concrete index vector. */
+std::vector<size_t>
+slice(const std::vector<size_t>& current, size_t begin, size_t end)
+{
+    return std::vector<size_t>(current.begin() + static_cast<long>(begin),
+                               current.begin() + static_cast<long>(end));
+}
+
+/** current minus current[begin..end). */
+std::vector<size_t>
+complement(const std::vector<size_t>& current, size_t begin, size_t end)
+{
+    std::vector<size_t> out;
+    out.reserve(current.size() - (end - begin));
+    for (size_t i = 0; i < current.size(); ++i) {
+        if (i < begin || i >= end)
+            out.push_back(current[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<size_t>
+ddmin(size_t n, const KeepPredicate& still_fails, DdminStats* stats,
+      size_t max_tests)
+{
+    DdminStats local;
+    DdminStats& s = stats != nullptr ? *stats : local;
+    s = DdminStats{};
+    s.originalSize = n;
+
+    std::vector<size_t> current(n);
+    for (size_t i = 0; i < n; ++i)
+        current[i] = i;
+
+    auto test = [&](const std::vector<size_t>& subset) {
+        ++s.testsRun;
+        return still_fails(subset);
+    };
+    auto budget_left = [&] {
+        const bool left = max_tests == 0 || s.testsRun < max_tests;
+        if (!left)
+            s.budgetExhausted = true;
+        return left;
+    };
+
+    size_t granularity = 2;
+    while (current.size() >= 2 && budget_left()) {
+        const size_t k = std::min(granularity, current.size());
+        // Chunk boundaries: k near-equal slices of the current set.
+        std::vector<size_t> bounds(k + 1);
+        for (size_t i = 0; i <= k; ++i)
+            bounds[i] = current.size() * i / k;
+
+        bool reduced = false;
+        // Reduce to subset: one chunk alone still fails.
+        for (size_t i = 0; i < k && budget_left(); ++i) {
+            auto subset = slice(current, bounds[i], bounds[i + 1]);
+            if (subset.empty())
+                continue;
+            if (test(subset)) {
+                current = std::move(subset);
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        // Reduce to complement: dropping one chunk still fails. At
+        // k == 2 the complements are the chunks just tested.
+        if (!reduced && k > 2) {
+            for (size_t i = 0; i < k && budget_left(); ++i) {
+                auto rest = complement(current, bounds[i], bounds[i + 1]);
+                if (rest.size() == current.size() || rest.empty())
+                    continue;
+                if (test(rest)) {
+                    current = std::move(rest);
+                    granularity = std::max<size_t>(k - 1, 2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if (!reduced) {
+            if (k >= current.size())
+                break; // single-item chunks and nothing removable: done
+            granularity = std::min(current.size(), granularity * 2);
+        }
+    }
+    s.minimizedSize = current.size();
+    return current;
+}
+
+} // namespace nnsmith::reduce

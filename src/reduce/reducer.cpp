@@ -1,0 +1,504 @@
+#include "reduce/reducer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "difftest/oracle.h"
+#include "graph/validate.h"
+#include "support/logging.h"
+#include "tirlite/tir_passes.h"
+
+namespace nnsmith::reduce {
+
+using backends::BackendError;
+using backends::DefectRegistry;
+using backends::Symptom;
+using backends::System;
+using fuzz::BugRecord;
+
+namespace {
+
+/** Third field of a "backend|tag|rest" dedup key (the crash kind). */
+std::string
+crashKindOf(const BugRecord& bug)
+{
+    const auto first = bug.dedupKey.find('|');
+    if (first == std::string::npos)
+        return "";
+    const auto second = bug.dedupKey.find('|', first + 1);
+    if (second == std::string::npos)
+        return "";
+    return bug.dedupKey.substr(second + 1);
+}
+
+/**
+ * The semantic defects in @p defects attributable to @p backend: its
+ * own system's plus the exporter's (whose corrupted metadata every
+ * backend faithfully mis-executes). Crash-symptom defects are excluded
+ * — a crash identifies itself through its crash kind instead.
+ */
+std::set<std::string>
+relevantSemanticDefects(const std::vector<std::string>& defects,
+                        const std::string& backend)
+{
+    std::set<std::string> out;
+    const auto& registry = DefectRegistry::instance();
+    for (const auto& id : defects) {
+        const auto* defect = registry.find(id);
+        if (defect == nullptr || defect->symptom != Symptom::kSemantic)
+            continue;
+        const bool mine =
+            defect->system == System::kExporter ||
+            (backend == "OrtLite" && defect->system == System::kOrtLite) ||
+            (backend == "TVMLite" && defect->system == System::kTvmLite) ||
+            (backend == "TrtLite" && defect->system == System::kTrtLite);
+        if (mine)
+            out.insert(id);
+    }
+    return out;
+}
+
+/** What must keep firing while the repro shrinks. */
+struct FingerprintTarget {
+    std::string backend;
+    std::string kind;
+    std::string crashKind;           ///< crash / export-crash only
+    std::set<std::string> relevant;  ///< wrong-result only
+};
+
+FingerprintTarget
+targetOf(const BugRecord& bug)
+{
+    FingerprintTarget target;
+    target.backend = bug.backend;
+    target.kind = bug.kind;
+    if (bug.kind == "wrong-result")
+        target.relevant = relevantSemanticDefects(bug.defects, bug.backend);
+    else
+        target.crashKind = crashKindOf(bug);
+    return target;
+}
+
+/** The bug record derived from @p result matching @p target, if any. */
+std::optional<BugRecord>
+matchOf(const difftest::CaseResult& result,
+        const FingerprintTarget& target)
+{
+    for (auto& bug : fuzz::bugsFromCase(result)) {
+        if (bug.backend != target.backend || bug.kind != target.kind)
+            continue;
+        if (target.kind == "wrong-result") {
+            if (relevantSemanticDefects(bug.defects, bug.backend) ==
+                target.relevant)
+                return bug;
+        } else if (crashKindOf(bug) == target.crashKind) {
+            return bug;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+caseMatches(const difftest::CaseResult& result,
+            const FingerprintTarget& target)
+{
+    return matchOf(result, target).has_value();
+}
+
+// ---- GraphReducer ---------------------------------------------------------
+
+/** Close a kept op-node set over producers so every kept op's inputs
+ *  are produced by kept ops or leaves. */
+std::set<int>
+closeOverProducers(const graph::Graph& graph, std::set<int> keep)
+{
+    std::vector<int> work(keep.begin(), keep.end());
+    while (!work.empty()) {
+        const int id = work.back();
+        work.pop_back();
+        for (int v : graph.node(id).inputs) {
+            const int producer = graph.value(v).producer;
+            const auto& node = graph.node(producer);
+            if (node.kind == graph::NodeKind::kOp && !node.dead &&
+                keep.insert(producer).second)
+                work.push_back(producer);
+        }
+    }
+    return keep;
+}
+
+struct GraphCase {
+    graph::Graph graph;
+    exec::LeafValues leaves;
+};
+
+/**
+ * Rebuild the subgraph keeping exactly @p keep_ops (producer-closed)
+ * plus the leaves they consume, remapping leaf bindings. Ops are
+ * shared with the original graph (immutable once concrete).
+ */
+GraphCase
+extractSubgraph(const graph::Graph& graph, const exec::LeafValues& leaves,
+                const std::set<int>& keep_ops)
+{
+    GraphCase out;
+    std::map<int, int> value_map; // original value id -> rebuilt id
+    std::set<int> needed_leaves;
+    for (int id : keep_ops) {
+        for (int v : graph.node(id).inputs) {
+            const auto& producer = graph.node(graph.value(v).producer);
+            if (producer.kind != graph::NodeKind::kOp)
+                needed_leaves.insert(producer.id);
+        }
+    }
+    for (int id : graph.topoOrder()) {
+        const auto& node = graph.node(id);
+        if (node.kind != graph::NodeKind::kOp) {
+            if (needed_leaves.count(id) == 0)
+                continue;
+            const int old_value = node.outputs[0];
+            const int new_value = out.graph.addLeaf(
+                node.kind, graph.value(old_value).type,
+                graph.value(old_value).name);
+            value_map[old_value] = new_value;
+            const auto bound = leaves.find(old_value);
+            if (bound != leaves.end())
+                out.leaves.emplace(new_value, bound->second);
+        } else if (keep_ops.count(id) != 0) {
+            std::vector<int> inputs;
+            inputs.reserve(node.inputs.size());
+            for (int v : node.inputs)
+                inputs.push_back(value_map.at(v));
+            std::vector<tensor::TensorType> output_types;
+            output_types.reserve(node.outputs.size());
+            for (int v : node.outputs)
+                output_types.push_back(graph.value(v).type);
+            const int new_id =
+                out.graph.addOp(node.op, inputs, output_types);
+            const auto& rebuilt = out.graph.node(new_id);
+            for (size_t i = 0; i < node.outputs.size(); ++i)
+                value_map[node.outputs[i]] = rebuilt.outputs[i];
+        }
+    }
+    return out;
+}
+
+/** Live op-node ids in deterministic (topological) order. */
+std::vector<int>
+opNodesInOrder(const graph::Graph& graph)
+{
+    std::vector<int> ops;
+    for (int id : graph.topoOrder()) {
+        if (graph.node(id).kind == graph::NodeKind::kOp)
+            ops.push_back(id);
+    }
+    return ops;
+}
+
+/**
+ * Memoized candidate evaluations, shared between the bug records of
+ * one flagged case (they all carry the same GraphRepro but pin
+ * different fingerprints, so their ddmins probe overlapping kept-sets;
+ * each oracle run is a full export + compile + execute). Keyed by the
+ * producer-closed kept op-node set; nullptr records a candidate whose
+ * rebuilt subgraph failed validation.
+ */
+using CaseCache =
+    std::map<std::vector<int>,
+             std::shared_ptr<const difftest::CaseResult>>;
+
+bool
+minimizeGraphBug(BugRecord& bug,
+                 const std::vector<backends::Backend*>& backends,
+                 const ReduceOptions& options,
+                 const difftest::CaseResult& full_result,
+                 CaseCache& cache)
+{
+    const auto& repro = *bug.graphRepro;
+    const FingerprintTarget target = targetOf(bug);
+    // A wrong-result with no attributable semantic defect would make
+    // the predicate match any miscompare; leave such records raw.
+    if (target.kind == "wrong-result" && target.relevant.empty())
+        return false;
+
+    // The full case must reproduce its own fingerprint (deterministic
+    // oracle; a mismatch means the record is not reducible as-is).
+    if (!caseMatches(full_result, target))
+        return false;
+
+    const std::vector<int> ops = opNodesInOrder(repro.graph);
+    auto evaluate =
+        [&](const std::set<int>& keep) -> const difftest::CaseResult* {
+        std::vector<int> key(keep.begin(), keep.end());
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            GraphCase candidate =
+                extractSubgraph(repro.graph, repro.leaves, keep);
+            std::shared_ptr<const difftest::CaseResult> result;
+            if (graph::validate(candidate.graph).ok()) {
+                result = std::make_shared<difftest::CaseResult>(
+                    difftest::runCase(candidate.graph, candidate.leaves,
+                                      backends));
+            }
+            it = cache.emplace(std::move(key), std::move(result)).first;
+        }
+        return it->second.get();
+    };
+    auto still_fails = [&](const std::vector<size_t>& kept) {
+        std::set<int> keep;
+        for (size_t index : kept)
+            keep.insert(ops[index]);
+        keep = closeOverProducers(repro.graph, keep);
+        const auto* result = evaluate(keep);
+        return result != nullptr && caseMatches(*result, target);
+    };
+
+    DdminStats stats;
+    const auto minimal =
+        ddmin(ops.size(), still_fails, &stats, options.maxOracleRuns);
+    std::set<int> keep;
+    for (size_t index : minimal)
+        keep.insert(ops[index]);
+    keep = closeOverProducers(repro.graph, keep);
+
+    auto minimized = std::make_shared<fuzz::GraphRepro>();
+    GraphCase reduced = extractSubgraph(repro.graph, repro.leaves, keep);
+    minimized->graph = std::move(reduced.graph);
+    minimized->leaves = std::move(reduced.leaves);
+    // The minimized repro's own trigger trace and diagnostic detail
+    // (what the report shows); bug.defects keeps the discovery-time
+    // trace.
+    bug.minimizedDefects = bug.defects;
+    if (const auto* final_result = evaluate(keep)) {
+        if (auto matched = matchOf(*final_result, target)) {
+            bug.minimizedDefects = std::move(matched->defects);
+            bug.detail = std::move(matched->detail);
+        }
+    }
+    bug.originalSize = ops.size();
+    bug.minimizedSize = keep.size();
+    bug.graphRepro = std::move(minimized);
+    bug.minimized = true;
+    bug.dedupKey = fingerprintKey(bug);
+    return true;
+}
+
+// ---- PassSequenceReducer --------------------------------------------------
+
+using tirlite::buffersEquivalent; // the shared bitwise oracle contract
+
+bool
+minimizeSeqBug(BugRecord& bug, const ReduceOptions& options)
+{
+    const auto& repro = *bug.seqRepro;
+    const FingerprintTarget target = targetOf(bug);
+    const bool is_crash = target.kind == "crash";
+    // Which semantic defect must keep firing (empty for the genuine
+    // miscompile record, which is instead pinned by the differential
+    // oracle below).
+    const std::string semantic_defect =
+        !is_crash && bug.defects.size() == 1 ? bug.defects[0] : "";
+    const bool is_miscompile = !is_crash && semantic_defect.empty();
+    if (is_miscompile && repro.initial.empty())
+        return false; // no oracle inputs captured; cannot re-check
+
+    tirlite::Buffers reference;
+    if (is_miscompile) {
+        reference = repro.initial;
+        tirlite::run(repro.program, reference);
+    }
+
+    auto still_fails = [&](const std::vector<size_t>& kept) {
+        std::vector<std::string> subsequence;
+        subsequence.reserve(kept.size());
+        for (size_t index : kept)
+            subsequence.push_back(repro.sequence[index]);
+        // Keep trigger traces from the re-runs out of the ambient
+        // thread-local window.
+        DefectRegistry::TraceScope trace_scope;
+        std::vector<std::string> fired;
+        try {
+            const auto optimized =
+                tirlite::runTirPasses(repro.program, subsequence, fired);
+            if (is_crash)
+                return false;
+            if (!semantic_defect.empty())
+                return std::find(fired.begin(), fired.end(),
+                                 semantic_defect) != fired.end();
+            // Genuine miscompile: output must still differ bitwise
+            // with no seeded defect explaining it.
+            if (!fired.empty())
+                return false;
+            tirlite::Buffers out = repro.initial;
+            tirlite::run(optimized, out);
+            return !buffersEquivalent(reference, out);
+        } catch (const BackendError& error) {
+            return is_crash && error.kind() == target.crashKind;
+        }
+    };
+
+    std::vector<size_t> all(repro.sequence.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    if (!still_fails(all))
+        return false;
+
+    DdminStats stats;
+    const auto minimal = ddmin(repro.sequence.size(), still_fails, &stats,
+                               options.maxOracleRuns);
+
+    auto minimized = std::make_shared<fuzz::SeqRepro>(repro);
+    minimized->sequence.clear();
+    for (size_t index : minimal)
+        minimized->sequence.push_back(repro.sequence[index]);
+    // The minimized subsequence's own trigger trace for the report.
+    if (!semantic_defect.empty()) {
+        bug.minimizedDefects = {semantic_defect};
+    } else if (is_crash) {
+        DefectRegistry::TraceScope trace_scope;
+        std::vector<std::string> fired;
+        try {
+            tirlite::runTirPasses(repro.program, minimized->sequence,
+                                  fired);
+        } catch (const BackendError&) {
+        }
+        bug.minimizedDefects = trace_scope.trace();
+    } else {
+        bug.minimizedDefects.clear(); // miscompile: no seeded defect
+    }
+    bug.originalSize = repro.sequence.size();
+    bug.minimizedSize = minimized->sequence.size();
+    bug.seqRepro = std::move(minimized);
+    bug.minimized = true;
+    bug.dedupKey = fingerprintKey(bug);
+    return true;
+}
+
+} // namespace
+
+std::string
+fingerprintKey(const BugRecord& bug)
+{
+    // Crashes (and export crashes) are already keyed trace-free by
+    // backend|tag|crash-kind; sequence records by backend|wrong|defect.
+    // Only graph-level wrong-results carry the raw trigger trace in
+    // their key — canonicalize it to the sorted relevant-defect set.
+    if (bug.kind != "wrong-result" || bug.seqRepro != nullptr)
+        return bug.dedupKey;
+    const auto relevant = relevantSemanticDefects(bug.defects, bug.backend);
+    if (relevant.empty())
+        return bug.dedupKey;
+    std::string key = bug.backend + "|wrong|";
+    bool first = true;
+    for (const auto& id : relevant) {
+        if (!first)
+            key += ",";
+        key += id;
+        first = false;
+    }
+    return key;
+}
+
+namespace {
+
+/** Cheap pre-check mirroring minimizeGraphBug's first early-out, so
+ *  irreducible records skip the full-case oracle run entirely. */
+bool
+graphTargetReducible(const BugRecord& bug)
+{
+    return bug.kind != "wrong-result" ||
+           !relevantSemanticDefects(bug.defects, bug.backend).empty();
+}
+
+} // namespace
+
+bool
+minimizeBug(BugRecord& bug,
+            const std::vector<backends::Backend*>& backends,
+            const ReduceOptions& options)
+{
+    if (bug.graphRepro != nullptr) {
+        if (!graphTargetReducible(bug))
+            return false;
+        const difftest::CaseResult full_result = difftest::runCase(
+            bug.graphRepro->graph, bug.graphRepro->leaves, backends);
+        CaseCache cache;
+        return minimizeGraphBug(bug, backends, options, full_result,
+                                cache);
+    }
+    if (bug.seqRepro != nullptr)
+        return minimizeSeqBug(bug, options);
+    return false;
+}
+
+void
+minimizeBugs(std::vector<BugRecord>& bugs,
+             const std::vector<backends::Backend*>& backends,
+             const ReduceOptions& options)
+{
+    // All records of one flagged case share a GraphRepro; run the
+    // full-case precondition once and share the candidate cache, so
+    // per-record ddmins do not repeat each other's oracle runs.
+    struct SharedRepro {
+        std::shared_ptr<const difftest::CaseResult> full;
+        CaseCache cache;
+    };
+    std::map<const fuzz::GraphRepro*, SharedRepro> shared;
+    for (auto& bug : bugs) {
+        if (bug.graphRepro != nullptr) {
+            if (!graphTargetReducible(bug))
+                continue;
+            auto& state = shared[bug.graphRepro.get()];
+            if (state.full == nullptr) {
+                state.full = std::make_shared<difftest::CaseResult>(
+                    difftest::runCase(bug.graphRepro->graph,
+                                      bug.graphRepro->leaves, backends));
+            }
+            minimizeGraphBug(bug, backends, options, *state.full,
+                             state.cache);
+        } else if (bug.seqRepro != nullptr) {
+            minimizeSeqBug(bug, options);
+        }
+    }
+}
+
+bool
+reproStillFires(const BugRecord& bug,
+                const std::vector<backends::Backend*>& backends)
+{
+    const FingerprintTarget target = targetOf(bug);
+    if (bug.graphRepro != nullptr) {
+        const auto& repro = *bug.graphRepro;
+        return caseMatches(
+            difftest::runCase(repro.graph, repro.leaves, backends), target);
+    }
+    if (bug.seqRepro != nullptr) {
+        const auto& repro = *bug.seqRepro;
+        DefectRegistry::TraceScope trace_scope;
+        std::vector<std::string> fired;
+        try {
+            const auto optimized = tirlite::runTirPasses(
+                repro.program, repro.sequence, fired);
+            if (target.kind == "crash")
+                return false;
+            if (bug.defects.size() == 1)
+                return std::find(fired.begin(), fired.end(),
+                                 bug.defects[0]) != fired.end();
+            if (!fired.empty() || repro.initial.empty())
+                return false;
+            tirlite::Buffers reference = repro.initial;
+            tirlite::run(repro.program, reference);
+            tirlite::Buffers out = repro.initial;
+            tirlite::run(optimized, out);
+            return !buffersEquivalent(reference, out);
+        } catch (const BackendError& error) {
+            return target.kind == "crash" &&
+                   error.kind() == target.crashKind;
+        }
+    }
+    return false;
+}
+
+} // namespace nnsmith::reduce

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimized-repro report writer.
+ *
+ * Turns a campaign's deduplicated bug map into on-disk repro reports:
+ * one file per fingerprint containing the bug's identity, its
+ * reduction stats, and the replayable artifact — the minimized
+ * OnnxLite export (or the graph rendering when the bug *is* an export
+ * crash) for graph bugs, the TIR program, pass sequence and initial
+ * buffers for pass-sequence bugs. File names and contents are pure
+ * functions of the bug map, so sharded campaigns write byte-identical
+ * report trees for any shard count.
+ */
+#ifndef NNSMITH_REDUCE_REPORT_H
+#define NNSMITH_REDUCE_REPORT_H
+
+#include <map>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace nnsmith::reduce {
+
+/** One written report. */
+struct ReportEntry {
+    std::string fingerprint; ///< the bug's dedup key
+    std::string file;        ///< path relative to the report dir
+};
+
+/**
+ * Write one repro file per bug that carries a repro into @p dir
+ * (created if missing), plus an `index.tsv` summarizing fingerprint,
+ * file, kind and reduction stats. Returns the entries written, in
+ * fingerprint order. Bugs without repro material are skipped.
+ */
+std::vector<ReportEntry>
+writeReproReports(const std::map<std::string, fuzz::BugRecord>& bugs,
+                  const std::string& dir);
+
+/** The file name a bug's report is written to (sanitized key). */
+std::string reportFileName(const std::string& fingerprint);
+
+} // namespace nnsmith::reduce
+
+#endif // NNSMITH_REDUCE_REPORT_H

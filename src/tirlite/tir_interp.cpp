@@ -1,6 +1,7 @@
 #include "tirlite/tir_interp.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace nnsmith::tirlite {
 
@@ -127,6 +128,29 @@ run(const TirProgram& program, Buffers& buffers)
                    "buffer count mismatch");
     Env env;
     execStmt(program.body, buffers, env);
+}
+
+bool
+buffersEquivalent(const Buffers& a, const Buffers& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size())
+            return false;
+        for (size_t j = 0; j < a[i].size(); ++j) {
+            const double x = a[i][j];
+            const double y = b[i][j];
+            if (std::isnan(x) && std::isnan(y))
+                continue;
+            uint64_t xb = 0, yb = 0;
+            std::memcpy(&xb, &x, sizeof(xb));
+            std::memcpy(&yb, &y, sizeof(yb));
+            if (xb != yb)
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace nnsmith::tirlite

@@ -25,6 +25,17 @@ Buffers makeBuffers(const TirProgram& program, Rng& rng);
  */
 void run(const TirProgram& program, Buffers& buffers);
 
+/**
+ * Bitwise buffer equality with NaN == NaN — the differential-oracle
+ * contract shared by the pass-sequence fuzzer (fuzz/pass_fuzzer.h)
+ * and the pass-sequence reducer (reduce/reducer.h): a pass may
+ * legally fold a NaN-producing subexpression at compile time,
+ * changing the payload, but every other deviation — including a
+ * flipped zero sign — is a miscompile, since registered passes are
+ * bitwise-exact by contract.
+ */
+bool buffersEquivalent(const Buffers& a, const Buffers& b);
+
 } // namespace nnsmith::tirlite
 
 #endif // NNSMITH_TIRLITE_TIR_INTERP_H

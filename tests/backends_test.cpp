@@ -217,6 +217,58 @@ TEST(Backends, WhereBroadcastDefectCrashesTvmImport)
     EXPECT_EQ(o0.status, RunResult::Status::kCrash);
 }
 
+TEST(Backends, TvmImportDefectStateDoesNotLeakAcrossRuns)
+{
+    // A Where whose weight-bool condition pushes the semantic
+    // tvm.import.bool_where defect and whose i64 branches then crash
+    // the import: the semantic push must not survive into the next
+    // compile on the same backend instance (regression — it used to,
+    // making verdicts depend on backend history and breaking the
+    // sharded campaign's iteration independence).
+    Graph crashing;
+    const auto tc = TensorType::concrete(DType::kBool, Shape{{2}});
+    const auto ti = TensorType::concrete(DType::kI64, Shape{{2}});
+    const int c = crashing.addLeaf(NodeKind::kWeight, tc, "c");
+    const int t = crashing.addLeaf(NodeKind::kInput, ti, "t");
+    const int f = crashing.addLeaf(NodeKind::kInput, ti, "f");
+    AttrMap attrs;
+    for (const char* prefix : {"wc", "wt", "wf"}) {
+        for (int i = 0; i < ops::kMaxRank; ++i)
+            attrs[std::string(prefix) + std::to_string(i)] = 0;
+    }
+    auto where = std::make_shared<ops::WhereOp>(attrs);
+    where->setDTypes({{DType::kBool, DType::kI64, DType::kI64},
+                      {DType::kI64}});
+    crashing.addOp(where, {c, t, f}, {ti});
+    const auto crash_model = onnx::exportGraph(crashing);
+
+    auto tainted = makeTvmLite();
+    const auto crash_run =
+        tainted->run(crash_model, onesLeaves(crashing), OptLevel::kO3);
+    ASSERT_EQ(crash_run.status, RunResult::Status::kCrash);
+    EXPECT_EQ(crash_run.crashKind, "tvm.i64.where");
+
+    // A clean model on the tainted instance must match a fresh one.
+    Graph clean;
+    const auto tx = TensorType::concrete(DType::kF32, Shape{{2, 3}});
+    const int a = clean.addLeaf(NodeKind::kInput, tx, "a");
+    const int b = clean.addLeaf(NodeKind::kInput, tx, "b");
+    auto add = std::make_shared<ops::BinaryOp>(ops::BinaryKind::kAdd,
+                                               equalMask());
+    add->setDTypes({{DType::kF32, DType::kF32}, {DType::kF32}});
+    clean.addOp(add, {a, b}, {tx});
+    const auto clean_model = onnx::exportGraph(clean);
+    const auto leaves = onesLeaves(clean);
+    const auto after_crash =
+        tainted->run(clean_model, leaves, OptLevel::kO3);
+    const auto fresh = makeTvmLite()->run(clean_model, leaves,
+                                          OptLevel::kO3);
+    ASSERT_EQ(after_crash.status, RunResult::Status::kOk);
+    ASSERT_EQ(fresh.status, RunResult::Status::kOk);
+    EXPECT_TRUE(difftest::allClose(after_crash.outputs, fresh.outputs,
+                                   difftest::CompareOptions()));
+}
+
 TEST(Backends, LayoutSliceDefectNeedsStride)
 {
     // Conv2d(co=4) -> Slice(axis=1, stride s): crash iff s > 1 —

@@ -132,9 +132,9 @@ TEST(Exporter, ScalarLog2DefectMisshapesOutput)
     op->setDTypes({{tensor::DType::kF32}, {tensor::DType::kF32}});
     g.addOp(op, {x}, {scalar});
 
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     const auto exported = exportGraph(g);
-    const auto& trace = DefectRegistry::instance().trace();
+    const auto& trace = trace_scope.trace();
     EXPECT_NE(std::find(trace.begin(), trace.end(), "exp.scalar.log2"),
               trace.end());
     // The defect's observable effect: scalar output became rank 1.
@@ -190,17 +190,18 @@ TEST(Defects, TableMirrorsPaperTable3)
 TEST(Defects, EnableDisableAndTrace)
 {
     auto& reg = DefectRegistry::instance();
-    reg.clearTrace();
+    // RAII window: the trace cannot leak into later tests even if an
+    // expectation aborts this one early.
+    DefectRegistry::TraceScope trace_scope;
     EXPECT_TRUE(reg.isEnabled("tvm.layout.nchw4c_slice"));
     reg.setEnabled("tvm.layout.nchw4c_slice", false);
     EXPECT_FALSE(reg.trigger("tvm.layout.nchw4c_slice"));
-    EXPECT_TRUE(reg.trace().empty());
+    EXPECT_TRUE(trace_scope.trace().empty());
     reg.setEnabled("tvm.layout.nchw4c_slice", true);
     EXPECT_TRUE(reg.trigger("tvm.layout.nchw4c_slice"));
-    EXPECT_EQ(reg.trace().size(), 1u);
+    EXPECT_EQ(trace_scope.trace().size(), 1u);
     reg.trigger("tvm.layout.nchw4c_slice"); // dedup within a trace
-    EXPECT_EQ(reg.trace().size(), 1u);
-    reg.clearTrace();
+    EXPECT_EQ(trace_scope.trace().size(), 1u);
 }
 
 } // namespace

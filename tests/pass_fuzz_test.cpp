@@ -101,7 +101,7 @@ TEST(PassSequence, ProgramHashIsStructural)
 TEST(PassSequence, RandomSequencesPreserveSemantics)
 {
     DisableTirCrashDefects guard;
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     Rng rng(2023);
     for (int i = 0; i < 200; ++i) {
         tirlite::TirProgram program = tirlite::randomProgram(rng);

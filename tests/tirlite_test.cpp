@@ -142,7 +142,7 @@ TEST(TirLower, IntegerOpsStayOnKernels)
 
 TEST(TirPasses, PipelinePreservesSemanticsOnCleanPrograms)
 {
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     const auto program = addOneProgram();
     std::vector<std::string> fired;
     const auto optimized = runTirPipeline(program, fired);
@@ -167,7 +167,7 @@ TEST(TirPasses, NestedModTriggersSimplifyDefect)
     program.body = TirStmt::forLoop(
         0, 8, TirStmt::store(1, nested, TirExpr::load(0, i)));
     std::vector<std::string> fired;
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     EXPECT_THROW(runTirPipeline(program, fired), BackendError);
     DefectRegistry::instance().setEnabled("tvm.tir.simplify_mod", false);
     EXPECT_NO_THROW(runTirPipeline(program, fired));
@@ -184,7 +184,7 @@ TEST(TirPasses, DeadStoreDefectIsSemanticNotCrash)
         TirStmt::store(1, TirExpr::intImm(0), TirExpr::floatImm(2.0)),
     });
     std::vector<std::string> fired;
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     runTirPipeline(program, fired);
     EXPECT_EQ(fired, std::vector<std::string>{"tvm.tir.dead_store"});
 }
@@ -205,7 +205,7 @@ TEST(TirPasses, DeadStoreSemanticFiringIsDeduplicated)
         TirStmt::store(2, TirExpr::intImm(0), TirExpr::floatImm(4.0)),
     });
     std::vector<std::string> fired;
-    DefectRegistry::instance().clearTrace();
+    DefectRegistry::TraceScope trace_scope;
     runTirPipeline(program, fired);
     EXPECT_EQ(fired, std::vector<std::string>{"tvm.tir.dead_store"});
 }
