@@ -24,6 +24,12 @@
  *                   committed BENCH_*.json records stay comparable.
  *   --report-dir D  write one minimized-repro report per deduped bug
  *                   into directory D (reduce/report.h)
+ *   --corpus D      replay the regression corpus in directory D (a
+ *                   --report-dir tree) before fresh fuzzing: every
+ *                   known fingerprint is re-checked and classified
+ *                   still-fires / changed / fixed into D/regressions.tsv
+ *                   (corpus/replay.h). Replay stays out of coverage
+ *                   accounting, so it composes with --shards.
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
@@ -58,6 +64,7 @@ struct BenchOptions {
     bool passFuzz = false;
     bool minimize = false;  ///< ddmin flagged cases before dedup
     std::string reportDir;  ///< write minimized repro reports here
+    std::string corpusDir;  ///< replay this regression corpus first
 };
 
 inline BenchOptions
@@ -82,6 +89,8 @@ parseArgs(int argc, char** argv)
             options.minimize = true;
         else if (want("--report-dir"))
             options.reportDir = argv[++i];
+        else if (want("--corpus"))
+            options.corpusDir = argv[++i];
     }
     return options;
 }
@@ -137,6 +146,7 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
     config.sampleEveryMinutes = 10;
     config.minimize = options.minimize;
     config.reportDir = options.reportDir;
+    config.corpusDir = options.corpusDir;
     if (fuzzer_name != "Tzer") {
         fuzz::ParallelCampaignConfig parallel;
         parallel.campaign = config;
@@ -161,7 +171,11 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
     // Only Tzer reaches the serial driver. It needs no backend (it
     // feeds TIR straight into the passes), but constructing the
     // backends still registers their coverage sites and declared
-    // totals, which the figure footers rely on.
+    // totals, which the figure footers rely on. Replaying graph
+    // repros against that empty backend list would misclassify every
+    // known bug as fixed (and clobber regressions.tsv written by the
+    // sibling campaigns), so --corpus is a no-op on this path.
+    config.corpusDir.clear();
     auto owned = difftest::makeAllBackends();
     auto fuzzer = makeFuzzer(fuzzer_name, options.seed);
     return fuzz::runCampaign(*fuzzer, /*backends=*/{}, config);

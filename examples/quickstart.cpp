@@ -3,20 +3,24 @@
  * Quickstart: generate one valid random model, find NaN/Inf-free
  * inputs with gradient search, run differential testing across the
  * three simulated compilers, run a miniature sharded fuzzing
- * campaign, then delta-debug one flagged case to a minimized repro,
- * and print everything.
+ * campaign, delta-debug one flagged case to a minimized repro, then
+ * round-trip that repro through the regression corpus (write ->
+ * parse -> replay), and print everything.
  *
  *   ./examples/quickstart [seed]
  */
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "autodiff/grad_search.h"
+#include "corpus/replay.h"
 #include "difftest/oracle.h"
 #include "fuzz/parallel_campaign.h"
 #include "gen/generator.h"
 #include "graph/validate.h"
 #include "reduce/reducer.h"
+#include "reduce/report.h"
 
 int
 main(int argc, char** argv)
@@ -116,10 +120,11 @@ main(int argc, char** argv)
     //    automatically with CampaignConfig::minimize (bench drivers:
     //    --minimize, plus --report-dir for on-disk repro reports).
     std::printf("\n=== minimized repro ===\n");
+    fuzz::BugRecord reduced;
     bool reduced_one = false;
+    std::vector<backends::Backend*> ort = {owned[0].get()};
     for (const auto& [key, bug] : merged.bugs) {
         fuzz::BugRecord minimized = bug;
-        std::vector<backends::Backend*> ort = {owned[0].get()};
         if (!reduce::minimizeBug(minimized, ort))
             continue;
         std::printf("bug %s\n  reduced %zu -> %zu op nodes; still "
@@ -128,10 +133,33 @@ main(int argc, char** argv)
                     minimized.minimizedSize,
                     reduce::reproStillFires(minimized, ort) ? "yes" : "no",
                     minimized.graphRepro->graph.toString().c_str());
+        reduced = std::move(minimized);
         reduced_one = true;
         break;
     }
-    if (!reduced_one)
+    if (!reduced_one) {
         std::printf("(no reducible flagged case this seed)\n");
+        return 0;
+    }
+
+    // 6. Regression corpus (reduce/report.h + corpus/replay.h): write
+    //    the minimized repro to disk, parse it back, and replay it
+    //    against the live oracle — the workflow campaigns run for a
+    //    whole corpus with --report-dir (write) and --corpus (replay
+    //    before fresh fuzzing, verdicts into regressions.tsv).
+    const auto corpus_dir = std::filesystem::temp_directory_path() /
+                            "nnsmith-quickstart-corpus";
+    std::filesystem::remove_all(corpus_dir);
+    reduce::writeReproReports({{reduced.dedupKey, reduced}},
+                              corpus_dir.string());
+    const auto replay = corpus::replayCorpus(corpus_dir.string(), ort);
+    corpus::writeRegressions(corpus_dir.string(), replay);
+    std::printf("\n=== corpus replay ===\n");
+    std::printf("wrote %s, replayed it into regressions.tsv: ",
+                (corpus_dir / "index.tsv").string().c_str());
+    for (const auto& outcome : replay.outcomes) {
+        std::printf("%s -> %s\n", outcome.fingerprint.c_str(),
+                    corpus::replayStatusName(outcome.status).c_str());
+    }
     return 0;
 }

@@ -45,6 +45,13 @@ if ! ls build/repro-smoke/*.repro.txt >/dev/null 2>&1; then
     exit 1
 fi
 
+echo "== corpus replay probe: re-check the emitted repros =="
+# Replaying a corpus just emitted by the same binary must re-fire every
+# fingerprint; bench_corpus --corpus exits nonzero unless all outcomes
+# classify still-fires (a 'fixed' here means replay failed to re-fire a
+# known bug, not that anything was fixed).
+./build/bench/bench_corpus --corpus build/repro-smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
     echo "== strict: -Wall -Wextra -Werror =="
     cmake -B build-strict -S . -DNNSMITH_STRICT=ON

@@ -27,7 +27,23 @@ while IFS= read -r name; do
     fi
 done < <(grep -oE '^\| `[A-Za-z0-9_]+`' README.md | sed -e 's/^| `//' -e 's/`$//')
 
+# Every committed BENCH_*.json record must be referenced from README.md
+# (and every record README names must exist) so the committed baselines
+# cannot silently rot either.
+for record in BENCH_*.json; do
+    if ! grep -q "$record" README.md; then
+        echo "check_docs: README.md does not mention committed record '$record'"
+        fail=1
+    fi
+done
+while IFS= read -r record; do
+    if [[ ! -f "$record" ]]; then
+        echo "check_docs: README.md names nonexistent record '$record'"
+        fail=1
+    fi
+done < <(grep -oE 'BENCH_[A-Za-z0-9_]+\.json' README.md | sort -u)
+
 if [[ "$fail" == 0 ]]; then
-    echo "check_docs: README fig→driver table matches bench/ targets"
+    echo "check_docs: README fig→driver table and BENCH_*.json records consistent"
 fi
 exit "$fail"

@@ -1,0 +1,226 @@
+#include "corpus/replay.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "backends/defects.h"
+#include "corpus/parser.h"
+#include "difftest/oracle.h"
+#include "reduce/reducer.h"
+#include "support/logging.h"
+#include "tirlite/tir_interp.h"
+#include "tirlite/tir_passes.h"
+
+namespace nnsmith::corpus {
+
+using backends::BackendError;
+using backends::DefectRegistry;
+using fuzz::BugRecord;
+
+namespace {
+
+std::string
+joinSorted(const std::set<std::string>& items)
+{
+    std::string joined;
+    for (const auto& item : items) {
+        if (!joined.empty())
+            joined += " ";
+        joined += item;
+    }
+    return joined;
+}
+
+/** Graph repros: the difftest oracle, matched by canonical key. */
+void
+classifyGraph(const BugRecord& bug,
+              const std::vector<backends::Backend*>& backends,
+              ReplayOutcome& outcome)
+{
+    const auto& repro = *bug.graphRepro;
+    const auto result =
+        difftest::runCase(repro.graph, repro.leaves, backends);
+    std::set<std::string> signals;
+    bool refired = false;
+    for (auto& record : fuzz::bugsFromCase(result)) {
+        const std::string canonical = reduce::fingerprintKey(record);
+        signals.insert(canonical);
+        refired = refired || canonical == bug.dedupKey ||
+                  record.dedupKey == bug.dedupKey;
+    }
+    if (refired) {
+        outcome.status = ReplayStatus::kStillFires;
+    } else if (!signals.empty()) {
+        outcome.status = ReplayStatus::kChanged;
+        outcome.detail = joinSorted(signals);
+    } else {
+        outcome.status = ReplayStatus::kFixed;
+    }
+}
+
+/** Sequence repros: the bitwise tir_interp differential oracle. */
+void
+classifySequence(const BugRecord& bug, ReplayOutcome& outcome)
+{
+    const auto& repro = *bug.seqRepro;
+    const bool is_crash = bug.kind == "crash";
+    // The fingerprint is authoritative (the defects line is metadata a
+    // hand edit could desynchronize): sequence keys are
+    // "TVMLite|wrong|<defect>" for semantic records and
+    // "TVMLite|wrong|tir.seq.miscompile" for the genuine miscompile,
+    // which is pinned by the differential oracle instead.
+    const std::string key_tail = reduce::crashKindOfKey(bug.dedupKey);
+    const std::string semantic_defect =
+        !is_crash && key_tail != "tir.seq.miscompile" ? key_tail : "";
+    const bool is_miscompile = !is_crash && semantic_defect.empty();
+
+    DefectRegistry::TraceScope trace_scope;
+    std::vector<std::string> fired;
+    try {
+        const auto optimized =
+            tirlite::runTirPasses(repro.program, repro.sequence, fired);
+        bool miscompare = false;
+        if (!repro.initial.empty()) {
+            tirlite::Buffers reference = repro.initial;
+            tirlite::run(repro.program, reference);
+            tirlite::Buffers out = repro.initial;
+            tirlite::run(optimized, out);
+            miscompare = !tirlite::buffersEquivalent(reference, out);
+        }
+        const bool fired_target =
+            !semantic_defect.empty() &&
+            std::find(fired.begin(), fired.end(), semantic_defect) !=
+                fired.end();
+        if (is_crash) {
+            outcome.status = (!fired.empty() || miscompare)
+                                 ? ReplayStatus::kChanged
+                                 : ReplayStatus::kFixed;
+        } else if (!semantic_defect.empty()) {
+            outcome.status = fired_target
+                                 ? ReplayStatus::kStillFires
+                                 : ((!fired.empty() || miscompare)
+                                        ? ReplayStatus::kChanged
+                                        : ReplayStatus::kFixed);
+        } else if (is_miscompile) {
+            outcome.status = fired.empty() && miscompare
+                                 ? ReplayStatus::kStillFires
+                                 : (!fired.empty()
+                                        ? ReplayStatus::kChanged
+                                        : ReplayStatus::kFixed);
+        }
+        if (outcome.status == ReplayStatus::kChanged) {
+            std::set<std::string> signals(fired.begin(), fired.end());
+            if (miscompare)
+                signals.insert("interp-miscompare");
+            outcome.detail = joinSorted(signals);
+        }
+    } catch (const BackendError& error) {
+        if (is_crash && error.kind() == reduce::crashKindOfKey(bug.dedupKey)) {
+            outcome.status = ReplayStatus::kStillFires;
+        } else {
+            outcome.status = ReplayStatus::kChanged;
+            outcome.detail = "crash " + error.kind();
+        }
+    }
+}
+
+} // namespace
+
+std::string
+replayStatusName(ReplayStatus status)
+{
+    switch (status) {
+      case ReplayStatus::kStillFires: return "still-fires";
+      case ReplayStatus::kChanged: return "changed";
+      case ReplayStatus::kFixed: return "fixed";
+      case ReplayStatus::kParseError: return "parse-error";
+    }
+    NNSMITH_PANIC("bad ReplayStatus");
+}
+
+ReplayOutcome
+replayRepro(const BugRecord& bug,
+            const std::vector<backends::Backend*>& backends)
+{
+    ReplayOutcome outcome;
+    outcome.fingerprint = bug.dedupKey;
+    outcome.kind = bug.kind;
+    if (bug.graphRepro != nullptr)
+        classifyGraph(bug, backends, outcome);
+    else if (bug.seqRepro != nullptr)
+        classifySequence(bug, outcome);
+    else {
+        outcome.status = ReplayStatus::kParseError;
+        outcome.detail = "repro carries no replayable artifact";
+    }
+    return outcome;
+}
+
+ReplayResult
+replayCorpus(const std::string& dir,
+             const std::vector<backends::Backend*>& backends)
+{
+    ReplayResult result;
+    for (const auto& entry : loadCorpusIndex(dir)) {
+        ReplayOutcome outcome;
+        outcome.fingerprint = entry.fingerprint;
+        outcome.file = entry.file;
+        outcome.kind = entry.kind;
+        try {
+            const auto path =
+                (std::filesystem::path(dir) / entry.file).string();
+            const BugRecord bug = parseRepro(readCorpusFile(path));
+            if (bug.dedupKey != entry.fingerprint)
+                throw ParseError("index fingerprint '" +
+                                 entry.fingerprint +
+                                 "' disagrees with the file's '" +
+                                 bug.dedupKey + "'");
+            if (bug.kind != entry.kind)
+                throw ParseError("index kind '" + entry.kind +
+                                 "' disagrees with the file's '" +
+                                 bug.kind + "'");
+            outcome = replayRepro(bug, backends);
+            outcome.file = entry.file;
+        } catch (const ParseError& error) {
+            outcome.status = ReplayStatus::kParseError;
+            outcome.detail = error.what();
+        } catch (const std::exception& error) {
+            // Malformed input is a verdict, not a crash: whatever a
+            // hand-edited repro trips downstream (an interpreter or
+            // backend assertion), the corpus entry takes the blame and
+            // the rest of the replay — and the campaign — proceeds.
+            outcome.status = ReplayStatus::kParseError;
+            outcome.detail = std::string("replay failed: ") + error.what();
+        }
+        switch (outcome.status) {
+          case ReplayStatus::kStillFires: ++result.stillFires; break;
+          case ReplayStatus::kChanged: ++result.changed; break;
+          case ReplayStatus::kFixed: ++result.fixed; break;
+          case ReplayStatus::kParseError: ++result.parseErrors; break;
+        }
+        result.outcomes.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+std::string
+renderRegressions(const ReplayResult& result)
+{
+    std::string out = "fingerprint\tfile\tkind\tstatus\tdetail\n";
+    for (const auto& outcome : result.outcomes) {
+        out += outcome.fingerprint + "\t" + outcome.file + "\t" +
+               outcome.kind + "\t" + replayStatusName(outcome.status) +
+               "\t" + outcome.detail + "\n";
+    }
+    return out;
+}
+
+void
+writeRegressions(const std::string& dir, const ReplayResult& result)
+{
+    const auto path = std::filesystem::path(dir) / "regressions.tsv";
+    writeCorpusFile(path.string(), renderRegressions(result));
+}
+
+} // namespace nnsmith::corpus

@@ -18,6 +18,21 @@ runCampaign(Fuzzer& fuzzer,
 
     CampaignResult result;
     result.fuzzer = fuzzer.name();
+    if (!config.corpusDir.empty()) {
+        // Re-check every known bug before fresh fuzzing. The scratch
+        // collector keeps replay's oracle runs out of the global hit
+        // bits, so --corpus cannot perturb campaign coverage.
+        coverage::CoverageCollector scratch;
+        try {
+            result.regressions =
+                corpus::replayCorpus(config.corpusDir, backends);
+        } catch (const corpus::ParseError& error) {
+            // A missing or malformed index is a configuration error
+            // (mistyped --corpus), not an internal failure.
+            fatal(std::string("runCampaign corpusDir: ") + error.what());
+        }
+        corpus::writeRegressions(config.corpusDir, result.regressions);
+    }
     VirtualClock clock;
     double next_sample = 0.0;
 

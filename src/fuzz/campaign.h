@@ -11,6 +11,7 @@
 #include <map>
 #include <set>
 
+#include "corpus/replay.h"
 #include "coverage/coverage.h"
 #include "fuzz/fuzzer.h"
 #include "support/vclock.h"
@@ -48,6 +49,18 @@ struct CampaignConfig {
     /** When non-empty, write one minimized-repro report per deduped
      *  bug into this directory at campaign end (reduce/report.h). */
     std::string reportDir;
+
+    /**
+     * When non-empty, replay this regression corpus (a `--report-dir`
+     * tree, see corpus/replay.h) *before* fresh fuzzing: every known
+     * fingerprint is re-checked against the live oracle and classified
+     * still-fires / changed / fixed, results land in the result's
+     * `regressions` and in `regressions.tsv` next to the reports.
+     * Replay's oracle runs are kept out of coverage accounting, so
+     * `--corpus` never changes the campaign's coverage or bug map and
+     * composes with any shard count.
+     */
+    std::string corpusDir;
 };
 
 /** One sample of the coverage growth curves. */
@@ -65,6 +78,8 @@ struct CampaignResult {
     coverage::CoverageMap coverAll;   ///< component-filtered
     coverage::CoverageMap coverPass;  ///< pass-only subset
     std::map<std::string, BugRecord> bugs; ///< keyed by dedupKey
+    /** Corpus replay verdicts (empty unless corpusDir was set). */
+    corpus::ReplayResult regressions;
     std::set<std::string> instanceKeys;
     std::set<std::string> defectsFound; ///< seeded defects observed
     size_t iterations = 0;

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "corpus/replay.h"
 #include "reduce/reducer.h"
 #include "reduce/report.h"
 #include "support/logging.h"
@@ -144,6 +145,31 @@ runParallelCampaign(const ParallelCampaignConfig& config)
               "must both be set");
 
     CoverageRegistry::instance().resetHits();
+
+    corpus::ReplayResult regressions;
+    if (!config.campaign.corpusDir.empty()) {
+        // Replay the regression corpus once, on the coordinator,
+        // before any shard fuzzes — the scratch collector captures
+        // both backend construction and replay's oracle runs, so the
+        // merged campaign result is unchanged by --corpus and stays
+        // byte-identical for any shard count.
+        coverage::CoverageCollector scratch;
+        auto owned = config.backendFactory();
+        std::vector<backends::Backend*> backend_list;
+        backend_list.reserve(owned.size());
+        for (auto& backend : owned)
+            backend_list.push_back(backend.get());
+        try {
+            regressions = corpus::replayCorpus(config.campaign.corpusDir,
+                                               backend_list);
+        } catch (const corpus::ParseError& error) {
+            // A missing or malformed index is a configuration error
+            // (mistyped --corpus), not an internal failure.
+            fatal(std::string("runParallelCampaign corpusDir: ") +
+                  error.what());
+        }
+        corpus::writeRegressions(config.campaign.corpusDir, regressions);
+    }
 
     const int shard_count = config.shards;
     std::vector<ShardResult> results(static_cast<size_t>(shard_count));
@@ -294,6 +320,7 @@ runParallelCampaign(const ParallelCampaignConfig& config)
         config.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));
     CampaignResult merged =
         mergeShardResults(results, config.campaign, probe->name());
+    merged.regressions = std::move(regressions);
     if (!config.campaign.reportDir.empty())
         reduce::writeReproReports(merged.bugs, config.campaign.reportDir);
     return merged;

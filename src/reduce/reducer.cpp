@@ -18,19 +18,24 @@ using backends::Symptom;
 using backends::System;
 using fuzz::BugRecord;
 
+std::string
+crashKindOfKey(const std::string& dedup_key)
+{
+    const auto first = dedup_key.find('|');
+    if (first == std::string::npos)
+        return "";
+    const auto second = dedup_key.find('|', first + 1);
+    if (second == std::string::npos)
+        return "";
+    return dedup_key.substr(second + 1);
+}
+
 namespace {
 
-/** Third field of a "backend|tag|rest" dedup key (the crash kind). */
 std::string
 crashKindOf(const BugRecord& bug)
 {
-    const auto first = bug.dedupKey.find('|');
-    if (first == std::string::npos)
-        return "";
-    const auto second = bug.dedupKey.find('|', first + 1);
-    if (second == std::string::npos)
-        return "";
-    return bug.dedupKey.substr(second + 1);
+    return crashKindOfKey(bug.dedupKey);
 }
 
 /**

@@ -52,6 +52,14 @@ struct ReduceOptions {
 std::string fingerprintKey(const fuzz::BugRecord& bug);
 
 /**
+ * Third field of a "backend|tag|kind" dedup key — the crash kind that
+ * must re-fire for crash/export-crash records; empty when the key has
+ * fewer than three fields. The single parser of the dedup-key wire
+ * format, shared with corpus replay (corpus/replay.h).
+ */
+std::string crashKindOfKey(const std::string& dedup_key);
+
+/**
  * Minimize one flagged bug record in place: ddmin its repro (graph or
  * pass sequence), replace the repro with the minimized one, fill
  * originalSize/minimizedSize/minimizedDefects (the minimized repro's

@@ -5,13 +5,11 @@
 #include <fstream>
 #include <sstream>
 
-#include "backends/defects.h"
-#include "onnx/exporter.h"
+#include "corpus/corpus.h"
 #include "support/logging.h"
 
 namespace nnsmith::reduce {
 
-using backends::BackendError;
 using fuzz::BugRecord;
 
 namespace {
@@ -27,105 +25,6 @@ fnv1a(const std::string& text)
         hash *= 1099511628211ull;
     }
     return hash;
-}
-
-void
-renderLeaves(std::ostringstream& os, const exec::LeafValues& leaves)
-{
-    // Reports must be replayable: every element, at %.17g so float
-    // bit patterns round-trip (matching the seq-repro buffer dump;
-    // Tensor::toString truncates and prints 6 digits).
-    char buffer[64];
-    for (const auto& [value_id, tensor] : leaves) {
-        os << "  %" << value_id << ": "
-           << tensor::dtypeName(tensor.dtype())
-           << tensor.shape().toString() << " =";
-        for (int64_t i = 0; i < tensor.numel(); ++i) {
-            std::snprintf(buffer, sizeof(buffer), " %.17g",
-                          tensor.scalarAt(i));
-            os << buffer;
-        }
-        os << "\n";
-    }
-}
-
-std::string
-renderBug(const BugRecord& bug)
-{
-    std::ostringstream os;
-    os << "# nnsmith minimized repro\n";
-    os << "fingerprint: " << bug.dedupKey << "\n";
-    os << "backend: " << bug.backend << "\n";
-    os << "kind: " << bug.kind << "\n";
-    os << "detail: " << bug.detail << "\n";
-    // The minimized repro's own trigger trace; the discovery-time
-    // trace is kept alongside when reduction stripped co-triggered
-    // noise from it.
-    const auto& defects =
-        bug.minimized ? bug.minimizedDefects : bug.defects;
-    os << "defects:";
-    for (const auto& defect : defects)
-        os << " " << defect;
-    os << "\n";
-    if (bug.minimized && bug.minimizedDefects != bug.defects) {
-        os << "discovery defects:";
-        for (const auto& defect : bug.defects)
-            os << " " << defect;
-        os << "\n";
-    }
-    if (bug.minimized) {
-        os << "reduction: " << bug.originalSize << " -> "
-           << bug.minimizedSize
-           << (bug.graphRepro != nullptr ? " op nodes" : " passes")
-           << " (ddmin)\n";
-    } else {
-        os << "reduction: none (raw flagged case)\n";
-    }
-    if (bug.graphRepro != nullptr) {
-        const auto& repro = *bug.graphRepro;
-        os << "\n--- graph ---\n" << repro.graph.toString() << "\n";
-        os << "\n--- leaves ---\n";
-        renderLeaves(os, repro.leaves);
-        // The deployable artifact; for export-crash bugs the export
-        // *is* the defect, so the graph rendering above is the repro.
-        try {
-            const auto model = onnx::exportGraph(repro.graph);
-            os << "\n--- onnx ---\n" << model.serialize() << "\n";
-        } catch (const BackendError& error) {
-            os << "\n--- onnx ---\n(export crashes: " << error.kind()
-               << " — replay the graph above through the exporter)\n";
-        }
-    } else if (bug.seqRepro != nullptr) {
-        const auto& repro = *bug.seqRepro;
-        os << "\n--- pass sequence ---\n";
-        for (size_t i = 0; i < repro.sequence.size(); ++i)
-            os << (i > 0 ? "," : "") << repro.sequence[i];
-        os << "\n\n--- tir program ---\n"
-           << repro.program.toString() << "\n";
-        if (!repro.initial.empty()) {
-            os << "\n--- initial buffers ---\n";
-            for (size_t b = 0; b < repro.initial.size(); ++b) {
-                os << "  buffer[" << b << "]:";
-                char buffer[64];
-                for (const double v : repro.initial[b]) {
-                    std::snprintf(buffer, sizeof(buffer), " %.17g", v);
-                    os << buffer;
-                }
-                os << "\n";
-            }
-        }
-    }
-    return os.str();
-}
-
-void
-writeFile(const std::filesystem::path& path, const std::string& content)
-{
-    FILE* file = std::fopen(path.string().c_str(), "w");
-    if (file == nullptr)
-        fatal("reduce::writeReproReports: cannot write " + path.string());
-    std::fwrite(content.data(), 1, content.size(), file);
-    std::fclose(file);
 }
 
 } // namespace
@@ -184,17 +83,21 @@ writeReproReports(const std::map<std::string, BugRecord>& bugs,
         ReportEntry entry;
         entry.fingerprint = key;
         entry.file = reportFileName(key);
-        writeFile(root / entry.file, renderBug(bug));
+        // The repro body comes from the shared corpus schema
+        // (corpus/corpus.h), the same definition corpus/parser.h reads
+        // back — writer and parser cannot drift apart.
+        corpus::writeCorpusFile((root / entry.file).string(),
+                                corpus::renderRepro(bug));
         index_rows[key] = entry.file + "\t" + bug.kind + "\t" +
                           std::to_string(bug.originalSize) + "\t" +
                           std::to_string(bug.minimizedSize);
         entries.push_back(std::move(entry));
     }
     std::ostringstream index;
-    index << "fingerprint\tfile\tkind\toriginal\tminimized\n";
+    index << corpus::schema::kIndexHeader << "\n";
     for (const auto& [key, rest] : index_rows)
         index << key << "\t" << rest << "\n";
-    writeFile(root / "index.tsv", index.str());
+    corpus::writeCorpusFile((root / "index.tsv").string(), index.str());
     return entries;
 }
 

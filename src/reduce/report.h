@@ -10,6 +10,12 @@
  * buffers for pass-sequence bugs. File names and contents are pure
  * functions of the bug map, so sharded campaigns write byte-identical
  * report trees for any shard count.
+ *
+ * The report body and the `index.tsv` row format are defined once in
+ * corpus/corpus.h (`corpus::renderRepro`, `corpus::schema`); the
+ * corpus parsers (corpus/parser.h) read the same schema back, and
+ * corpus/replay.h replays the written tree as a regression suite at
+ * the start of later campaigns.
  */
 #ifndef NNSMITH_REDUCE_REPORT_H
 #define NNSMITH_REDUCE_REPORT_H

@@ -1,8 +1,13 @@
 /** Tests for the sharded parallel campaign runner: shard-count
- *  invariance, merge order-independence, and scheduling determinism. */
+ *  invariance, merge order-independence, scheduling determinism, and
+ *  shard-invariant regression-corpus replay. */
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "backends/backend.h"
+#include "corpus/replay.h"
 #include "fuzz/parallel_campaign.h"
 #include "fuzz/pass_fuzzer.h"
 
@@ -237,6 +242,52 @@ TEST(ParallelCampaign, PassFuzzedTvmLiteIsShardInvariant)
     const auto sharded = fuzz::runParallelCampaign(make(3));
     EXPECT_GT(serial.coverAll.count(), 0u);
     expectIdentical(serial, sharded);
+}
+
+TEST(ParallelCampaign, CorpusReplayIsShardInvariant)
+{
+    // A campaign with --corpus + --minimize must produce identical
+    // regressions.tsv bytes and identical merged results for shards
+    // {1, 2, 4}: replay runs once on the coordinator, outside coverage
+    // accounting, so it composes with sharding like minimization does.
+    const auto dir = std::filesystem::path(testing::TempDir()) /
+                     "nnsmith-corpus-shards";
+    std::filesystem::remove_all(dir);
+    auto emit = testConfig(2, 2023);
+    emit.campaign.minimize = true;
+    emit.campaign.reportDir = dir.string();
+    const auto emitted = fuzz::runParallelCampaign(emit);
+    ASSERT_GT(emitted.bugs.size(), 0u);
+
+    auto read_tsv = [&]() {
+        std::ifstream in(dir / "regressions.tsv", std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+    std::vector<fuzz::CampaignResult> results;
+    std::vector<std::string> tsvs;
+    for (const int shards : {1, 2, 4}) {
+        auto config = testConfig(shards, 2023);
+        config.campaign.minimize = true;
+        config.campaign.corpusDir = dir.string();
+        results.push_back(fuzz::runParallelCampaign(config));
+        tsvs.push_back(read_tsv());
+    }
+    ASSERT_FALSE(tsvs[0].empty());
+    EXPECT_EQ(tsvs[0], tsvs[1]);
+    EXPECT_EQ(tsvs[0], tsvs[2]);
+    for (const auto& result : results) {
+        EXPECT_EQ(corpus::renderRegressions(result.regressions), tsvs[0]);
+        // The corpus came from the same code and seed, so every known
+        // fingerprint re-fires.
+        EXPECT_GT(result.regressions.total(), 0u);
+        EXPECT_EQ(result.regressions.stillFires,
+                  result.regressions.total());
+    }
+    expectIdentical(results[0], results[1]);
+    expectIdentical(results[0], results[2]);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(ParallelCampaign, SeedDerivationIsStableAndSpreads)
