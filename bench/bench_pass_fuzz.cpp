@@ -6,7 +6,7 @@
  *
  *  1. "sequence fuzzing": a serial PassSequenceFuzzer loop
  *     (fuzz/pass_fuzzer.h) — sequences/sec, plus the growth of
- *     distinct pass-sequence coverage bins ("tvmlite/tir/seq/..."),
+ *     distinct pass-sequence coverage bins ("tvmlite/pass/seq/..."),
  *     sampled every 10 iterations. The committed baseline must show
  *     more than one distinct bin discovered per 10 iterations.
  *
@@ -47,7 +47,7 @@ size_t
 seqBinsRegistered()
 {
     return coverage::CoverageRegistry::instance().sitesRegistered(
-        "tvmlite/tir/seq");
+        "tvmlite/pass/seq");
 }
 
 /** One sample of the distinct-bin growth curve. */

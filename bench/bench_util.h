@@ -12,12 +12,13 @@
  *                   results are byte-identical for any N, so --shards
  *                   only changes wall-clock time; Tzer is stateful
  *                   across iterations and always runs serially)
- *   --pass-fuzz     run TVMLite with randomized TIR pass sequences
- *                   (tirlite/tir_passes.h drawPassSequence) instead of
- *                   the fixed default pipeline; the sequence is a pure
- *                   function of (campaign seed, lowered program), so
- *                   sharding stays byte-identical. Affects only the
- *                   TVM system under test.
+ *   --pass-fuzz     run every backend's optimizer with randomized pass
+ *                   sequences instead of the fixed default pipeline:
+ *                   TVMLite draws TIR sequences (tirlite/tir_passes.h),
+ *                   OrtLite/TrtLite draw graph-pass sequences
+ *                   (backends/graph_pass.h). Each sequence is a pure
+ *                   function of (campaign seed, test case), so
+ *                   sharding stays byte-identical.
  *   --minimize      delta-debug every flagged case to a minimal repro
  *                   before dedup (reduce/reducer.h); dedup keys become
  *                   minimized fingerprints. Off by default so the
@@ -159,9 +160,14 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
             [index = static_cast<size_t>(sut.backendIndex),
              pass_fuzz = options.passFuzz, seed = options.seed]() {
                 auto owned = difftest::makeAllBackends();
-                if (pass_fuzz)
+                if (pass_fuzz) {
+                    owned[0] = backends::makeOrtLite(
+                        /*pass_fuzz_seed=*/seed | 1);
                     owned[1] = backends::makeTvmLite(
                         /*pass_fuzz_seed=*/seed | 1);
+                    owned[2] = backends::makeTrtLite(
+                        /*pass_fuzz_seed=*/seed | 1);
+                }
                 std::vector<std::unique_ptr<backends::Backend>> picked;
                 picked.push_back(std::move(owned[index]));
                 return picked;

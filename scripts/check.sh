@@ -45,6 +45,12 @@ if ! ls build/repro-smoke/*.repro.txt >/dev/null 2>&1; then
     exit 1
 fi
 
+echo "== pass venn probe: three-backend pass fuzzing, shards {1,2,4} =="
+# Exits nonzero unless every backend's sequence bins are nonempty, the
+# three-way Venn center is nonempty, and all shard counts merge
+# byte-identically.
+./build/bench/bench_pass_venn --iters 60 --out build/BENCH_pass_venn_smoke.json
+
 echo "== corpus replay probe: re-check the emitted repros =="
 # Replaying a corpus just emitted by the same binary must re-fire every
 # fingerprint; bench_corpus --corpus exits nonzero unless all outcomes

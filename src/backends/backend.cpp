@@ -28,7 +28,37 @@ Backend::run(const OnnxModel& model, const exec::LeafValues& leaves,
     }
     for (const auto& defect_id : fired_semantic)
         perturbOutputs(result.outputs, defect_id);
+    result.firedSemantic = std::move(fired_semantic);
     return result;
+}
+
+RunResult
+Backend::runWithPasses(const OnnxModel& model, const exec::LeafValues& leaves,
+                       const std::vector<std::string>& pass_names)
+{
+    RunResult result;
+    std::vector<std::string> fired_semantic;
+    try {
+        result.outputs =
+            runPassesImpl(model, leaves, pass_names, fired_semantic);
+    } catch (const BackendError& error) {
+        result.status = RunResult::Status::kCrash;
+        result.crashKind = error.kind();
+        result.crashMessage = error.what();
+        return result;
+    }
+    for (const auto& defect_id : fired_semantic)
+        perturbOutputs(result.outputs, defect_id);
+    result.firedSemantic = std::move(fired_semantic);
+    return result;
+}
+
+std::vector<Tensor>
+Backend::runPassesImpl(const OnnxModel&, const exec::LeafValues&,
+                       const std::vector<std::string>&,
+                       std::vector<std::string>&)
+{
+    NNSMITH_PANIC("backend ", name(), " has no graph-pass registry");
 }
 
 const OnnxNode*

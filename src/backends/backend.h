@@ -27,6 +27,12 @@ struct RunResult {
     std::vector<tensor::Tensor> outputs; ///< in model.outputs order
     std::string crashKind;    ///< stable id for crash deduplication
     std::string crashMessage; ///< human-readable diagnostic
+
+    /** Semantic defect ids that fired (and perturbed the outputs), in
+     *  firing order, duplicates kept; empty on crash. The
+     *  pass-sequence fuzzer subtracts the kO0 run's list to attribute
+     *  wrong results to pass-stage defects. */
+    std::vector<std::string> firedSemantic;
 };
 
 /** A compiler under test. */
@@ -41,6 +47,16 @@ class Backend {
     RunResult run(const onnx::OnnxModel& model,
                   const exec::LeafValues& leaves, OptLevel level);
 
+    /**
+     * Compile and run with an explicit graph-pass sequence instead of
+     * the default kO3 pipeline (backends/graph_pass.h). Only backends
+     * with a graph-pass registry (OrtLite, TrtLite) support this;
+     * others panic. Same crash/perturbation contract as run().
+     */
+    RunResult runWithPasses(const onnx::OnnxModel& model,
+                            const exec::LeafValues& leaves,
+                            const std::vector<std::string>& pass_names);
+
   protected:
     /**
      * Backend-specific compile+run; throws BackendError on crash.
@@ -50,9 +66,24 @@ class Backend {
     virtual std::vector<tensor::Tensor>
     runImpl(const onnx::OnnxModel& model, const exec::LeafValues& leaves,
             OptLevel level, std::vector<std::string>& fired_semantic) = 0;
+
+    /** runWithPasses() body; the default has no pass registry. */
+    virtual std::vector<tensor::Tensor>
+    runPassesImpl(const onnx::OnnxModel& model,
+                  const exec::LeafValues& leaves,
+                  const std::vector<std::string>& pass_names,
+                  std::vector<std::string>& fired_semantic);
 };
 
-std::unique_ptr<Backend> makeOrtLite();
+/**
+ * OrtLite. With @p pass_fuzz_seed == 0 (the default) kO3 runs the
+ * fixed default pipeline of the graph-pass registry — bit-for-bit the
+ * historical monolithic optimizer. With a nonzero seed it runs a
+ * randomized pass sequence per model, drawn deterministically from
+ * `pass_fuzz_seed ^ hashOnnxModel(model)` — a pure function of the
+ * test case, so sharded campaigns stay byte-identical.
+ */
+std::unique_ptr<Backend> makeOrtLite(uint64_t pass_fuzz_seed = 0);
 
 /**
  * TVMLite. With @p pass_fuzz_seed == 0 (the default) the low-level
@@ -64,7 +95,9 @@ std::unique_ptr<Backend> makeOrtLite();
  */
 std::unique_ptr<Backend> makeTvmLite(uint64_t pass_fuzz_seed = 0);
 
-std::unique_ptr<Backend> makeTrtLite();
+/** TrtLite. Same pass-fuzz contract as makeOrtLite: a nonzero seed
+ *  randomizes the builder-tactic sequence per model. */
+std::unique_ptr<Backend> makeTrtLite(uint64_t pass_fuzz_seed = 0);
 
 /**
  * Mark @p fraction of TVMLite's pattern-insensitive shared runtime

@@ -1,0 +1,170 @@
+#include "backends/graph_pass.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "coverage/coverage.h"
+#include "support/logging.h"
+
+namespace nnsmith::backends {
+
+namespace {
+
+std::string
+lowercased(const std::string& backend)
+{
+    std::string out = backend;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+} // namespace
+
+bool
+isGraphPassBackend(const std::string& backend)
+{
+    return backend == "OrtLite" || backend == "TrtLite";
+}
+
+const std::vector<GraphPass>&
+graphPasses(const std::string& backend)
+{
+    if (backend == "OrtLite")
+        return ortLiteGraphPasses();
+    if (backend == "TrtLite")
+        return trtLiteGraphPasses();
+    NNSMITH_PANIC("no graph-pass registry for backend ", backend);
+}
+
+const GraphPass*
+findGraphPass(const std::string& backend, const std::string& name)
+{
+    if (!isGraphPassBackend(backend))
+        return nullptr;
+    for (const auto& pass : graphPasses(backend)) {
+        if (name == pass.name)
+            return &pass;
+    }
+    return nullptr;
+}
+
+const std::vector<std::string>&
+defaultGraphPipeline(const std::string& backend)
+{
+    // Registration order IS the historical monolithic scan order, so
+    // the default pipeline is simply every registered pass in order.
+    static const auto make = [](const std::string& b) {
+        std::vector<std::string> names;
+        for (const auto& pass : graphPasses(b))
+            names.push_back(pass.name);
+        return names;
+    };
+    static const std::vector<std::string> ort = make("OrtLite");
+    static const std::vector<std::string> trt = make("TrtLite");
+    if (backend == "OrtLite")
+        return ort;
+    if (backend == "TrtLite")
+        return trt;
+    NNSMITH_PANIC("no graph-pass pipeline for backend ", backend);
+}
+
+void
+runGraphPasses(const onnx::OnnxModel& model, const std::string& backend,
+               const std::vector<std::string>& pass_names,
+               std::vector<std::string>& fired_semantic)
+{
+    for (const auto& name : pass_names) {
+        const GraphPass* pass = findGraphPass(backend, name);
+        NNSMITH_ASSERT(pass != nullptr, "unknown ", backend,
+                       " graph pass ", name);
+        pass->apply(model, fired_semantic);
+    }
+}
+
+void
+runGraphPassStage(const onnx::OnnxModel& model, const std::string& backend,
+                  uint64_t pass_fuzz_seed,
+                  std::vector<std::string>& fired_semantic)
+{
+    if (pass_fuzz_seed == 0) {
+        runGraphPasses(model, backend, defaultGraphPipeline(backend),
+                       fired_semantic);
+        return;
+    }
+    Rng rng(pass_fuzz_seed ^ hashOnnxModel(model));
+    const auto sequence = drawGraphPassSequence(backend, rng);
+    recordGraphSequenceCoverage(backend, sequence);
+    runGraphPasses(model, backend, sequence, fired_semantic);
+}
+
+std::vector<std::string>
+drawGraphPassSequence(const std::string& backend, Rng& rng)
+{
+    const auto& registry = graphPasses(backend);
+    std::vector<std::string> names;
+    for (const auto& pass : registry) {
+        if (rng.chance(0.6))
+            names.push_back(pass.name);
+    }
+    if (names.empty())
+        names.push_back(registry[rng.index(registry.size())].name);
+    rng.shuffle(names);
+    return names;
+}
+
+std::vector<std::string>
+sequenceCoverageBins(const std::vector<std::string>& sequence)
+{
+    std::vector<std::string> bins;
+    if (sequence.empty())
+        return bins;
+    bins.push_back("len/" + std::to_string(sequence.size()));
+    bins.push_back("first/" + sequence.front());
+    bins.push_back("last/" + sequence.back());
+    for (size_t i = 0; i + 1 < sequence.size(); ++i)
+        bins.push_back("pair/" + sequence[i] + ">" + sequence[i + 1]);
+    return bins;
+}
+
+void
+recordGraphSequenceCoverage(const std::string& backend,
+                            const std::vector<std::string>& sequence)
+{
+    auto& registry = coverage::CoverageRegistry::instance();
+    const std::string component = lowercased(backend) + "/pass/seq";
+    for (const auto& bin : sequenceCoverageBins(sequence))
+        registry.hitDynamic(component, bin, /*pass_only=*/true);
+}
+
+uint64_t
+hashOnnxModel(const onnx::OnnxModel& model)
+{
+    // FNV-1a over the stable text serialization: structural, and
+    // identical across shards for identical test cases.
+    uint64_t hash = 1469598103934665603ull;
+    for (char c : model.serialize()) {
+        hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+std::vector<std::string>
+subtractFired(const std::vector<std::string>& fired,
+              const std::vector<std::string>& baseline)
+{
+    std::vector<std::string> pool = baseline;
+    std::vector<std::string> novel;
+    for (const auto& id : fired) {
+        auto hit = std::find(pool.begin(), pool.end(), id);
+        if (hit != pool.end())
+            pool.erase(hit);
+        else
+            novel.push_back(id);
+    }
+    return novel;
+}
+
+} // namespace nnsmith::backends

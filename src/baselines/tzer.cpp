@@ -77,7 +77,7 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
 
     // Coverage feedback: keep inputs that grew the TIR branch set.
     const size_t now =
-        CoverageRegistry::instance().snapshot("tvmlite/tir").count();
+        CoverageRegistry::instance().snapshot("tvmlite/pass").count();
     if (now > lastCoverage_ && !crashed && corpus_.size() < 256) {
         corpus_.push_back(std::move(program));
         lastCoverage_ = now;

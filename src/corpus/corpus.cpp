@@ -87,6 +87,18 @@ renderRepro(const BugRecord& bug)
                << error.kind()
                << " — replay the graph above through the exporter)\n";
         }
+    } else if (bug.graphSeqRepro != nullptr) {
+        // A graph-level pass-sequence repro (backends/graph_pass.h):
+        // sequence first (the reduced dimension), then the model and
+        // its leaves. Replay re-exports the graph, so no onnx section.
+        const auto& repro = *bug.graphSeqRepro;
+        os << "\n" << schema::kSectionSequence << "\n";
+        for (size_t i = 0; i < repro.sequence.size(); ++i)
+            os << (i > 0 ? "," : "") << repro.sequence[i];
+        os << "\n\n" << schema::kSectionGraph << "\n"
+           << repro.graph.toString() << "\n";
+        os << "\n" << schema::kSectionLeaves << "\n";
+        renderLeaves(os, repro.leaves);
     } else if (bug.seqRepro != nullptr) {
         const auto& repro = *bug.seqRepro;
         os << "\n" << schema::kSectionSequence << "\n";

@@ -26,6 +26,17 @@
  *   --- onnx ---             | --- initial buffers ---
  *   onnxlite v1 ...          |   buffer[0]: v v v ...
  *
+ * A third layout carries *graph-level* pass-sequence repros (the
+ * backend: field selects the pass registry — TVMLite sequences are
+ * TIR passes, OrtLite/TrtLite sequences are graph passes):
+ *
+ *   --- pass sequence ---
+ *   fuse.matmul_add_gemm,misc.scheduler,...
+ *   --- graph ---
+ *   graph { ... }
+ *   --- leaves ---
+ *   %id: dtype[shape] = ...
+ *
  * `renderRepro` is the only renderer of this format; the writer and
  * every test round-trips through it, so serialize -> parse ->
  * re-serialize is byte-identical for canonical (minimized) repros.
@@ -77,9 +88,10 @@ inline constexpr const char* kIndexHeader =
 
 /**
  * Render one bug record into the on-disk repro text. Requires repro
- * material (graphRepro or seqRepro); the graph side re-runs the ONNX
- * export, so export-crash defects may fire into the ambient trigger
- * trace (scope with DefectRegistry::TraceScope where that matters).
+ * material (graphRepro, seqRepro or graphSeqRepro); the graphRepro
+ * side re-runs the ONNX export, so export-crash defects may fire into
+ * the ambient trigger trace (scope with DefectRegistry::TraceScope
+ * where that matters).
  */
 std::string renderRepro(const fuzz::BugRecord& bug);
 

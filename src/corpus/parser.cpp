@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "backends/graph_pass.h"
 #include "ops/registry.h"
 #include "reduce/reducer.h"
 #include "tensor/tensor.h"
@@ -673,6 +674,48 @@ parseLeafLine(const std::string& raw, const graph::Graph& g,
     return one;
 }
 
+/**
+ * Parse a "--- graph ---" body (the cursor sits on "graph {") followed
+ * by its "--- leaves ---" section, checking every input and weight is
+ * bound. Shared by the plain-graph and graph-pass-sequence layouts.
+ */
+void
+parseGraphAndLeaves(Cursor& cursor, const std::vector<std::string>& lines,
+                    graph::Graph& graph_out, exec::LeafValues& leaves_out)
+{
+    const size_t begin = cursor.pos;
+    if (cursor.next("graph body") != "graph {")
+        fail("graph section does not start with 'graph {'");
+    while (!cursor.done() && lines[cursor.pos] != "}")
+        ++cursor.pos;
+    if (cursor.done())
+        fail("graph section does not end with '}'");
+    const size_t body_end = cursor.pos++;
+    std::map<int, int> id_map;
+    graph_out = parseGraphLines(lines, begin + 1, body_end, &id_map);
+
+    cursor.blanks();
+    if (cursor.next("leaves section") != schema::kSectionLeaves)
+        fail("expected leaves section after the graph");
+    while (!cursor.done() && !lines[cursor.pos].empty()) {
+        auto one = parseLeafLine(lines[cursor.pos++], graph_out, id_map);
+        for (auto& [id, tensor] : one) {
+            if (!leaves_out.emplace(id, std::move(tensor)).second)
+                fail("leaf bound twice in the leaves section");
+        }
+    }
+    // Every input and weight must be bound or the repro cannot be
+    // re-executed.
+    for (const int id : graph_out.inputValues())
+        if (leaves_out.count(id) == 0)
+            fail("graph input %" + std::to_string(id) +
+                 " has no leaf binding");
+    for (const int id : graph_out.weightValues())
+        if (leaves_out.count(id) == 0)
+            fail("graph weight %" + std::to_string(id) +
+                 " has no leaf binding");
+}
+
 } // namespace
 
 graph::Graph
@@ -752,41 +795,8 @@ parseRepro(const std::string& text)
     cursor.blanks();
     const std::string& section = cursor.next("section marker");
     if (section == schema::kSectionGraph) {
-        // The graph body runs to its closing "}" line.
-        const size_t begin = cursor.pos;
-        if (cursor.next("graph body") != "graph {")
-            fail("graph section does not start with 'graph {'");
-        while (!cursor.done() && lines[cursor.pos] != "}")
-            ++cursor.pos;
-        if (cursor.done())
-            fail("graph section does not end with '}'");
-        const size_t body_end = cursor.pos++;
-        std::map<int, int> id_map;
         auto repro = std::make_shared<fuzz::GraphRepro>();
-        repro->graph =
-            parseGraphLines(lines, begin + 1, body_end, &id_map);
-
-        cursor.blanks();
-        if (cursor.next("leaves section") != schema::kSectionLeaves)
-            fail("expected leaves section after the graph");
-        while (!cursor.done() && !lines[cursor.pos].empty()) {
-            auto one = parseLeafLine(lines[cursor.pos++], repro->graph,
-                                     id_map);
-            for (auto& [id, tensor] : one) {
-                if (!repro->leaves.emplace(id, std::move(tensor)).second)
-                    fail("leaf bound twice in the leaves section");
-            }
-        }
-        // Every input and weight must be bound or the repro cannot be
-        // re-executed.
-        for (const int id : repro->graph.inputValues())
-            if (repro->leaves.count(id) == 0)
-                fail("graph input %" + std::to_string(id) +
-                     " has no leaf binding");
-        for (const int id : repro->graph.weightValues())
-            if (repro->leaves.count(id) == 0)
-                fail("graph weight %" + std::to_string(id) +
-                     " has no leaf binding");
+        parseGraphAndLeaves(cursor, lines, repro->graph, repro->leaves);
 
         // The trailing onnx section is regenerated from the graph on
         // re-serialization; accept and skip whatever is here.
@@ -802,11 +812,37 @@ parseRepro(const std::string& text)
 
     if (section != schema::kSectionSequence)
         fail("unknown section marker '" + section + "'");
-    auto repro = std::make_shared<fuzz::SeqRepro>();
     const std::string joined = cursor.next("pass sequence");
     if (joined.empty())
         fail("empty pass sequence");
-    for (const auto& name : splitOn(joined, ',')) {
+    const auto names = splitOn(joined, ',');
+
+    // The backend tag selects the pass registry: OrtLite/TrtLite
+    // sequences are graph passes over a model, TVMLite sequences are
+    // TIR passes over a program. Any other tag has no registry.
+    if (backends::isGraphPassBackend(bug.backend)) {
+        auto repro = std::make_shared<fuzz::GraphSeqRepro>();
+        for (const auto& name : names) {
+            if (backends::findGraphPass(bug.backend, name) == nullptr)
+                fail("unknown " + bug.backend + " graph pass '" + name +
+                     "'");
+            repro->sequence.push_back(name);
+        }
+        cursor.blanks();
+        if (cursor.next("graph section") != schema::kSectionGraph)
+            fail("expected graph section after the pass sequence");
+        parseGraphAndLeaves(cursor, lines, repro->graph, repro->leaves);
+        if (!cursor.done())
+            fail("trailing content after the leaves section");
+        bug.graphSeqRepro = std::move(repro);
+        return bug;
+    }
+    if (bug.backend != "TVMLite")
+        fail("backend '" + bug.backend +
+             "' has no sequenceable pass registry");
+
+    auto repro = std::make_shared<fuzz::SeqRepro>();
+    for (const auto& name : names) {
         if (tirlite::findTirPass(name) == nullptr)
             fail("unknown TIR pass '" + name + "'");
         repro->sequence.push_back(name);

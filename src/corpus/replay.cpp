@@ -5,8 +5,11 @@
 #include <set>
 
 #include "backends/defects.h"
+#include "backends/graph_pass.h"
 #include "corpus/parser.h"
+#include "difftest/compare.h"
 #include "difftest/oracle.h"
+#include "onnx/exporter.h"
 #include "reduce/reducer.h"
 #include "support/logging.h"
 #include "tirlite/tir_interp.h"
@@ -125,6 +128,96 @@ classifySequence(const BugRecord& bug, ReplayOutcome& outcome)
     }
 }
 
+/**
+ * Graph-level pass-sequence repros: the owning backend is its own
+ * oracle — run(kO0) vs runWithPasses(sequence), with import-stage
+ * semantic firings subtracted out, exactly as the pass-sequence
+ * fuzzer flagged the bug. The backend is constructed fresh by name so
+ * replay never depends on the campaign's backend list (mirroring
+ * classifySequence, which needs no backend at all).
+ */
+void
+classifyGraphSequence(const BugRecord& bug, ReplayOutcome& outcome)
+{
+    const auto& repro = *bug.graphSeqRepro;
+    NNSMITH_ASSERT(backends::isGraphPassBackend(bug.backend),
+                   "graph-sequence repro for non-graph-pass backend ",
+                   bug.backend);
+    const auto backend = bug.backend == "OrtLite"
+                             ? backends::makeOrtLite()
+                             : backends::makeTrtLite();
+    const bool is_crash = bug.kind == "crash";
+    const std::string key_tail = reduce::crashKindOfKey(bug.dedupKey);
+    const std::string semantic_defect =
+        !is_crash && key_tail != "graph.seq.miscompile" ? key_tail : "";
+    const bool is_miscompile = !is_crash && semantic_defect.empty();
+
+    DefectRegistry::TraceScope trace_scope;
+    onnx::OnnxModel model;
+    try {
+        model = onnx::exportGraph(repro.graph);
+    } catch (const BackendError& error) {
+        outcome.status = ReplayStatus::kChanged;
+        outcome.detail = "export crash " + error.kind();
+        return;
+    }
+    const auto reference =
+        backend->run(model, repro.leaves, backends::OptLevel::kO0);
+    if (reference.status == backends::RunResult::Status::kCrash) {
+        // An import-stage crash fires with or without passes: the
+        // pass-stage defect this repro records is masked, not re-fired.
+        outcome.status = ReplayStatus::kChanged;
+        outcome.detail = "import crash " + reference.crashKind;
+        return;
+    }
+    const auto result =
+        backend->runWithPasses(model, repro.leaves, repro.sequence);
+    if (result.status == backends::RunResult::Status::kCrash) {
+        if (is_crash && result.crashKind == key_tail) {
+            outcome.status = ReplayStatus::kStillFires;
+        } else {
+            outcome.status = ReplayStatus::kChanged;
+            outcome.detail = "crash " + result.crashKind;
+        }
+        return;
+    }
+    const auto fired = backends::subtractFired(result.firedSemantic,
+                                               reference.firedSemantic);
+    // Mirrors the fuzzer's flag condition: a miscompare only counts
+    // when no pass-stage defect explains it and the reference is
+    // numerically meaningful.
+    const bool miscompare =
+        fired.empty() && difftest::allFinite(reference.outputs) &&
+        !difftest::allClose(result.outputs, reference.outputs,
+                            difftest::CompareOptions());
+    const bool fired_target =
+        !semantic_defect.empty() &&
+        std::find(fired.begin(), fired.end(), semantic_defect) !=
+            fired.end();
+    if (is_crash) {
+        outcome.status = (!fired.empty() || miscompare)
+                             ? ReplayStatus::kChanged
+                             : ReplayStatus::kFixed;
+    } else if (!semantic_defect.empty()) {
+        outcome.status = fired_target
+                             ? ReplayStatus::kStillFires
+                             : ((!fired.empty() || miscompare)
+                                    ? ReplayStatus::kChanged
+                                    : ReplayStatus::kFixed);
+    } else if (is_miscompile) {
+        outcome.status = miscompare
+                             ? ReplayStatus::kStillFires
+                             : (!fired.empty() ? ReplayStatus::kChanged
+                                               : ReplayStatus::kFixed);
+    }
+    if (outcome.status == ReplayStatus::kChanged) {
+        std::set<std::string> signals(fired.begin(), fired.end());
+        if (miscompare)
+            signals.insert("output-miscompare");
+        outcome.detail = joinSorted(signals);
+    }
+}
+
 } // namespace
 
 std::string
@@ -148,6 +241,8 @@ replayRepro(const BugRecord& bug,
     outcome.kind = bug.kind;
     if (bug.graphRepro != nullptr)
         classifyGraph(bug, backends, outcome);
+    else if (bug.graphSeqRepro != nullptr)
+        classifyGraphSequence(bug, outcome);
     else if (bug.seqRepro != nullptr)
         classifySequence(bug, outcome);
     else {

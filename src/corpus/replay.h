@@ -7,8 +7,10 @@
  * `replayCorpus` loads a `--report-dir` corpus (corpus/corpus.h),
  * parses every repro (corpus/parser.h) and re-runs it through the
  * oracle that flagged it — the difftest trio for graph repros, the
- * bitwise tir_interp differential oracle for pass-sequence repros —
- * classifying each fingerprint as:
+ * bitwise tir_interp differential oracle for TIR pass-sequence
+ * repros, and the owning backend's run(kO0)-vs-runWithPasses oracle
+ * for graph-level pass-sequence repros — classifying each fingerprint
+ * as:
  *
  *  - **still-fires**: the recorded fingerprint re-fires — the bug is
  *    still present (the expected state for a regression suite seeded
@@ -68,9 +70,11 @@ struct ReplayResult {
 
 /**
  * Re-run one parsed repro and classify it. Graph repros run the
- * difftest oracle over @p backends; sequence repros need none. The
- * fingerprint compared against is @p bug.dedupKey. Deterministic, and
- * leaves no trigger-trace residue (TraceScope-scoped internally).
+ * difftest oracle over @p backends; sequence repros need none (TIR
+ * sequences use the interpreter, graph sequences construct their
+ * owning backend by name). The fingerprint compared against is
+ * @p bug.dedupKey. Deterministic, and leaves no trigger-trace residue
+ * (TraceScope-scoped internally).
  */
 ReplayOutcome replayRepro(const fuzz::BugRecord& bug,
                           const std::vector<backends::Backend*>& backends);

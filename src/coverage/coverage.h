@@ -5,7 +5,7 @@
  * The paper measures Clang source-level branch coverage of the
  * compilers under test; our substrate compilers are instrumented with
  * COV_BRANCH sites instead (see DESIGN.md "Substitutions"). Each site
- * belongs to a component (e.g. "ortlite/optimizer") and may be tagged
+ * belongs to a component (e.g. "ortlite/pass") and may be tagged
  * pass-only, mirroring the paper's all-files vs pass-files split
  * (Figs. 4 and 6).
  *

@@ -88,6 +88,18 @@ allClose(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
     return true;
 }
 
+bool
+allFinite(const std::vector<Tensor>& outputs)
+{
+    for (const auto& tensor : outputs) {
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+            if (!std::isfinite(tensor.scalarAt(i)))
+                return false;
+        }
+    }
+    return true;
+}
+
 std::string
 firstDifference(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
                 const CompareOptions& options)

@@ -38,6 +38,10 @@ bool allClose(const Tensor& a, const Tensor& b,
 bool allClose(const std::vector<Tensor>& a, const std::vector<Tensor>& b,
               const CompareOptions& options = CompareOptions());
 
+/** Every element of every tensor finite? A NaN/Inf reference makes a
+ *  mismatch meaningless, so miscompare oracles gate on this first. */
+bool allFinite(const std::vector<Tensor>& outputs);
+
 /** First differing element description (for reports); "" when equal. */
 std::string firstDifference(const std::vector<Tensor>& a,
                             const std::vector<Tensor>& b,

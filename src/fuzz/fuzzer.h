@@ -46,6 +46,18 @@ struct SeqRepro {
     tirlite::Buffers initial; ///< empty when the oracle needed none
 };
 
+/**
+ * Repro material of a flagged *graph-level* pass-sequence case
+ * (backends/graph_pass.h): the model, its leaf tensors, and the
+ * OrtLite/TrtLite pass sequence that was run over it. The replaying
+ * oracle is the backend itself: run(kO0) vs runWithPasses(sequence).
+ */
+struct GraphSeqRepro {
+    graph::Graph graph;
+    exec::LeafValues leaves;
+    std::vector<std::string> sequence;
+};
+
 /** One deduplicable bug observation. */
 struct BugRecord {
     std::string dedupKey; ///< e.g. "TVMLite|crash|tvm.layout.nchw4c_slice"
@@ -54,9 +66,10 @@ struct BugRecord {
     std::string detail;
     std::vector<std::string> defects; ///< seeded defects in the trace
 
-    /** At most one of these is set; both null for repro-less fuzzers. */
+    /** At most one of these is set; all null for repro-less fuzzers. */
     std::shared_ptr<const GraphRepro> graphRepro;
     std::shared_ptr<const SeqRepro> seqRepro;
+    std::shared_ptr<const GraphSeqRepro> graphSeqRepro;
 
     /** Filled by reduce::minimizeBug: size is op nodes for graph
      *  repros, passes for sequence repros. `defects` keeps the

@@ -1,12 +1,18 @@
 #include "fuzz/pass_fuzzer.h"
 
+#include <algorithm>
+
 #include "backends/defects.h"
+#include "backends/graph_pass.h"
+#include "difftest/compare.h"
+#include "onnx/exporter.h"
 #include "tirlite/tir_interp.h"
 
 namespace nnsmith::fuzz {
 
 using backends::BackendError;
 using backends::DefectRegistry;
+using backends::RunResult;
 using tirlite::buffersEquivalent; // the shared bitwise oracle contract
 
 namespace {
@@ -36,7 +42,19 @@ PassSequenceFuzzer::PassSequenceFuzzer(uint64_t seed, Options options)
 }
 
 IterationOutcome
-PassSequenceFuzzer::iterate(const std::vector<backends::Backend*>&)
+PassSequenceFuzzer::iterate(
+    const std::vector<backends::Backend*>& backend_list)
+{
+    if (options_.backend == "TVMLite")
+        return iterateTir();
+    NNSMITH_ASSERT(backends::isGraphPassBackend(options_.backend),
+                   "PassSequenceFuzzer: no pass registry for backend ",
+                   options_.backend);
+    return iterateGraph(backend_list);
+}
+
+IterationOutcome
+PassSequenceFuzzer::iterateTir()
 {
     IterationOutcome outcome;
     outcome.produced = true;
@@ -112,6 +130,122 @@ PassSequenceFuzzer::iterate(const std::vector<backends::Backend*>&)
         repro->initial = initial;
         for (auto& bug : outcome.bugs)
             bug.seqRepro = repro;
+    }
+    return outcome;
+}
+
+IterationOutcome
+PassSequenceFuzzer::iterateGraph(
+    const std::vector<backends::Backend*>& backend_list)
+{
+    backends::Backend* backend = nullptr;
+    for (backends::Backend* candidate : backend_list) {
+        if (candidate != nullptr &&
+            candidate->name() == options_.backend)
+            backend = candidate;
+    }
+    NNSMITH_ASSERT(backend != nullptr,
+                   "PassSequenceFuzzer: backend ", options_.backend,
+                   " not in the campaign's backend list");
+
+    IterationOutcome outcome;
+    const auto& cost = options_.cost;
+    outcome.cost =
+        cost.generationPerOp * options_.generator.targetOpNodes;
+
+    gen::GraphGenerator generator(options_.generator, rng_.next());
+    const auto model = generator.generate();
+    if (!model.has_value())
+        return outcome; // produced stays false; rare, retried next iter
+    outcome.produced = true;
+    const exec::LeafValues leaves = exec::randomLeaves(model->graph, rng_);
+
+    // Sequence: random subset + order of the backend's registry.
+    const auto sequence =
+        backends::drawGraphPassSequence(options_.backend, rng_);
+    backends::recordGraphSequenceCoverage(options_.backend, sequence);
+    outcome.instanceKeys.push_back("passseq/" + options_.backend + "/" +
+                                   joinSequence(sequence));
+
+    DefectRegistry::TraceScope trace_scope;
+    onnx::OnnxModel onnx_model;
+    try {
+        onnx_model = onnx::exportGraph(model->graph);
+    } catch (const BackendError&) {
+        // Exporter defects are the graph campaign's quarry, not a
+        // pass-sequence find: the sequence never ran. Skip the case.
+        return outcome;
+    }
+
+    // Differential oracle: the backend's own pass-off (kO0) run vs the
+    // drawn sequence. Two compiles + two runs of virtual cost.
+    const VirtualMs compile =
+        options_.backend == "TrtLite" ? cost.backendCompileTrt
+                                      : cost.backendCompileOrt;
+    outcome.cost += 2 * compile + 2 * cost.run;
+
+    const RunResult reference =
+        backend->run(onnx_model, leaves, backends::OptLevel::kO0);
+    if (reference.status == RunResult::Status::kCrash) {
+        // An import-stage crash fires with or without passes — not a
+        // pass-sequence find. Skip.
+        return outcome;
+    }
+    const RunResult result =
+        backend->runWithPasses(onnx_model, leaves, sequence);
+
+    if (result.status == RunResult::Status::kCrash) {
+        BugRecord bug;
+        bug.dedupKey =
+            options_.backend + "|crash|" + result.crashKind;
+        bug.backend = options_.backend;
+        bug.kind = "crash";
+        bug.detail = result.crashMessage;
+        bug.defects = trace_scope.trace();
+        outcome.bugs.push_back(std::move(bug));
+    } else {
+        // Pass-stage semantic firings: import-stage defects perturb
+        // both runs identically and cancel out.
+        const auto fired = backends::subtractFired(
+            result.firedSemantic, reference.firedSemantic);
+        std::vector<std::string> novel; // order-preserving dedup
+        for (const auto& id : fired) {
+            if (std::find(novel.begin(), novel.end(), id) == novel.end())
+                novel.push_back(id);
+        }
+        for (const auto& defect : novel) {
+            BugRecord bug;
+            bug.dedupKey = options_.backend + "|wrong|" + defect;
+            bug.backend = options_.backend;
+            bug.kind = "wrong-result";
+            bug.detail = defect;
+            bug.defects = {defect};
+            outcome.bugs.push_back(std::move(bug));
+        }
+        if (novel.empty() &&
+            difftest::allFinite(reference.outputs) &&
+            !difftest::allClose(result.outputs, reference.outputs,
+                                difftest::CompareOptions())) {
+            // No seeded defect explains the mismatch: a genuine
+            // pass-pipeline miscompile (graph passes are scan-only,
+            // so the property test keeps this unreachable).
+            BugRecord bug;
+            bug.dedupKey =
+                options_.backend + "|wrong|graph.seq.miscompile";
+            bug.backend = options_.backend;
+            bug.kind = "wrong-result";
+            bug.detail = "pass sequence " + joinSequence(sequence) +
+                         " changed backend output";
+            outcome.bugs.push_back(std::move(bug));
+        }
+    }
+    if (!outcome.bugs.empty()) {
+        auto repro = std::make_shared<GraphSeqRepro>();
+        repro->graph = model->graph;
+        repro->leaves = leaves;
+        repro->sequence = sequence;
+        for (auto& bug : outcome.bugs)
+            bug.graphSeqRepro = repro;
     }
     return outcome;
 }

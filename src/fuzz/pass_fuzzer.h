@@ -1,17 +1,28 @@
 /**
  * @file
- * The TIR pass-sequence fuzzer.
+ * The pass-sequence fuzzer.
  *
  * Tzer (baselines/tzer.h) mutates TIR *programs* but always runs the
  * fixed default pipeline over them; this fuzzer makes the pipeline
- * itself the fuzzed dimension. Every iteration draws a random TIR
- * program (optionally mutated a few steps) and a random pass
- * *sequence* — subset and order — from the registry
- * (tirlite/tir_passes.h), then uses the TIR interpreter as a
- * differential oracle: the optimized program must produce bitwise the
- * same buffers as the unoptimized one. Crash-symptom tvm.tir.* defects
- * surface as crash bug records; semantic defects and genuine
- * sequence-induced miscompiles surface as wrong-result records.
+ * itself the fuzzed dimension — for any backend with a named pass
+ * registry:
+ *
+ * - **TVMLite** (the default): every iteration draws a random TIR
+ *   program (optionally mutated a few steps) and a random pass
+ *   *sequence* — subset and order — from the TIR registry
+ *   (tirlite/tir_passes.h), then uses the TIR interpreter as a
+ *   differential oracle: the optimized program must produce bitwise
+ *   the same buffers as the unoptimized one.
+ * - **OrtLite / TrtLite**: every iteration generates a random OnnxLite
+ *   model and draws a sequence from the backend's graph-pass registry
+ *   (backends/graph_pass.h); the oracle is the backend itself —
+ *   run(kO0) vs runWithPasses(sequence) under the difftest
+ *   comparator. Semantic defects that already fire at kO0 (import
+ *   stage) perturb both runs identically and are subtracted out.
+ *
+ * Crash-symptom defects surface as crash bug records; semantic defects
+ * and genuine sequence-induced miscompiles surface as wrong-result
+ * records.
  *
  * Unlike Tzer, the fuzzer keeps no corpus: each iterate() draws
  * everything from its own RNG stream, so a fresh instance per derived
@@ -27,15 +38,28 @@
 
 namespace nnsmith::fuzz {
 
-/** Fuzzes randomized TIR pass sequences against the interp oracle. */
+/** Fuzzes randomized pass sequences against a differential oracle. */
 class PassSequenceFuzzer final : public Fuzzer {
   public:
     struct Options {
+        /**
+         * The registry to fuzz: "TVMLite" (TIR passes, interp oracle)
+         * or a graph-pass backend ("OrtLite" | "TrtLite", whose
+         * instance must be present in iterate()'s backend list).
+         */
+        std::string backend = "TVMLite";
+
         /** Virtual cost per case (TIR cases are cheap, like Tzer's). */
         VirtualMs caseCost = 500;
 
         /** Max mutate() steps applied on top of randomProgram. */
         int maxMutations = 3;
+
+        /** Model generator knobs (graph-pass backends only). */
+        gen::GeneratorConfig generator;
+
+        /** Per-case compile+run cost (graph-pass backends only). */
+        CostModel cost;
     };
 
     explicit PassSequenceFuzzer(uint64_t seed);
@@ -46,6 +70,10 @@ class PassSequenceFuzzer final : public Fuzzer {
     iterate(const std::vector<backends::Backend*>& backend_list) override;
 
   private:
+    IterationOutcome iterateTir();
+    IterationOutcome
+    iterateGraph(const std::vector<backends::Backend*>& backend_list);
+
     Options options_;
     Rng rng_;
 };

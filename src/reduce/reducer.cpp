@@ -5,8 +5,11 @@
 #include <optional>
 #include <set>
 
+#include "backends/graph_pass.h"
+#include "difftest/compare.h"
 #include "difftest/oracle.h"
 #include "graph/validate.h"
+#include "onnx/exporter.h"
 #include "support/logging.h"
 #include "tirlite/tir_passes.h"
 
@@ -381,16 +384,144 @@ minimizeSeqBug(BugRecord& bug, const ReduceOptions& options)
     return true;
 }
 
+// ---- graph-level pass-sequence reduction ----------------------------------
+
+/** The graph-pass analogue of minimizeSeqBug: ddmin the pass list
+ *  under the owning backend's run(kO0)-vs-runWithPasses oracle (the
+ *  contract from fuzz/pass_fuzzer.h). The model and its reference run
+ *  are fixed; only the sequence shrinks, so candidate evaluations are
+ *  memoized by joined subsequence. */
+bool
+minimizeGraphSeqBug(BugRecord& bug, const ReduceOptions& options)
+{
+    const auto& original = *bug.graphSeqRepro;
+    NNSMITH_ASSERT(backends::isGraphPassBackend(bug.backend),
+                   "graph-sequence repro for non-graph-pass backend ",
+                   bug.backend);
+    const auto backend = bug.backend == "OrtLite"
+                             ? backends::makeOrtLite()
+                             : backends::makeTrtLite();
+    const FingerprintTarget target = targetOf(bug);
+    const bool is_crash = target.kind == "crash";
+    // Which semantic defect must keep firing (empty for the genuine
+    // miscompile record, which is instead pinned by the comparator).
+    const std::string semantic_defect =
+        !is_crash && bug.defects.size() == 1 ? bug.defects[0] : "";
+
+    // Canonicalize the model up front: rebuild it with all op nodes
+    // kept, which renumbers value ids densely in topological order —
+    // the canonical form the corpus round-trip contract requires
+    // (graph reduction gets this for free from its kept-set rebuilds).
+    // The oracle runs against the canonical model below, so the
+    // repro's still-fires check covers the renumbering too.
+    const std::vector<int> ops = opNodesInOrder(original.graph);
+    fuzz::GraphSeqRepro repro;
+    {
+        GraphCase canonical = extractSubgraph(
+            original.graph, original.leaves,
+            std::set<int>(ops.begin(), ops.end()));
+        repro.graph = std::move(canonical.graph);
+        repro.leaves = std::move(canonical.leaves);
+        repro.sequence = original.sequence;
+    }
+
+    // Keep trigger traces from the re-runs out of the ambient window.
+    DefectRegistry::TraceScope trace_scope;
+    onnx::OnnxModel model;
+    try {
+        model = onnx::exportGraph(repro.graph);
+    } catch (const BackendError&) {
+        return false; // the flagged case exported; a hand edit broke it
+    }
+    const auto reference =
+        backend->run(model, repro.leaves, backends::OptLevel::kO0);
+    if (reference.status == backends::RunResult::Status::kCrash)
+        return false; // import-stage crash masks the pass stage
+
+    std::map<std::string, bool> cache; // joined subsequence -> fails
+    auto still_fails = [&](const std::vector<size_t>& kept) {
+        std::vector<std::string> subsequence;
+        std::string key;
+        subsequence.reserve(kept.size());
+        for (size_t index : kept) {
+            subsequence.push_back(repro.sequence[index]);
+            key += repro.sequence[index];
+            key += ",";
+        }
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        DefectRegistry::TraceScope candidate_scope;
+        const auto result =
+            backend->runWithPasses(model, repro.leaves, subsequence);
+        bool fails = false;
+        if (result.status == backends::RunResult::Status::kCrash) {
+            fails = is_crash && result.crashKind == target.crashKind;
+        } else if (!is_crash) {
+            const auto fired = backends::subtractFired(
+                result.firedSemantic, reference.firedSemantic);
+            if (!semantic_defect.empty()) {
+                fails = std::find(fired.begin(), fired.end(),
+                                  semantic_defect) != fired.end();
+            } else {
+                // Genuine miscompile: outputs must still differ with
+                // no seeded defect explaining it.
+                fails = fired.empty() &&
+                        difftest::allFinite(reference.outputs) &&
+                        !difftest::allClose(result.outputs,
+                                            reference.outputs,
+                                            difftest::CompareOptions());
+            }
+        }
+        cache.emplace(std::move(key), fails);
+        return fails;
+    };
+
+    std::vector<size_t> all(repro.sequence.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    if (!still_fails(all))
+        return false;
+
+    DdminStats stats;
+    const auto minimal = ddmin(repro.sequence.size(), still_fails, &stats,
+                               options.maxOracleRuns);
+
+    auto minimized = std::make_shared<fuzz::GraphSeqRepro>(repro);
+    minimized->sequence.clear();
+    for (size_t index : minimal)
+        minimized->sequence.push_back(repro.sequence[index]);
+    // The minimized repro's own trigger trace for the report: re-run
+    // it once; import-stage triggers are part of the repro's trace.
+    if (!semantic_defect.empty()) {
+        bug.minimizedDefects = {semantic_defect};
+    } else if (is_crash) {
+        DefectRegistry::TraceScope final_scope;
+        backend->runWithPasses(model, repro.leaves, minimized->sequence);
+        bug.minimizedDefects = final_scope.trace();
+    } else {
+        bug.minimizedDefects.clear(); // miscompile: no seeded defect
+    }
+    bug.originalSize = repro.sequence.size();
+    bug.minimizedSize = minimized->sequence.size();
+    bug.graphSeqRepro = std::move(minimized);
+    bug.minimized = true;
+    bug.dedupKey = fingerprintKey(bug);
+    return true;
+}
+
 } // namespace
 
 std::string
 fingerprintKey(const BugRecord& bug)
 {
     // Crashes (and export crashes) are already keyed trace-free by
-    // backend|tag|crash-kind; sequence records by backend|wrong|defect.
-    // Only graph-level wrong-results carry the raw trigger trace in
-    // their key — canonicalize it to the sorted relevant-defect set.
-    if (bug.kind != "wrong-result" || bug.seqRepro != nullptr)
+    // backend|tag|crash-kind; sequence records (TIR and graph-level)
+    // by backend|wrong|defect. Only graph-level wrong-results carry
+    // the raw trigger trace in their key — canonicalize it to the
+    // sorted relevant-defect set.
+    if (bug.kind != "wrong-result" || bug.seqRepro != nullptr ||
+        bug.graphSeqRepro != nullptr)
         return bug.dedupKey;
     const auto relevant = relevantSemanticDefects(bug.defects, bug.backend);
     if (relevant.empty())
@@ -433,6 +564,8 @@ minimizeBug(BugRecord& bug,
         return minimizeGraphBug(bug, backends, options, full_result,
                                 cache);
     }
+    if (bug.graphSeqRepro != nullptr)
+        return minimizeGraphSeqBug(bug, options);
     if (bug.seqRepro != nullptr)
         return minimizeSeqBug(bug, options);
     return false;
@@ -463,6 +596,8 @@ minimizeBugs(std::vector<BugRecord>& bugs,
             }
             minimizeGraphBug(bug, backends, options, *state.full,
                              state.cache);
+        } else if (bug.graphSeqRepro != nullptr) {
+            minimizeGraphSeqBug(bug, options);
         } else if (bug.seqRepro != nullptr) {
             minimizeSeqBug(bug, options);
         }
@@ -478,6 +613,41 @@ reproStillFires(const BugRecord& bug,
         const auto& repro = *bug.graphRepro;
         return caseMatches(
             difftest::runCase(repro.graph, repro.leaves, backends), target);
+    }
+    if (bug.graphSeqRepro != nullptr) {
+        const auto& repro = *bug.graphSeqRepro;
+        NNSMITH_ASSERT(backends::isGraphPassBackend(bug.backend),
+                       "graph-sequence repro for non-graph-pass backend ",
+                       bug.backend);
+        const auto backend = bug.backend == "OrtLite"
+                                 ? backends::makeOrtLite()
+                                 : backends::makeTrtLite();
+        DefectRegistry::TraceScope trace_scope;
+        onnx::OnnxModel model;
+        try {
+            model = onnx::exportGraph(repro.graph);
+        } catch (const BackendError&) {
+            return false;
+        }
+        const auto reference =
+            backend->run(model, repro.leaves, backends::OptLevel::kO0);
+        if (reference.status == backends::RunResult::Status::kCrash)
+            return false;
+        const auto result =
+            backend->runWithPasses(model, repro.leaves, repro.sequence);
+        if (result.status == backends::RunResult::Status::kCrash)
+            return target.kind == "crash" &&
+                   result.crashKind == target.crashKind;
+        if (target.kind == "crash")
+            return false;
+        const auto fired = backends::subtractFired(
+            result.firedSemantic, reference.firedSemantic);
+        if (bug.defects.size() == 1)
+            return std::find(fired.begin(), fired.end(), bug.defects[0]) !=
+                   fired.end();
+        return fired.empty() && difftest::allFinite(reference.outputs) &&
+               !difftest::allClose(result.outputs, reference.outputs,
+                                   difftest::CompareOptions());
     }
     if (bug.seqRepro != nullptr) {
         const auto& repro = *bug.seqRepro;

@@ -12,9 +12,12 @@
  *    graph/validate, and re-runs the difftest oracle to check that the
  *    *same* defect-trace fingerprint still fires.
  *
- *  - **PassSequenceReducer** ddmins a flagged TIR pass list to the
- *    minimal failing subsequence, using the bitwise tir_interp
- *    differential oracle (the contract from fuzz/pass_fuzzer.h).
+ *  - **PassSequenceReducer** ddmins a flagged pass list to the minimal
+ *    failing subsequence: TIR sequences under the bitwise tir_interp
+ *    differential oracle, graph-level sequences (OrtLite/TrtLite,
+ *    backends/graph_pass.h) under the owning backend's
+ *    run(kO0)-vs-runWithPasses oracle (both contracts from
+ *    fuzz/pass_fuzzer.h).
  *
  * A **fingerprint** pins down what must keep firing while the repro
  * shrinks: for crashes it is (backend, kind, crash kind) — the crash

@@ -78,7 +78,8 @@ writeReproReports(const std::map<std::string, BugRecord>& bugs,
 
     std::vector<ReportEntry> entries;
     for (const auto& [key, bug] : bugs) {
-        if (bug.graphRepro == nullptr && bug.seqRepro == nullptr)
+        if (bug.graphRepro == nullptr && bug.seqRepro == nullptr &&
+            bug.graphSeqRepro == nullptr)
             continue;
         ReportEntry entry;
         entry.fingerprint = key;

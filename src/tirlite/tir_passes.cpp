@@ -19,7 +19,10 @@ namespace {
 void
 cov(const std::string& pass, const std::string& key)
 {
-    CoverageRegistry::instance().hitDynamic("tvmlite/tir/" + pass, key,
+    // Canonical `<backend>/pass/...` scheme shared by all three
+    // backends (previously "tvmlite/tir/<pass>"; see DESIGN.md
+    // "Coverage component naming" for the old->new mapping).
+    CoverageRegistry::instance().hitDynamic("tvmlite/pass/" + pass, key,
                                             /*pass_only=*/true);
 }
 
@@ -661,7 +664,7 @@ recordSequenceCoverage(const std::vector<std::string>& sequence)
         return;
     auto& registry = CoverageRegistry::instance();
     const auto hit = [&registry](const std::string& key) {
-        registry.hitDynamic("tvmlite/tir/seq", key, /*pass_only=*/true);
+        registry.hitDynamic("tvmlite/pass/seq", key, /*pass_only=*/true);
     };
     hit("len/" + std::to_string(sequence.size()));
     hit("first/" + sequence.front());

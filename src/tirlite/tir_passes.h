@@ -6,9 +6,10 @@
  * composed into an arbitrary sequence, which is what makes pass
  * *order* and pass *subset* a fuzzable dimension (the pass-interaction
  * bug class Tzer targets). Each pass is instrumented with dynamic
- * coverage branches under "tvmlite/tir/<pass>" (pass-only) and hosts
+ * coverage branches under "tvmlite/pass/<pass>" (pass-only) and hosts
  * the tvm.tir.* seeded defects. See DESIGN.md "TIR pass pipeline &
- * sequence fuzzing".
+ * sequence fuzzing". The graph-level analogue for OrtLite/TrtLite is
+ * backends/graph_pass.h.
  */
 #ifndef NNSMITH_TIRLITE_TIR_PASSES_H
 #define NNSMITH_TIRLITE_TIR_PASSES_H
@@ -71,7 +72,7 @@ std::vector<std::string> drawPassSequence(Rng& rng);
 
 /**
  * Record the pass-sequence coverage bins of @p sequence under
- * "tvmlite/tir/seq": length bucket, first/last pass, and every
+ * "tvmlite/pass/seq": length bucket, first/last pass, and every
  * adjacent ordered pass pair ("pair/<a>><b>" — the pass-interaction
  * structure). All bins are pass-only sites.
  */

@@ -111,7 +111,7 @@ TEST(TzerProperties, NeverTouchesGraphLevelComponents)
     EXPECT_EQ(reg.snapshot("tvmlite/import").count(), 0u);
     EXPECT_EQ(reg.snapshot("tvmlite/transform").count(), 0u);
     EXPECT_EQ(reg.snapshot("ortlite").count(), 0u);
-    EXPECT_GT(reg.snapshot("tvmlite/tir").count(), 0u);
+    EXPECT_GT(reg.snapshot("tvmlite/pass").count(), 0u);
     EXPECT_GT(reg.snapshot("tvmlite/lowlevel_api").count(), 0u);
 }
 

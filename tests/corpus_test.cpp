@@ -133,6 +133,44 @@ TEST(CorpusRoundTrip, SequenceCampaignSerializeParseReserialize)
     std::filesystem::remove_all(dir);
 }
 
+TEST(CorpusRoundTrip, GraphSequenceCampaignSerializeParseReserialize)
+{
+    // The graph-level analogue: an OrtLite pass-sequence campaign's
+    // repros carry (sequence, graph, leaves) and round-trip
+    // byte-identically, then replay still-fires under the backend
+    // oracle.
+    const auto dir = freshDir("nnsmith-corpus-graphseq-roundtrip");
+    auto config = sequenceCampaign(2023, 120, dir.string());
+    config.campaign.coverageComponent = "ortlite";
+    config.fuzzerFactory = [](uint64_t iteration_seed) {
+        fuzz::PassSequenceFuzzer::Options options;
+        options.backend = "OrtLite";
+        return std::make_unique<fuzz::PassSequenceFuzzer>(iteration_seed,
+                                                          options);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    fuzz::runParallelCampaign(config);
+
+    const auto entries = corpus::loadCorpusIndex(dir.string());
+    ASSERT_GT(entries.size(), 0u);
+    for (const auto& entry : entries) {
+        const std::string text = readFile(dir / entry.file);
+        const auto bug = corpus::parseRepro(text);
+        ASSERT_NE(bug.graphSeqRepro, nullptr) << entry.file;
+        EXPECT_EQ(bug.backend, "OrtLite");
+        EXPECT_FALSE(bug.graphSeqRepro->sequence.empty());
+        EXPECT_EQ(corpus::renderRepro(bug), text) << entry.file;
+    }
+    const auto replay = corpus::replayCorpus(dir.string(), {});
+    EXPECT_EQ(replay.total(), entries.size());
+    EXPECT_EQ(replay.stillFires, entries.size());
+    std::filesystem::remove_all(dir);
+}
+
 // ---- focused parsers ------------------------------------------------------
 
 TEST(CorpusParser, GraphTextRoundTripsThroughToString)
@@ -235,6 +273,60 @@ TEST(CorpusParser, MalformedInputsAreStructuredErrors)
     EXPECT_THROW(corpus::parseTirProgramText(deep_loops), ParseError);
 }
 
+TEST(CorpusParser, GraphSequenceReproErrors)
+{
+    // The committed OrtLite golden repro is the well-formed baseline.
+    const std::filesystem::path data =
+        std::filesystem::path(NNSMITH_TEST_DATA_DIR) / "corpus";
+    const std::string text = readFile(
+        data / "OrtLite_crash_ort.fuse.matmul_scale_1x1-b8451f53"
+               ".repro.txt");
+    ASSERT_FALSE(text.empty());
+    const auto bug = corpus::parseRepro(text);
+    ASSERT_NE(bug.graphSeqRepro, nullptr);
+    EXPECT_EQ(bug.graphSeqRepro->sequence,
+              std::vector<std::string>{"fuse.matmul_scale"});
+
+    auto mutate = [&](const std::string& from, const std::string& to) {
+        const auto at = text.find(from);
+        EXPECT_NE(at, std::string::npos) << from;
+        std::string mutated = text;
+        mutated.replace(at, from.size(), to);
+        return mutated;
+    };
+    // A pass name the backend's registry does not know. The \n
+    // anchors pin the rewrite to the sequence line — the fingerprint
+    // line contains "fuse.matmul_scale" as a substring too.
+    EXPECT_THROW(corpus::parseRepro(mutate("\nfuse.matmul_scale\n",
+                                           "\nno.such.pass\n")),
+                 ParseError);
+    // A pass of the *other* graph registry is just as unknown.
+    EXPECT_THROW(corpus::parseRepro(mutate("\nfuse.matmul_scale\n",
+                                           "\ntactic.matmul_relu\n")),
+                 ParseError);
+    // Wrong backend tag: the sequence is validated against the tagged
+    // backend's registry (TVMLite has no graph pass of this name)...
+    EXPECT_THROW(
+        corpus::parseRepro(mutate("backend: OrtLite",
+                                  "backend: TVMLite")),
+        ParseError);
+    // ...and a backend with no sequenceable registry at all is a
+    // structured error too.
+    EXPECT_THROW(
+        corpus::parseRepro(mutate("backend: OrtLite",
+                                  "backend: Exporter")),
+        ParseError);
+    // Truncation right after the sequence line: the graph section is
+    // required.
+    const auto graph_at = text.find(corpus::schema::kSectionGraph);
+    ASSERT_NE(graph_at, std::string::npos);
+    EXPECT_THROW(corpus::parseRepro(text.substr(0, graph_at)),
+                 ParseError);
+    // An empty sequence is not a repro.
+    EXPECT_THROW(corpus::parseRepro(mutate("fuse.matmul_scale\n", "\n")),
+                 ParseError);
+}
+
 TEST(CorpusParser, IndexTsvErrors)
 {
     EXPECT_THROW(corpus::parseIndexTsv(""), ParseError);
@@ -277,14 +369,17 @@ TEST(CorpusParser, MutatedReproFilesNeverCrashTheParser)
         try {
             const auto bug = corpus::parseRepro(text);
             EXPECT_TRUE(bug.graphRepro != nullptr ||
-                        bug.seqRepro != nullptr);
+                        bug.seqRepro != nullptr ||
+                        bug.graphSeqRepro != nullptr);
         } catch (const ParseError&) {
             // structured failure: exactly what malformed input owes us
         }
     };
     const std::vector<std::pair<std::string, std::string>> rewrites = {
         {"Sqrt", "Bogus"},           // unknown op
-        {"loop-fusion", "bogus-pass"}, // unknown pass
+        {"loop-fusion", "bogus-pass"}, // unknown TIR pass
+        {"\nfuse.matmul_scale\n", "\nno.such.pass\n"}, // unknown graph pass
+        {"\ntactic.pointwise_fusion\n", "\ntactic.nope\n"}, // unknown tactic
         {"dead-store-elim", ""},     // empty pass name
         {"8.8803584237131687", "nan"},  // NaN leaf literal
         {"6.5237684740684045", "inf"},  // Inf buffer literal
@@ -341,7 +436,7 @@ TEST(GoldenCorpus, SeedRegressionSuiteStillFires)
         std::filesystem::path(NNSMITH_TEST_DATA_DIR) / "corpus";
     auto owned = difftest::makeAllBackends();
     const auto replay = corpus::replayCorpus(data.string(), borrow(owned));
-    ASSERT_EQ(replay.total(), 5u);
+    ASSERT_EQ(replay.total(), 7u);
     for (const auto& outcome : replay.outcomes) {
         EXPECT_EQ(outcome.status, ReplayStatus::kStillFires)
             << outcome.fingerprint << ": "

@@ -139,7 +139,7 @@ TEST(Tzer, CoverageGuidedCorpusGrows)
     EXPECT_GE(tzer.corpusSize(), 2u);
     // Tzer only exercises low-level passes, never graph-level ones.
     EXPECT_GT(coverage::CoverageRegistry::instance()
-                  .snapshot("tvmlite/tir")
+                  .snapshot("tvmlite/pass")
                   .count(),
               0u);
     EXPECT_EQ(coverage::CoverageRegistry::instance()

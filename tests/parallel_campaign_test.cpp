@@ -244,6 +244,108 @@ TEST(ParallelCampaign, PassFuzzedTvmLiteIsShardInvariant)
     expectIdentical(serial, sharded);
 }
 
+/** PassSequenceFuzzer in graph mode: the backend under test is its
+ *  own oracle (run(kO0) vs runWithPasses). */
+ParallelCampaignConfig
+graphPassFuzzConfig(const std::string& backend,
+                    const std::string& component, int shards,
+                    uint64_t master_seed)
+{
+    ParallelCampaignConfig config;
+    config.campaign.virtualBudget = 60ll * 60 * 1000;
+    config.campaign.maxIterations = 60;
+    config.campaign.coverageComponent = component;
+    config.campaign.sampleEveryMinutes = 10;
+    config.shards = shards;
+    config.masterSeed = master_seed;
+    config.fuzzerFactory = [backend](uint64_t seed) {
+        fuzz::PassSequenceFuzzer::Options options;
+        options.backend = backend;
+        options.generator.targetOpNodes = 6;
+        return std::make_unique<fuzz::PassSequenceFuzzer>(seed, options);
+    };
+    config.backendFactory = [backend] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backend == "OrtLite" ? backends::makeOrtLite()
+                                             : backends::makeTrtLite());
+        return owned;
+    };
+    return config;
+}
+
+TEST(ParallelCampaign, OrtLitePassFuzzIsShardInvariant)
+{
+    const auto serial = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("OrtLite", "ortlite", 1, 2023));
+    const auto two = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("OrtLite", "ortlite", 2, 2023));
+    const auto four = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("OrtLite", "ortlite", 4, 2023));
+    EXPECT_GT(serial.coverPass.count(), 0u); // ortlite/pass/seq bins
+    EXPECT_FALSE(serial.instanceKeys.empty()); // passseq/OrtLite/...
+    expectIdentical(serial, two);
+    expectIdentical(serial, four);
+}
+
+TEST(ParallelCampaign, TrtLitePassFuzzIsShardInvariant)
+{
+    const auto serial = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("TrtLite", "trtlite", 1, 2023));
+    const auto two = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("TrtLite", "trtlite", 2, 2023));
+    const auto four = fuzz::runParallelCampaign(
+        graphPassFuzzConfig("TrtLite", "trtlite", 4, 2023));
+    EXPECT_GT(serial.coverPass.count(), 0u); // trtlite/pass/seq bins
+    EXPECT_FALSE(serial.instanceKeys.empty());
+    expectIdentical(serial, two);
+    expectIdentical(serial, four);
+}
+
+TEST(ParallelCampaign, GraphPassFuzzCorpusReplayIsShardInvariant)
+{
+    // Everything at once — pass fuzzing, minimization and corpus
+    // replay — must still be byte-identical for shards {1, 2, 4}:
+    // the emitted graph-sequence repros round-trip through the corpus
+    // and re-fire under the backend-oracle replay.
+    const auto dir = std::filesystem::path(testing::TempDir()) /
+                     "nnsmith-passfuzz-corpus-shards";
+    std::filesystem::remove_all(dir);
+    auto emit = graphPassFuzzConfig("OrtLite", "ortlite", 2, 2023);
+    emit.campaign.minimize = true;
+    emit.campaign.reportDir = dir.string();
+    const auto emitted = fuzz::runParallelCampaign(emit);
+    ASSERT_GT(emitted.bugs.size(), 0u);
+
+    auto read_tsv = [&]() {
+        std::ifstream in(dir / "regressions.tsv", std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+    std::vector<fuzz::CampaignResult> results;
+    std::vector<std::string> tsvs;
+    for (const int shards : {1, 2, 4}) {
+        auto config = graphPassFuzzConfig("OrtLite", "ortlite", shards,
+                                          2023);
+        config.campaign.minimize = true;
+        config.campaign.corpusDir = dir.string();
+        results.push_back(fuzz::runParallelCampaign(config));
+        tsvs.push_back(read_tsv());
+    }
+    ASSERT_FALSE(tsvs[0].empty());
+    EXPECT_EQ(tsvs[0], tsvs[1]);
+    EXPECT_EQ(tsvs[0], tsvs[2]);
+    for (const auto& result : results) {
+        EXPECT_EQ(corpus::renderRegressions(result.regressions), tsvs[0]);
+        EXPECT_GT(result.regressions.total(), 0u);
+        EXPECT_EQ(result.regressions.stillFires,
+                  result.regressions.total());
+    }
+    expectIdentical(results[0], results[1]);
+    expectIdentical(results[0], results[2]);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ParallelCampaign, CorpusReplayIsShardInvariant)
 {
     // A campaign with --corpus + --minimize must produce identical

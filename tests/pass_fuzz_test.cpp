@@ -73,12 +73,12 @@ TEST(PassSequence, EveryDrawnNameResolvesInRegistry)
 TEST(PassSequence, CoverageBinsRegisterUnderSeqComponent)
 {
     auto& registry = coverage::CoverageRegistry::instance();
-    const size_t before = registry.sitesRegistered("tvmlite/tir/seq");
+    const size_t before = registry.sitesRegistered("tvmlite/pass/seq");
     // A repeated pass is never drawn by drawPassSequence, so its
     // adjacent-pair bin cannot exist yet.
     tirlite::recordSequenceCoverage(
         {"strength-reduce", "strength-reduce"});
-    EXPECT_GT(registry.sitesRegistered("tvmlite/tir/seq"), before);
+    EXPECT_GT(registry.sitesRegistered("tvmlite/pass/seq"), before);
 }
 
 TEST(PassSequence, ProgramHashIsStructural)
