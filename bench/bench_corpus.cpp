@@ -41,7 +41,8 @@ using namespace nnsmith;
 fuzz::ParallelCampaignConfig
 nnsmithCampaign(int shards, uint64_t seed, size_t iters,
                 const std::string& report_dir,
-                const std::string& corpus_dir)
+                const std::string& corpus_dir,
+                fuzz::WorkerMode mode = fuzz::WorkerMode::kThread)
 {
     fuzz::ParallelCampaignConfig config;
     config.campaign.virtualBudget = 240ll * 60 * 1000;
@@ -52,6 +53,7 @@ nnsmithCampaign(int shards, uint64_t seed, size_t iters,
     config.campaign.reportDir = report_dir;
     config.campaign.corpusDir = corpus_dir;
     config.shards = shards;
+    config.workerMode = mode;
     config.masterSeed = seed;
     config.fuzzerFactory = [](uint64_t iteration_seed) {
         fuzz::NNSmithFuzzer::Options options;
@@ -218,7 +220,8 @@ main(int argc, char** argv)
     // ---- 4. shard invariance with --corpus ---------------------------
     auto regressions_of = [&](int shards) {
         const auto result = fuzz::runParallelCampaign(nnsmithCampaign(
-            shards, options.seed, options.iters, "", graph_dir));
+            shards, options.seed, options.iters, "", graph_dir,
+            options.workerMode));
         return std::pair<std::string, size_t>(
             corpus::renderRegressions(result.regressions),
             result.bugs.size());

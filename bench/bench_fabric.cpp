@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Campaign-fabric identity bench: thread vs process workers.
+ *
+ * Runs the same minimizing NNSmith-vs-ONNXRuntime campaign across the
+ * full worker matrix {thread, process} × shards {1, 2, 4} and verifies
+ * that every cell produces (a) an identical merged CampaignResult —
+ * coverage sets, bug fingerprints, instance keys, defects and the full
+ * virtual-time series — and (b) a byte-identical minimized-repro
+ * report tree. This is the executable statement of the fabric's core
+ * contract: records cross process boundaries in the canonical wire
+ * format (fuzz/wire.h), so *where* a shard runs can never leak into
+ * *what* the campaign concludes. Exits nonzero on any mismatch.
+ *
+ * BENCH_fabric.json at the repo root is a committed record of this
+ * output; CI re-runs the matrix with --iters 60 on every push.
+ *
+ *   ./bench/bench_fabric [--seed N] [--iters N] [--minutes N]
+ *                        [--out FILE]
+ */
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace nnsmith;
+
+fuzz::ParallelCampaignConfig
+campaignFor(int shards, fuzz::WorkerMode mode,
+            const bench::BenchOptions& options,
+            const std::string& report_dir)
+{
+    fuzz::ParallelCampaignConfig config;
+    config.campaign.virtualBudget =
+        static_cast<VirtualMs>(options.minutes) * 60 * 1000;
+    config.campaign.maxIterations = options.iters;
+    config.campaign.coverageComponent = "ortlite";
+    config.campaign.sampleEveryMinutes = 10;
+    config.campaign.minimize = true;
+    config.campaign.reportDir = report_dir;
+    config.shards = shards;
+    config.workerMode = mode;
+    config.masterSeed = options.seed;
+    config.fuzzerFactory = [](uint64_t seed) {
+        fuzz::NNSmithFuzzer::Options fuzzer_options;
+        fuzzer_options.generator.targetOpNodes = 10;
+        // The gradient value search runs under a *wall-clock* budget
+        // (autodiff/grad_search.h), so its leaf values — embedded in
+        // repro documents — depend on machine load, not just the seed.
+        // A byte-identity bench needs the seed-pure configuration.
+        fuzzer_options.runValueSearch = false;
+        return std::make_unique<fuzz::NNSmithFuzzer>(fuzzer_options,
+                                                     seed);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    return config;
+}
+
+/** Relative paths + raw bytes of every file under @p dir, in sorted
+ *  path order — equal strings mean byte-identical report trees. */
+std::string
+treeDigest(const std::filesystem::path& dir)
+{
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::exists(dir)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    std::string digest;
+    for (const auto& path : files) {
+        digest += std::filesystem::relative(path, dir).string();
+        digest += '\0';
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        digest += buffer.str();
+        digest += '\0';
+    }
+    return digest;
+}
+
+bool
+sameMerged(const fuzz::CampaignResult& a, const fuzz::CampaignResult& b)
+{
+    auto keys = [](const fuzz::CampaignResult& r) {
+        std::vector<std::string> out;
+        for (const auto& [key, bug] : r.bugs)
+            out.push_back(key);
+        return out;
+    };
+    auto series = [](const fuzz::CampaignResult& r) {
+        std::vector<std::tuple<double, size_t, size_t, size_t>> out;
+        for (const auto& point : r.series)
+            out.emplace_back(point.minutes, point.iterations,
+                             point.coverageAll, point.coveragePass);
+        return out;
+    };
+    return a.iterations == b.iterations && a.produced == b.produced &&
+           a.virtualTime == b.virtualTime &&
+           a.activeTime == b.activeTime &&
+           a.coverAll.branches() == b.coverAll.branches() &&
+           a.coverPass.branches() == b.coverPass.branches() &&
+           keys(a) == keys(b) && a.instanceKeys == b.instanceKeys &&
+           a.defectsFound == b.defectsFound && series(a) == series(b);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith;
+    bench::BenchOptions options = bench::parseArgs(argc, argv);
+    const char* out_path = nullptr;
+    bool iters_given = false;
+    for (int i = 1; i < argc; ++i) {
+        iters_given = iters_given || std::strcmp(argv[i], "--iters") == 0;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[i + 1];
+    }
+    if (!iters_given)
+        options.iters = 120; // identity saturates quickly
+
+    const auto base = std::filesystem::temp_directory_path() /
+                      "nnsmith-bench-fabric";
+    std::filesystem::remove_all(base);
+
+    struct Cell {
+        fuzz::WorkerMode mode;
+        int shards;
+        double seconds;
+        bool identical; ///< merged result + report tree match cell 0
+        fuzz::CampaignResult result;
+    };
+    std::vector<Cell> cells;
+    std::string reference_tree;
+    for (const auto mode :
+         {fuzz::WorkerMode::kThread, fuzz::WorkerMode::kProcess}) {
+        for (const int shards : {1, 2, 4}) {
+            const auto report_dir =
+                base / (std::string(fuzz::workerModeName(mode)) + "-" +
+                        std::to_string(shards));
+            const auto start = std::chrono::steady_clock::now();
+            auto result = fuzz::runParallelCampaign(campaignFor(
+                shards, mode, options, report_dir.string()));
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            const std::string tree = treeDigest(report_dir);
+            if (cells.empty())
+                reference_tree = tree;
+            const bool merged_same =
+                cells.empty() || sameMerged(cells[0].result, result);
+            const bool tree_same = tree == reference_tree;
+            if (!merged_same || !tree_same)
+                std::printf("MISMATCH: merged_same=%d tree_same=%d\n",
+                            merged_same, tree_same);
+            const bool identical = merged_same && tree_same;
+            cells.push_back(Cell{mode, shards, elapsed.count(),
+                                 identical, std::move(result)});
+            std::printf("mode=%-7s shards=%d  %.3fs  iters=%zu "
+                        "coverage=%zu bugs=%zu  identical=%s\n",
+                        fuzz::workerModeName(mode), shards,
+                        cells.back().seconds,
+                        cells.back().result.iterations,
+                        cells.back().result.coverAll.count(),
+                        cells.back().result.bugs.size(),
+                        identical ? "yes" : "NO — BUG");
+        }
+    }
+    std::filesystem::remove_all(base);
+
+    bool all_identical = true;
+    for (const auto& cell : cells)
+        all_identical = all_identical && cell.identical;
+    const bool ok = all_identical && !cells[0].result.bugs.empty() &&
+                    !reference_tree.empty();
+    std::printf("fabric identity (merged result + report tree) across "
+                "{thread, process} x {1, 2, 4}: %s\n",
+                ok ? "yes" : "NO — BUG");
+
+    FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"fabric_identity\",\n");
+    std::fprintf(out, "  \"fuzzer\": \"NNSmith\",\n");
+    std::fprintf(out, "  \"component\": \"ortlite\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(out, "  \"iterations\": %zu,\n",
+                 cells[0].result.iterations);
+    std::fprintf(out, "  \"bugs\": %zu,\n", cells[0].result.bugs.size());
+    std::fprintf(out, "  \"coverage\": %zu,\n",
+                 cells[0].result.coverAll.count());
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"worker_mode\": \"%s\", \"shards\": %d, "
+                     "\"wall_seconds\": %.3f, \"identical\": %s}%s\n",
+                     fuzz::workerModeName(cells[i].mode),
+                     cells[i].shards, cells[i].seconds,
+                     cells[i].identical ? "true" : "false",
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return ok ? 0 : 1;
+}

@@ -1,11 +1,16 @@
 /**
  * @file
- * Wall-clock scaling harness for the sharded campaign runner.
+ * Wall-clock scaling harness for the campaign fabric.
  *
- * Runs the Fig. 4 NNSmith-vs-ONNXRuntime campaign with shards=1/2/4,
- * checks that every shard count merges to the identical result, and
- * reports the wall-clock speedup as JSON (BENCH_parallel_campaign.json
- * at the repo root is a committed baseline of this output).
+ * Runs the Fig. 4 NNSmith-vs-ONNXRuntime campaign across the worker
+ * matrix {thread, process} × shards {1, 2, 4}, checks that every cell
+ * merges to the identical result, and reports the wall-clock scaling
+ * as JSON (BENCH_parallel_campaign.json at the repo root is a
+ * committed baseline of this output). The recorded speedups are only
+ * meaningful relative to the "hardware_threads" field: on a
+ * single-core container every configuration time-slices one CPU, so
+ * speedup_vs_serial hovers around 1.0 and process workers pay their
+ * fork/pipe overhead without a parallelism payoff.
  *
  *   ./bench/bench_parallel [--seed N] [--iters N] [--minutes N]
  *                          [--out FILE]
@@ -20,7 +25,8 @@ namespace {
 using namespace nnsmith;
 
 fuzz::ParallelCampaignConfig
-campaignFor(int shards, const bench::BenchOptions& options)
+campaignFor(int shards, fuzz::WorkerMode mode,
+            const bench::BenchOptions& options)
 {
     fuzz::ParallelCampaignConfig config;
     config.campaign.virtualBudget =
@@ -29,6 +35,7 @@ campaignFor(int shards, const bench::BenchOptions& options)
     config.campaign.coverageComponent = "ortlite";
     config.campaign.sampleEveryMinutes = 10;
     config.shards = shards;
+    config.workerMode = mode;
     config.masterSeed = options.seed;
     config.fuzzerFactory = [](uint64_t seed) {
         return bench::makeFuzzer("NNSmith", seed);
@@ -74,30 +81,38 @@ main(int argc, char** argv)
         options.iters = 300; // speedup probe needs fewer than fig4's 600
 
     struct Row {
+        fuzz::WorkerMode mode;
         int shards;
         double seconds;
         fuzz::CampaignResult result;
     };
     std::vector<Row> rows;
-    for (const int shards : {1, 2, 4}) {
-        const auto start = std::chrono::steady_clock::now();
-        auto result =
-            fuzz::runParallelCampaign(campaignFor(shards, options));
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
-        rows.push_back(Row{shards, elapsed.count(), std::move(result)});
-        std::printf("shards=%d  %.3fs  iters=%zu coverage=%zu bugs=%zu\n",
-                    shards, rows.back().seconds,
-                    rows.back().result.iterations,
-                    rows.back().result.coverAll.count(),
-                    rows.back().result.bugs.size());
+    for (const auto mode :
+         {fuzz::WorkerMode::kThread, fuzz::WorkerMode::kProcess}) {
+        for (const int shards : {1, 2, 4}) {
+            const auto start = std::chrono::steady_clock::now();
+            auto result = fuzz::runParallelCampaign(
+                campaignFor(shards, mode, options));
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            rows.push_back(
+                Row{mode, shards, elapsed.count(), std::move(result)});
+            std::printf(
+                "mode=%-7s shards=%d  %.3fs  iters=%zu coverage=%zu "
+                "bugs=%zu\n",
+                fuzz::workerModeName(mode), shards, rows.back().seconds,
+                rows.back().result.iterations,
+                rows.back().result.coverAll.count(),
+                rows.back().result.bugs.size());
+        }
     }
 
     bool identical = true;
     for (size_t i = 1; i < rows.size(); ++i)
         identical = identical &&
                     sameMerged(rows[0].result, rows[i].result);
-    std::printf("merged results identical across shard counts: %s\n",
+    std::printf("merged results identical across worker modes and "
+                "shard counts: %s\n",
                 identical ? "yes" : "NO — BUG");
 
     FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
@@ -121,10 +136,11 @@ main(int argc, char** argv)
     std::fprintf(out, "  \"runs\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         std::fprintf(out,
-                     "    {\"shards\": %d, \"wall_seconds\": %.3f, "
-                     "\"speedup_vs_1\": %.2f}%s\n",
-                     rows[i].shards, rows[i].seconds,
-                     rows[0].seconds / rows[i].seconds,
+                     "    {\"worker_mode\": \"%s\", \"shards\": %d, "
+                     "\"wall_seconds\": %.3f, "
+                     "\"speedup_vs_serial\": %.2f}%s\n",
+                     fuzz::workerModeName(rows[i].mode), rows[i].shards,
+                     rows[i].seconds, rows[0].seconds / rows[i].seconds,
                      i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -57,7 +57,8 @@ struct BinPoint {
 };
 
 fuzz::ParallelCampaignConfig
-passFuzzCampaign(int shards, uint64_t seed, size_t iters)
+passFuzzCampaign(int shards, uint64_t seed, size_t iters,
+                 fuzz::WorkerMode mode = fuzz::WorkerMode::kThread)
 {
     fuzz::ParallelCampaignConfig config;
     config.campaign.virtualBudget = 240ll * 60 * 1000;
@@ -65,6 +66,7 @@ passFuzzCampaign(int shards, uint64_t seed, size_t iters)
     config.campaign.coverageComponent = "tvmlite";
     config.campaign.sampleEveryMinutes = 10;
     config.shards = shards;
+    config.workerMode = mode;
     config.masterSeed = seed;
     config.fuzzerFactory = [](uint64_t iteration_seed) {
         return std::make_unique<fuzz::PassSequenceFuzzer>(iteration_seed);
@@ -183,7 +185,8 @@ main(int argc, char** argv)
     const auto serial = fuzz::runParallelCampaign(
         passFuzzCampaign(1, options.seed, options.iters));
     const auto sharded = fuzz::runParallelCampaign(passFuzzCampaign(
-        std::max(2, options.shards), options.seed, options.iters));
+        std::max(2, options.shards), options.seed, options.iters,
+        options.workerMode));
     const bool identical = sameMerged(serial, sharded);
     std::printf("sharded pass-fuzz campaign identical (1 vs %d shards): "
                 "%s; %zu bugs, %zu distinct sequences\n",

@@ -40,7 +40,8 @@ struct BackendRun {
 
 fuzz::ParallelCampaignConfig
 vennCampaign(const std::string& backend, const std::string& component,
-             int shards, uint64_t seed, size_t iters)
+             int shards, uint64_t seed, size_t iters,
+             fuzz::WorkerMode mode = fuzz::WorkerMode::kThread)
 {
     fuzz::ParallelCampaignConfig config;
     config.campaign.virtualBudget = 240ll * 60 * 1000;
@@ -48,6 +49,7 @@ vennCampaign(const std::string& backend, const std::string& component,
     config.campaign.coverageComponent = component;
     config.campaign.sampleEveryMinutes = 10;
     config.shards = shards;
+    config.workerMode = mode;
     config.masterSeed = seed;
     config.fuzzerFactory = [backend](uint64_t iteration_seed) {
         fuzz::PassSequenceFuzzer::Options options;
@@ -179,7 +181,7 @@ main(int argc, char** argv)
         for (const int shards : {1, 2, 4}) {
             results.push_back(fuzz::runParallelCampaign(vennCampaign(
                 run.backend, run.component, shards, options.seed,
-                options.iters)));
+                options.iters, options.workerMode)));
         }
         run.shardsIdentical = sameMerged(results[0], results[1]) &&
                               sameMerged(results[0], results[2]);

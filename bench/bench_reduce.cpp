@@ -62,7 +62,8 @@ median(std::vector<double> values)
 
 fuzz::ParallelCampaignConfig
 nnsmithCampaign(int shards, uint64_t seed, size_t iters, bool minimize,
-                const std::string& report_dir)
+                const std::string& report_dir,
+                fuzz::WorkerMode mode = fuzz::WorkerMode::kThread)
 {
     fuzz::ParallelCampaignConfig config;
     config.campaign.virtualBudget = 240ll * 60 * 1000;
@@ -72,6 +73,7 @@ nnsmithCampaign(int shards, uint64_t seed, size_t iters, bool minimize,
     config.campaign.minimize = minimize;
     config.campaign.reportDir = report_dir;
     config.shards = shards;
+    config.workerMode = mode;
     config.masterSeed = seed;
     config.fuzzerFactory = [](uint64_t iteration_seed) {
         fuzz::NNSmithFuzzer::Options options;
@@ -213,9 +215,11 @@ main(int argc, char** argv)
 
     // ---- 3. shard invariance with --minimize -------------------------
     const auto two = fuzz::runParallelCampaign(nnsmithCampaign(
-        2, options.seed, options.iters, /*minimize=*/true, ""));
+        2, options.seed, options.iters, /*minimize=*/true, "",
+        options.workerMode));
     const auto four = fuzz::runParallelCampaign(nnsmithCampaign(
-        4, options.seed, options.iters, /*minimize=*/true, ""));
+        4, options.seed, options.iters, /*minimize=*/true, "",
+        options.workerMode));
     const bool identical =
         sameMerged(minimized, two) && sameMerged(minimized, four);
     std::printf("sharded minimizing campaign identical "

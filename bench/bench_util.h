@@ -7,11 +7,17 @@
  *   --iters N       per-fuzzer real-iteration cap (figure benches)
  *   --minutes N     virtual budget in minutes (default 240, as in the
  *                   paper's 4-hour runs)
- *   --shards N      run campaigns sharded over N worker threads via
+ *   --shards N      run campaigns sharded over N workers via
  *                   fuzz/parallel_campaign.h (default 1; the merged
  *                   results are byte-identical for any N, so --shards
  *                   only changes wall-clock time; Tzer is stateful
  *                   across iterations and always runs serially)
+ *   --workers N     alias of --shards (the campaign-fabric spelling)
+ *   --worker-mode M how the workers execute (fuzz/worker_runtime.h):
+ *                   "thread" (default; std::thread per shard) or
+ *                   "process" (forked, crash-isolated worker processes
+ *                   streaming wire-format records over pipes). The
+ *                   merged results are byte-identical either way.
  *   --pass-fuzz     run every backend's optimizer with randomized pass
  *                   sequences instead of the fixed default pipeline:
  *                   TVMLite draws TIR sequences (tirlite/tir_passes.h),
@@ -62,6 +68,7 @@ struct BenchOptions {
     size_t iters = 600;
     int minutes = 240;
     int shards = 1;
+    fuzz::WorkerMode workerMode = fuzz::WorkerMode::kThread;
     bool passFuzz = false;
     bool minimize = false;  ///< ddmin flagged cases before dedup
     std::string reportDir;  ///< write minimized repro reports here
@@ -82,9 +89,18 @@ parseArgs(int argc, char** argv)
             options.iters = std::stoull(argv[++i]);
         else if (want("--minutes"))
             options.minutes = std::stoi(argv[++i]);
-        else if (want("--shards"))
+        else if (want("--shards") || want("--workers"))
             options.shards = std::max(1, std::stoi(argv[++i]));
-        else if (std::strcmp(argv[i], "--pass-fuzz") == 0)
+        else if (want("--worker-mode")) {
+            const std::string mode = argv[++i];
+            if (mode == "thread")
+                options.workerMode = fuzz::WorkerMode::kThread;
+            else if (mode == "process")
+                options.workerMode = fuzz::WorkerMode::kProcess;
+            else
+                fatal("--worker-mode must be 'thread' or 'process', "
+                      "got '" + mode + "'");
+        } else if (std::strcmp(argv[i], "--pass-fuzz") == 0)
             options.passFuzz = true;
         else if (std::strcmp(argv[i], "--minimize") == 0)
             options.minimize = true;
@@ -152,6 +168,7 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
         fuzz::ParallelCampaignConfig parallel;
         parallel.campaign = config;
         parallel.shards = options.shards;
+        parallel.workerMode = options.workerMode;
         parallel.masterSeed = options.seed;
         parallel.fuzzerFactory = [fuzzer_name](uint64_t seed) {
             return makeFuzzer(fuzzer_name, seed);

@@ -51,6 +51,13 @@ echo "== pass venn probe: three-backend pass fuzzing, shards {1,2,4} =="
 # byte-identically.
 ./build/bench/bench_pass_venn --iters 60 --out build/BENCH_pass_venn_smoke.json
 
+echo "== fabric probe: thread vs process workers merge byte-identically =="
+# A 60-iteration minimizing campaign across {thread, process} x
+# shards {1, 2, 4} — covering --worker-mode process --workers 2 vs
+# --workers 1 — exits nonzero unless every cell's merged result and
+# repro report tree match.
+./build/bench/bench_fabric --iters 60 --out build/BENCH_fabric_smoke.json
+
 echo "== corpus replay probe: re-check the emitted repros =="
 # Replaying a corpus just emitted by the same binary must re-fire every
 # fingerprint; bench_corpus --corpus exits nonzero unless all outcomes

@@ -43,7 +43,25 @@ while IFS= read -r record; do
     fi
 done < <(grep -oE 'BENCH_[A-Za-z0-9_]+\.json' README.md | sort -u)
 
+# The recorded scaling numbers are only meaningful relative to the
+# core count they were measured on: README's "Sharded campaigns"
+# section must state the hardware_threads value actually recorded in
+# BENCH_parallel_campaign.json.
+threads="$(grep -oE '"hardware_threads": [0-9]+' BENCH_parallel_campaign.json \
+    | grep -oE '[0-9]+')"
+if ! grep -q "hardware_threads=$threads" README.md; then
+    echo "check_docs: README.md does not state hardware_threads=$threads (the value recorded in BENCH_parallel_campaign.json)"
+    fail=1
+fi
+
+# The campaign fabric's process workers must stay documented: the flag
+# docs and quickstart reference `--worker-mode process`.
+if ! grep -q -- '--worker-mode process' README.md; then
+    echo "check_docs: README.md does not document '--worker-mode process'"
+    fail=1
+fi
+
 if [[ "$fail" == 0 ]]; then
-    echo "check_docs: README fig→driver table and BENCH_*.json records consistent"
+    echo "check_docs: README fig→driver table, BENCH_*.json records and campaign-fabric docs consistent"
 fi
 exit "$fail"

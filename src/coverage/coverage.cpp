@@ -65,6 +65,20 @@ CoverageRegistry::instance()
 }
 
 BranchId
+CoverageRegistry::findOrAddLocked(const std::string& key,
+                                  const std::string& component,
+                                  bool pass_only)
+{
+    auto it = byKey_.find(key);
+    if (it != byKey_.end())
+        return it->second;
+    const BranchId id = static_cast<BranchId>(sites_.size());
+    sites_.push_back(Site{component, key, pass_only, false});
+    byKey_.emplace(key, id);
+    return id;
+}
+
+BranchId
 CoverageRegistry::registerSite(const std::string& component,
                                const char* file, int line,
                                int discriminator, bool pass_only)
@@ -73,13 +87,7 @@ CoverageRegistry::registerSite(const std::string& component,
                             std::to_string(line) + "#" +
                             std::to_string(discriminator);
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = byKey_.find(key);
-    if (it != byKey_.end())
-        return it->second;
-    const BranchId id = static_cast<BranchId>(sites_.size());
-    sites_.push_back(Site{component, pass_only, false});
-    byKey_.emplace(key, id);
-    return id;
+    return findOrAddLocked(key, component, pass_only);
 }
 
 void
@@ -103,14 +111,7 @@ CoverageRegistry::hitDynamic(const std::string& component,
     BranchId id;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = byKey_.find(full_key);
-        if (it != byKey_.end()) {
-            id = it->second;
-        } else {
-            id = static_cast<BranchId>(sites_.size());
-            sites_.push_back(Site{component, pass_only, false});
-            byKey_.emplace(full_key, id);
-        }
+        id = findOrAddLocked(full_key, component, pass_only);
         if (!collect) {
             sites_[id].hit = true;
             return;
@@ -126,23 +127,52 @@ CoverageRegistry::hitRange(const std::string& component, size_t count,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = ranges_.find(component);
     if (it == ranges_.end()) {
-        const BranchId first = static_cast<BranchId>(sites_.size());
+        // Element keys go through findOrAddLocked so a block whose
+        // elements were already interned from a worker's wire records
+        // (internSiteKey) reuses those ids instead of minting a
+        // divergent second block.
+        std::vector<BranchId> ids;
+        ids.reserve(count);
         for (size_t i = 0; i < count; ++i)
-            sites_.push_back(Site{component, pass_only, false});
-        it = ranges_.emplace(component, std::pair(first, count)).first;
+            ids.push_back(findOrAddLocked(
+                component + "|range#" + std::to_string(i), component,
+                pass_only));
+        it = ranges_.emplace(component, std::move(ids)).first;
     }
-    const auto [first, registered] = it->second;
+    const auto& ids = it->second;
     const size_t n = std::min(
-        registered,
-        static_cast<size_t>(fraction * static_cast<double>(registered)));
+        ids.size(),
+        static_cast<size_t>(fraction * static_cast<double>(ids.size())));
     if (activeCollector_ != nullptr) {
         for (size_t i = 0; i < n; ++i)
-            activeCollector_->hits_.insert(
-                static_cast<BranchId>(first + i));
+            activeCollector_->hits_.insert(ids[i]);
         return;
     }
     for (size_t i = 0; i < n; ++i)
-        sites_[first + i].hit = true;
+        sites_[ids[i]].hit = true;
+}
+
+std::vector<SiteInfo>
+CoverageRegistry::describeSites(const std::vector<BranchId>& ids) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SiteInfo> out;
+    out.reserve(ids.size());
+    for (const BranchId id : ids) {
+        NNSMITH_ASSERT(id < sites_.size(), "unknown branch id ", id);
+        out.push_back(SiteInfo{sites_[id].key, sites_[id].passOnly});
+    }
+    return out;
+}
+
+BranchId
+CoverageRegistry::internSiteKey(const std::string& key, bool pass_only)
+{
+    const auto bar = key.find('|');
+    NNSMITH_ASSERT(bar != std::string::npos && bar > 0,
+                   "site key '", key, "' has no component prefix");
+    std::lock_guard<std::mutex> lock(mu_);
+    return findOrAddLocked(key, key.substr(0, bar), pass_only);
 }
 
 CoverageMap

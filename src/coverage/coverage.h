@@ -74,6 +74,22 @@ class CoverageCollector {
     std::set<BranchId> hits_;
 };
 
+/**
+ * Canonical identity of one branch site, portable across processes.
+ *
+ * BranchId values are assigned in first-discovery order and are only
+ * meaningful inside one process; the canonical *site key* — the string
+ * a site was registered under ("component|file:line#disc",
+ * "component|dyn|key", "component|range#i") — is a pure function of
+ * the site itself. Worker processes serialize coverage by site key
+ * (fuzz/wire.h) and the coordinator re-interns the keys into its own
+ * registry, which is what makes campaign results process-portable.
+ */
+struct SiteInfo {
+    std::string key;      ///< canonical site key
+    bool passOnly = false;
+};
+
 /** Process-global branch registry. */
 class CoverageRegistry {
   public:
@@ -128,6 +144,24 @@ class CoverageRegistry {
                           const std::string& component_prefix,
                           bool pass_only) const;
 
+    /**
+     * Canonical identities of @p ids, in the same order. Used by the
+     * campaign wire format (fuzz/wire.h) to serialize coverage hits in
+     * a process-portable form. Asserts on unknown ids.
+     */
+    std::vector<SiteInfo> describeSites(const std::vector<BranchId>& ids)
+        const;
+
+    /**
+     * Resolve a canonical site key to this process's BranchId,
+     * registering the site first if this process has never seen it
+     * (the component is the key's prefix up to the first '|').
+     * Idempotent, and coherent with registerSite/hitDynamic/hitRange:
+     * a later in-process registration of the same site finds the
+     * interned id instead of minting a new one.
+     */
+    BranchId internSiteKey(const std::string& key, bool pass_only);
+
     /** Clear hit state (registered sites keep their ids). */
     void resetHits();
 
@@ -147,9 +181,14 @@ class CoverageRegistry {
 
     struct Site {
         std::string component;
+        std::string key; ///< canonical key (see SiteInfo)
         bool passOnly;
         bool hit;
     };
+
+    /** registerSite/hitDynamic/internSiteKey core; mu_ must be held. */
+    BranchId findOrAddLocked(const std::string& key,
+                             const std::string& component, bool pass_only);
 
     /** The collector active on the calling thread, or nullptr. */
     static thread_local CoverageCollector* activeCollector_;
@@ -158,8 +197,10 @@ class CoverageRegistry {
     std::vector<Site> sites_;
     std::unordered_map<std::string, BranchId> byKey_;
     std::unordered_map<std::string, size_t> declaredTotals_;
-    /** First id + count per registered hitRange block. */
-    std::unordered_map<std::string, std::pair<BranchId, size_t>> ranges_;
+    /** Element ids per registered hitRange block. Ids need not be
+     *  contiguous: internSiteKey may have minted some elements before
+     *  the block was registered in this process. */
+    std::unordered_map<std::string, std::vector<BranchId>> ranges_;
 };
 
 } // namespace nnsmith::coverage

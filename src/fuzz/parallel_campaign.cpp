@@ -1,12 +1,10 @@
 #include "fuzz/parallel_campaign.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
 
 #include "corpus/replay.h"
-#include "reduce/reducer.h"
+#include "fuzz/wire.h"
+#include "fuzz/worker_runtime.h"
 #include "reduce/report.h"
 #include "support/logging.h"
 
@@ -56,7 +54,11 @@ mergeShardResults(const std::vector<ShardResult>& shards,
     // Replay mirrors runCampaign: same sampling cadence, same budget
     // and iteration-cap checks, same converged-plateau fast-forward —
     // but coverage counts come from the per-iteration hit deltas
-    // instead of the global registry bits.
+    // instead of the global registry bits. Records arrive in wire
+    // format regardless of the worker runtime: hit site keys are
+    // interned into *this* process's registry and bug documents parsed
+    // back through the corpus machinery, so thread and process shards
+    // merge identically.
     auto take_sample = [&]() {
         CampaignPoint point;
         point.minutes = clock.minutes();
@@ -78,17 +80,19 @@ mergeShardResults(const std::vector<ShardResult>& shards,
         ++result.iterations;
         result.produced += record->produced ? 1 : 0;
         clock.advance(std::max<VirtualMs>(record->cost, 1));
-        for (const auto& bug : record->bugs) {
+        for (const auto& encoded : record->bugs) {
+            BugRecord bug = wire::decodeBug(encoded);
             for (const auto& defect : bug.defects)
                 result.defectsFound.insert(defect);
-            result.bugs.emplace(bug.dedupKey, bug);
+            result.bugs.emplace(bug.dedupKey, std::move(bug));
         }
         for (const auto& key : record->instanceKeys)
             result.instanceKeys.insert(key);
-        result.coverAll = result.coverAll.unionWith(registry.filterIds(
-            record->hits, config.coverageComponent, false));
-        result.coverPass = result.coverPass.unionWith(registry.filterIds(
-            record->hits, config.coverageComponent, true));
+        const auto ids = wire::hitsFromWire(record->hits);
+        result.coverAll = result.coverAll.unionWith(
+            registry.filterIds(ids, config.coverageComponent, false));
+        result.coverPass = result.coverPass.unionWith(
+            registry.filterIds(ids, config.coverageComponent, true));
         while (clock.minutes() >= next_sample) {
             take_sample();
             result.series.back().minutes = next_sample;
@@ -108,30 +112,6 @@ mergeShardResults(const std::vector<ShardResult>& shards,
     result.virtualTime = clock.now();
     return result;
 }
-
-namespace {
-
-/**
- * Round-synchronized worker pool. The coordinator publishes a global
- * iteration range per round; worker j executes the indexes of that
- * range congruent to j modulo the shard count, then waits at the
- * barrier. Between rounds the coordinator sums the virtual cost of
- * everything executed so far and stops once the budget or iteration
- * cap is definitely inside the executed prefix.
- */
-struct RoundBarrier {
-    std::mutex mu;
-    std::condition_variable workCv;
-    std::condition_variable doneCv;
-    uint64_t round = 0;
-    size_t begin = 0;
-    size_t end = 0;
-    int workersIdle = 0;
-    int workersDead = 0; ///< workers lost to an exception
-    bool stop = false;
-};
-
-} // namespace
 
 CampaignResult
 runParallelCampaign(const ParallelCampaignConfig& config)
@@ -171,150 +151,11 @@ runParallelCampaign(const ParallelCampaignConfig& config)
         corpus::writeRegressions(config.campaign.corpusDir, regressions);
     }
 
-    const int shard_count = config.shards;
-    std::vector<ShardResult> results(static_cast<size_t>(shard_count));
-    std::vector<std::exception_ptr> errors(
-        static_cast<size_t>(shard_count));
-    RoundBarrier barrier;
-
-    auto worker = [&](int shard) {
-        ShardResult& mine = results[static_cast<size_t>(shard)];
-        mine.shard = shard;
-        try {
-            // The collector must outlive backend construction so any
-            // hits a backend constructor emits are captured (and
-            // dropped) instead of leaking into the global hit bits.
-            coverage::CoverageCollector collector;
-            auto owned = config.backendFactory();
-            std::vector<backends::Backend*> backend_list;
-            backend_list.reserve(owned.size());
-            for (auto& backend : owned)
-                backend_list.push_back(backend.get());
-            collector.take(); // drop hits from backend construction
-            uint64_t seen_round = 0;
-            while (true) {
-                size_t begin, end;
-                {
-                    std::unique_lock<std::mutex> lock(barrier.mu);
-                    barrier.workCv.wait(lock, [&] {
-                        return barrier.stop ||
-                               barrier.round != seen_round;
-                    });
-                    if (barrier.stop) {
-                        // Count ourselves idle: stop may have been set
-                        // by a sibling's exception while the
-                        // coordinator is still waiting out this round.
-                        ++barrier.workersIdle;
-                        lock.unlock();
-                        barrier.doneCv.notify_one();
-                        return;
-                    }
-                    seen_round = barrier.round;
-                    begin = barrier.begin;
-                    end = barrier.end;
-                }
-                const size_t stride = static_cast<size_t>(shard_count);
-                size_t index = begin +
-                    (static_cast<size_t>(shard) + stride -
-                     begin % stride) % stride;
-                for (; index < end; index += stride) {
-                    auto fuzzer = config.fuzzerFactory(
-                        deriveIterationSeed(config.masterSeed, index));
-                    IterationOutcome outcome =
-                        fuzzer->iterate(backend_list);
-                    ShardResult::IterationRecord record;
-                    record.index = index;
-                    record.cost = outcome.cost;
-                    record.produced = outcome.produced;
-                    record.bugs = std::move(outcome.bugs);
-                    record.instanceKeys = std::move(outcome.instanceKeys);
-                    record.hits = collector.take();
-                    if (config.campaign.minimize && !record.bugs.empty()) {
-                        // Minimize inside the shard: ddmin is a pure
-                        // function of the record, so the merge stays
-                        // shard-count invariant, and the reduction
-                        // parallelizes with the campaign itself. The
-                        // oracle re-runs land in the collector; drop
-                        // them so --minimize cannot perturb coverage.
-                        reduce::minimizeBugs(record.bugs, backend_list);
-                        collector.take();
-                    }
-                    mine.records.push_back(std::move(record));
-                }
-                {
-                    std::lock_guard<std::mutex> lock(barrier.mu);
-                    ++barrier.workersIdle;
-                }
-                barrier.doneCv.notify_one();
-            }
-        } catch (...) {
-            errors[static_cast<size_t>(shard)] = std::current_exception();
-            {
-                std::lock_guard<std::mutex> lock(barrier.mu);
-                ++barrier.workersDead;
-                barrier.stop = true; // abort remaining rounds
-            }
-            barrier.doneCv.notify_one();
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(shard_count));
-    for (int shard = 0; shard < shard_count; ++shard)
-        threads.emplace_back(worker, shard);
-
-    // Coordinator: dispatch rounds until the executed prefix provably
-    // contains the campaign's end.
-    {
-        std::vector<size_t> consumed(static_cast<size_t>(shard_count), 0);
-        VirtualMs total_cost = 0;
-        size_t executed = 0;
-        const size_t block =
-            config.blockIterations * static_cast<size_t>(shard_count);
-        while (executed < config.campaign.maxIterations &&
-               total_cost < config.campaign.virtualBudget) {
-            const size_t end = std::min(executed + block,
-                                        config.campaign.maxIterations);
-            {
-                std::unique_lock<std::mutex> lock(barrier.mu);
-                if (barrier.stop)
-                    break;
-                barrier.begin = executed;
-                barrier.end = end;
-                barrier.workersIdle = 0;
-                ++barrier.round;
-            }
-            barrier.workCv.notify_all();
-            {
-                std::unique_lock<std::mutex> lock(barrier.mu);
-                barrier.doneCv.wait(lock, [&] {
-                    return barrier.workersIdle >=
-                           shard_count - barrier.workersDead;
-                });
-                if (barrier.stop)
-                    break;
-            }
-            for (int shard = 0; shard < shard_count; ++shard) {
-                auto& records = results[static_cast<size_t>(shard)].records;
-                auto& cursor = consumed[static_cast<size_t>(shard)];
-                for (; cursor < records.size(); ++cursor)
-                    total_cost +=
-                        std::max<VirtualMs>(records[cursor].cost, 1);
-            }
-            executed = end;
-        }
-        {
-            std::lock_guard<std::mutex> lock(barrier.mu);
-            barrier.stop = true;
-        }
-        barrier.workCv.notify_all();
-    }
-    for (auto& thread : threads)
-        thread.join();
-    for (auto& error : errors) {
-        if (error)
-            std::rethrow_exception(error);
-    }
+    // Execute the rounds on the configured worker runtime — threads or
+    // forked processes; the wire-format shard results merge the same
+    // either way.
+    const auto runtime = makeWorkerRuntime(config.workerMode);
+    std::vector<ShardResult> results = runtime->runShards(config);
 
     const auto probe =
         config.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));

@@ -1,44 +1,40 @@
 /**
  * @file
- * Sharded parallel campaign orchestrator.
+ * Sharded parallel campaign orchestrator — the campaign fabric.
  *
  * Runs one logical fuzzing campaign as N independent shards on a
- * std::thread worker pool and deterministically merges the shard
- * results back into a single CampaignResult. The merged result is a
- * pure function of (master seed, campaign config) — *independent of
- * the shard count and of thread scheduling* — so `--shards 4` produces
- * byte-identical coverage sets, bug dedup keys, instance keys and
- * virtual-time series to `--shards 1` while saturating wall-clock
- * cores. See DESIGN.md "Sharded campaigns" for the full model.
+ * worker runtime (fuzz/worker_runtime.h: an in-process std::thread
+ * pool, or forked worker processes streaming results over pipes) and
+ * deterministically merges the shard results back into a single
+ * CampaignResult. The merged result is a pure function of (master
+ * seed, campaign config) — *independent of the shard count, the
+ * worker mode and scheduling* — so `--workers 4 --worker-mode process`
+ * produces byte-identical coverage sets, bug dedup keys, instance keys
+ * and virtual-time series to a serial in-thread run while saturating
+ * wall-clock cores. See DESIGN.md "Campaign fabric" for the full
+ * model.
  *
- * How shard-count invariance is achieved: the campaign is defined as a
+ * How the invariance is achieved: the campaign is defined as a
  * sequence of *self-seeded* iterations. Iteration i draws everything
  * from deriveIterationSeed(masterSeed, i), so its behaviour depends on
  * nothing but the master seed and its own index. Shard j executes the
  * strided index set {i : i mod N == j} against its own backend
  * instances, capturing a per-iteration record (virtual cost, bugs,
  * instance keys, coverage-hit delta via coverage::CoverageCollector).
- * Merging replays the records in global index order, applying the
- * virtual budget and iteration cap exactly as the serial campaign
- * driver does; speculatively executed records past the budget cutoff
- * are discarded. Execution proceeds in synchronized rounds so that the
- * speculation overshoot stays bounded.
+ * Records are captured directly in the *wire format* (fuzz/wire.h):
+ * coverage hits as canonical site keys, bugs as rendered repro
+ * documents — process-portable payloads that round-trip
+ * byte-identically, so a record means the same thing whether it
+ * crossed a pipe or stayed in memory. Merging replays the records in
+ * global index order, applying the virtual budget and iteration cap
+ * exactly as the serial campaign driver does; speculatively executed
+ * records past the budget cutoff are discarded. Execution proceeds in
+ * synchronized rounds so that the speculation overshoot stays bounded.
  *
  * The orchestrator requires an iteration-independent fuzzer (NNSmith
  * and the generative baselines qualify). Mutation-based fuzzers that
  * carry state across iterate() calls (Tzer) would change behaviour
  * under sharding; run those through the serial runCampaign instead.
- *
- * Caveat on BranchId values: the *set of covered sites* (by site key)
- * and all counts, series, bug keys and instance keys are pure
- * functions of the master seed. The numeric BranchId values of
- * *dynamic* sites, however, are assigned in first-discovery order by
- * the process-global registry; with concurrent shards racing to
- * discover new keys, that order is scheduling-dependent. Ids are
- * stable for the lifetime of the process (so in-process comparisons —
- * the shards=1 vs shards=4 identity, Venn algebra across campaigns —
- * are exact), but id sets serialized from different processes should
- * be compared via counts or canonical site keys.
  */
 #ifndef NNSMITH_FUZZ_PARALLEL_CAMPAIGN_H
 #define NNSMITH_FUZZ_PARALLEL_CAMPAIGN_H
@@ -59,13 +55,31 @@ using FuzzerFactory =
 using BackendFactory =
     std::function<std::vector<std::unique_ptr<backends::Backend>>()>;
 
+/**
+ * How shard workers execute (fuzz/worker_runtime.h).
+ *
+ * kThread: one std::thread per shard in this process — the historical
+ * behavior, bit-for-bit. kProcess: one forked worker process per
+ * shard, streaming wire-format records back over a pipe; a worker
+ * that dies mid-block is respawned and its block re-run
+ * deterministically from the iteration-seed stream, so a crashing
+ * test case cannot take the campaign down with it.
+ */
+enum class WorkerMode { kThread, kProcess };
+
+/** "thread" / "process" (the --worker-mode spellings). */
+const char* workerModeName(WorkerMode mode);
+
 /** Parameters of a sharded campaign. */
 struct ParallelCampaignConfig {
     /** Budget, caps, coverage component and sampling cadence. */
     CampaignConfig campaign;
 
-    /** Worker shard count (1 = serial semantics on this thread). */
+    /** Worker shard count (1 = serial semantics on one worker). */
     int shards = 1;
+
+    /** Thread or process workers; the merged result is identical. */
+    WorkerMode workerMode = WorkerMode::kThread;
 
     /** Seed every iteration seed is derived from. */
     uint64_t masterSeed = 2023;
@@ -84,21 +98,40 @@ struct ParallelCampaignConfig {
     BackendFactory backendFactory;
 };
 
+/** One serialized coverage hit: canonical site key + pass tag. */
+struct SiteHit {
+    bool passOnly = false;
+    std::string key;
+
+    friend bool operator==(const SiteHit& a, const SiteHit& b)
+    {
+        return a.passOnly == b.passOnly && a.key == b.key;
+    }
+};
+
 /** Everything one shard observed, keyed for deterministic merging. */
 struct ShardResult {
     /** Shard index in [0, shards). */
     int shard = 0;
 
-    /** One executed iteration, in the coordinates of the *global*
-     *  campaign iteration sequence. */
+    /**
+     * One executed iteration, in the coordinates of the *global*
+     * campaign iteration sequence. Payloads are held in the canonical
+     * wire format (fuzz/wire.h): coverage hits as site keys (not
+     * process-local BranchIds), bugs as rendered repro documents.
+     * Both worker runtimes produce exactly this; the merge consumes
+     * nothing else, so records are process-portable by construction.
+     */
     struct IterationRecord {
         size_t index = 0;       ///< global iteration index
         VirtualMs cost = 0;     ///< virtual cost charged
         bool produced = false;  ///< a case was generated & executed
-        std::vector<BugRecord> bugs;
+        /** Wire-rendered bug documents (wire::encodeBug). */
+        std::vector<std::string> bugs;
         std::vector<std::string> instanceKeys;
-        /** Sorted coverage-hit delta (any component; filtered later). */
-        std::vector<coverage::BranchId> hits;
+        /** Coverage-hit delta, sorted by site key (any component;
+         *  filtered at merge). */
+        std::vector<SiteHit> hits;
     };
 
     /** Records for indexes {i : i mod shards == shard}, ascending. */
@@ -115,16 +148,21 @@ uint64_t deriveIterationSeed(uint64_t master_seed, uint64_t index);
  * Merge shard results into one CampaignResult by replaying the
  * iteration records in global index order under @p config's virtual
  * budget, iteration cap and sampling cadence (mirroring runCampaign's
- * loop exactly). Order-independent: any permutation of @p shards
- * yields the same result. @p fuzzer_name labels the result.
+ * loop exactly). Consumes only the wire format: hit keys are interned
+ * into this process's coverage registry and bug documents parsed back
+ * through the corpus machinery, so records from forked workers and
+ * records from sibling threads merge identically. Order-independent:
+ * any permutation of @p shards yields the same result. @p fuzzer_name
+ * labels the result. Throws corpus::ParseError on a malformed record
+ * payload.
  */
 CampaignResult mergeShardResults(const std::vector<ShardResult>& shards,
                                  const CampaignConfig& config,
                                  const std::string& fuzzer_name);
 
 /**
- * Run a sharded campaign on config.shards worker threads and return
- * the merged result. Resets global coverage hit state, like
+ * Run a sharded campaign on config.shards workers of config.workerMode
+ * and return the merged result. Resets global coverage hit state, like
  * runCampaign.
  */
 CampaignResult runParallelCampaign(const ParallelCampaignConfig& config);

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Worker runtimes — how campaign shards execute.
+ *
+ * A WorkerRuntime turns a ParallelCampaignConfig into one wire-format
+ * ShardResult per shard (fuzz/wire.h); the orchestrator
+ * (fuzz/parallel_campaign.h) merges them without caring which runtime
+ * produced them. Modeled on LTSmin's HRE runtime, which abstracts
+ * thread- vs process-parallel workers behind one API.
+ *
+ * Both runtimes drive the same round-synchronized schedule: the
+ * coordinator publishes a global iteration range per round, worker j
+ * executes the indexes congruent to j modulo the shard count, and
+ * between rounds the coordinator sums the virtual cost executed so
+ * far, stopping once the budget or iteration cap is provably inside
+ * the executed prefix. Every iteration is self-seeded
+ * (deriveIterationSeed), so a record depends on nothing but the
+ * master seed and its own index — the property both runtimes' merge
+ * identity and the process runtime's crash recovery rest on.
+ *
+ *  - **ThreadRuntime**: one std::thread per shard in this process;
+ *    records accumulate in memory. The historical sharded-campaign
+ *    behavior, bit-for-bit.
+ *  - **ProcessRuntime**: one forked worker process per shard,
+ *    commands flowing down a pipe and wire-encoded record blocks
+ *    flowing back. Workers are crash-isolated: a worker that dies
+ *    mid-block (SIGKILL, abort, a genuinely crashing test case) is
+ *    respawned with fresh backends and its round re-run
+ *    deterministically from the iteration-seed stream; a worker that
+ *    *reports* an error (an exception in the fuzzer stack) aborts the
+ *    campaign with that error, mirroring the thread runtime. Workers
+ *    that crash on the same round more than kMaxRespawnsPerRound
+ *    times abort the campaign too, so a deterministically crashing
+ *    iteration cannot respawn forever.
+ */
+#ifndef NNSMITH_FUZZ_WORKER_RUNTIME_H
+#define NNSMITH_FUZZ_WORKER_RUNTIME_H
+
+#include <memory>
+#include <vector>
+
+#include "fuzz/parallel_campaign.h"
+
+namespace nnsmith::fuzz {
+
+/** Executes a campaign's iteration stream on a pool of workers. */
+class WorkerRuntime {
+  public:
+    virtual ~WorkerRuntime() = default;
+
+    /** "thread" / "process". */
+    virtual const char* name() const = 0;
+
+    /**
+     * Execute the campaign's rounds and return one ShardResult per
+     * shard, records in wire format. Rethrows worker errors. Does not
+     * touch global coverage hit state (workers collect into
+     * per-worker CoverageCollectors).
+     */
+    virtual std::vector<ShardResult>
+    runShards(const ParallelCampaignConfig& config) = 0;
+};
+
+/** Respawn budget per (worker, round) before the campaign aborts. */
+inline constexpr int kMaxRespawnsPerRound = 4;
+
+std::unique_ptr<WorkerRuntime> makeThreadRuntime();
+std::unique_ptr<WorkerRuntime> makeProcessRuntime();
+std::unique_ptr<WorkerRuntime> makeWorkerRuntime(WorkerMode mode);
+
+} // namespace nnsmith::fuzz
+
+#endif // NNSMITH_FUZZ_WORKER_RUNTIME_H

@@ -132,9 +132,10 @@ TEST(GraphPassProperty, DefaultPipelineEqualsO3)
             ASSERT_EQ(via_o3.status, via_pipeline.status);
             EXPECT_EQ(via_o3.crashKind, via_pipeline.crashKind);
             EXPECT_EQ(via_o3.firedSemantic, via_pipeline.firedSemantic);
-            if (via_o3.status == RunResult::Status::kOk)
+            if (via_o3.status == RunResult::Status::kOk) {
                 EXPECT_TRUE(difftest::allClose(
                     via_o3.outputs, via_pipeline.outputs, exact));
+            }
         }
     }
 }

@@ -10,6 +10,7 @@
 #include "corpus/replay.h"
 #include "fuzz/parallel_campaign.h"
 #include "fuzz/pass_fuzzer.h"
+#include "fuzz/wire.h"
 
 namespace nnsmith {
 namespace {
@@ -134,12 +135,13 @@ TEST(ParallelCampaign, MergeIsOrderIndependent)
             record.index = index;
             record.cost = 30 * 1000; // half a virtual minute each
             record.produced = true;
-            record.hits = {ids[index % ids.size()]};
+            record.hits = fuzz::wire::hitsToWire(
+                {ids[index % ids.size()]});
             fuzz::BugRecord bug;
             bug.dedupKey = "B|crash|" + std::to_string(index % 4);
             bug.backend = "B";
             bug.kind = "crash";
-            record.bugs.push_back(bug);
+            record.bugs.push_back(fuzz::wire::encodeBug(bug));
             record.instanceKeys = {"op" + std::to_string(index % 5)};
             shards[static_cast<size_t>(shard)].records.push_back(
                 std::move(record));
