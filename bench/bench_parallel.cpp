@@ -34,6 +34,10 @@ campaignFor(int shards, fuzz::WorkerMode mode,
     config.campaign.maxIterations = options.iters;
     config.campaign.coverageComponent = "ortlite";
     config.campaign.sampleEveryMinutes = 10;
+    config.campaign.minimize = options.minimize;
+    config.campaign.reportDir = options.reportDir;
+    config.campaign.corpusDir = options.corpusDir;
+    config.campaign.corpusGuided = options.corpusGuided;
     config.shards = shards;
     config.workerMode = mode;
     config.masterSeed = options.seed;

@@ -37,6 +37,15 @@
  *                   still-fires / changed / fixed into D/regressions.tsv
  *                   (corpus/replay.h). Replay stays out of coverage
  *                   accounting, so it composes with --shards.
+ *   --corpus-guided mutate the replayed corpus instead of only
+ *                   re-checking it (fuzz/mutator.h; requires --corpus):
+ *                   each iteration chooses, from its own derived
+ *                   iteration seed, between fresh sampling and
+ *                   mutating a corpus repro (graph edits or pass-
+ *                   sequence splice/truncate/reorder). The pool is
+ *                   immutable after load, so merged results stay
+ *                   byte-identical across shard counts and worker
+ *                   modes.
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
@@ -73,6 +82,7 @@ struct BenchOptions {
     bool minimize = false;  ///< ddmin flagged cases before dedup
     std::string reportDir;  ///< write minimized repro reports here
     std::string corpusDir;  ///< replay this regression corpus first
+    bool corpusGuided = false; ///< mutate corpus entries (fuzz/mutator.h)
 };
 
 inline BenchOptions
@@ -108,6 +118,8 @@ parseArgs(int argc, char** argv)
             options.reportDir = argv[++i];
         else if (want("--corpus"))
             options.corpusDir = argv[++i];
+        else if (std::strcmp(argv[i], "--corpus-guided") == 0)
+            options.corpusGuided = true;
     }
     return options;
 }
@@ -164,6 +176,7 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
     config.minimize = options.minimize;
     config.reportDir = options.reportDir;
     config.corpusDir = options.corpusDir;
+    config.corpusGuided = options.corpusGuided;
     if (fuzzer_name != "Tzer") {
         fuzz::ParallelCampaignConfig parallel;
         parallel.campaign = config;
@@ -199,6 +212,7 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
     // known bug as fixed (and clobber regressions.tsv written by the
     // sibling campaigns), so --corpus is a no-op on this path.
     config.corpusDir.clear();
+    config.corpusGuided = false;
     auto owned = difftest::makeAllBackends();
     auto fuzzer = makeFuzzer(fuzzer_name, options.seed);
     return fuzz::runCampaign(*fuzzer, /*backends=*/{}, config);

@@ -65,6 +65,14 @@ echo "== corpus replay probe: re-check the emitted repros =="
 # known bug, not that anything was fixed).
 ./build/bench/bench_corpus --corpus build/repro-smoke
 
+echo "== corpus-guided probe: guided >= baseline, shard/mode identity =="
+# Matched-iteration campaigns with --corpus-guided off vs on: the
+# guided runs must discover at least the baseline's coverage bins and
+# deduped bugs, and the guided graph campaign must merge
+# byte-identically across {thread, process} x shards {1, 2, 4}.
+./build/bench/bench_corpus_guided --iters 60 \
+    --out build/BENCH_corpus_guided_smoke.json
+
 if [[ "${1:-}" != "--fast" ]]; then
     echo "== strict: -Wall -Wextra -Werror =="
     cmake -B build-strict -S . -DNNSMITH_STRICT=ON

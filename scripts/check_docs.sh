@@ -61,6 +61,17 @@ if ! grep -q -- '--worker-mode process' README.md; then
     fail=1
 fi
 
+# Corpus-guided generation ships with its flag documented in both the
+# README flag list and the DESIGN.md section that explains it.
+if ! grep -q -- '--corpus-guided' README.md; then
+    echo "check_docs: README.md does not document '--corpus-guided'"
+    fail=1
+fi
+if ! grep -q '^## Corpus-guided generation' DESIGN.md; then
+    echo "check_docs: DESIGN.md is missing the 'Corpus-guided generation' section"
+    fail=1
+fi
+
 if [[ "$fail" == 0 ]]; then
     echo "check_docs: README fig→driver table, BENCH_*.json records and campaign-fabric docs consistent"
 fi

@@ -1,6 +1,7 @@
 #include "baselines/tzer.h"
 
 #include "coverage/coverage.h"
+#include "fuzz/parallel_campaign.h"
 #include "tirlite/tir_interp.h"
 #include "tirlite/tir_passes.h"
 
@@ -10,7 +11,7 @@ using backends::BackendError;
 using coverage::CoverageRegistry;
 
 TzerFuzzer::TzerFuzzer(uint64_t seed, fuzz::CostModel cost)
-    : rng_(seed), cost_(cost)
+    : seed_(seed), cost_(cost)
 {
 }
 
@@ -33,10 +34,18 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
         "tvmlite/lowlevel_api", 430, 1.0);
 
     // Pick a seed from the corpus (coverage-guided) or start fresh.
+    // All draws come from a per-iteration RNG keyed off (constructor
+    // seed, iteration index), and the fresh-vs-mutate coin is tossed
+    // *before* consulting the corpus: a fresh iteration's program is
+    // identical no matter how corpus growth diverged earlier, instead
+    // of the pick perturbing every later draw of the shared stream.
+    Rng it_rng(fuzz::deriveIterationSeed(seed_, iteration_++));
+    const bool fresh = it_rng.chance(0.2);
     tirlite::TirProgram program =
-        corpus_.empty() || rng_.chance(0.2)
-            ? tirlite::randomProgram(rng_)
-            : tirlite::mutate(corpus_[rng_.index(corpus_.size())], rng_);
+        fresh || corpus_.empty()
+            ? tirlite::randomProgram(it_rng)
+            : tirlite::mutate(corpus_[it_rng.index(corpus_.size())],
+                              it_rng);
 
     backends::DefectRegistry::TraceScope trace_scope;
     std::vector<std::string> fired_semantic;
@@ -44,7 +53,7 @@ TzerFuzzer::iterate(const std::vector<backends::Backend*>&)
     try {
         const auto optimized =
             tirlite::runTirPipeline(program, fired_semantic);
-        auto buffers = tirlite::makeBuffers(optimized, rng_);
+        auto buffers = tirlite::makeBuffers(optimized, it_rng);
         tirlite::run(optimized, buffers);
     } catch (const BackendError& error) {
         crashed = true;

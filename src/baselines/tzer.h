@@ -27,7 +27,8 @@ class TzerFuzzer final : public fuzz::Fuzzer {
     size_t corpusSize() const { return corpus_.size(); }
 
   private:
-    Rng rng_;
+    uint64_t seed_;
+    uint64_t iteration_ = 0; ///< keys each iterate()'s private RNG
     fuzz::CostModel cost_;
     std::vector<tirlite::TirProgram> corpus_;
     size_t lastCoverage_ = 0;

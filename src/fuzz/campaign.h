@@ -61,6 +61,19 @@ struct CampaignConfig {
      * composes with any shard count.
      */
     std::string corpusDir;
+
+    /**
+     * Corpus-guided generation (fuzz/mutator.h): requires corpusDir.
+     * The sharded runner parses the corpus once into an immutable
+     * mutation pool (before any worker starts) and wraps each derived
+     * per-iteration fuzzer in a CorpusGuidedFuzzer, so every iteration
+     * chooses — from its own iteration seed, never shared state —
+     * between fresh sampling and mutating a corpus entry. Composes
+     * with minimize/reportDir/any worker mode, preserving the
+     * byte-identical merge guarantee. The serial runCampaign ignores
+     * this flag; construct a CorpusGuidedFuzzer directly instead.
+     */
+    bool corpusGuided = false;
 };
 
 /** One sample of the coverage growth curves. */

@@ -1,0 +1,802 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "backends/graph_pass.h"
+#include "corpus/corpus.h"
+#include "corpus/parser.h"
+#include "fuzz/pass_fuzzer.h"
+#include "graph/validate.h"
+#include "ops/broadcast.h"
+#include "ops/registry.h"
+#include "symbolic/expr.h"
+#include "tirlite/tir_passes.h"
+
+namespace nnsmith::fuzz {
+
+using graph::Graph;
+using graph::NodeKind;
+using ops::OpBase;
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::TensorType;
+
+namespace {
+
+// ---- graph rebuilding ------------------------------------------------------
+
+/** Live op-node ids in topological order. */
+std::vector<int>
+opNodeIds(const Graph& g)
+{
+    std::vector<int> ids;
+    for (int id : g.topoOrder()) {
+        const auto& node = g.node(id);
+        if (!node.dead && node.kind == NodeKind::kOp)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::set<int>
+allOpSet(const Graph& g)
+{
+    const auto ids = opNodeIds(g);
+    return {ids.begin(), ids.end()};
+}
+
+double
+randomScalar(DType dtype, Rng& rng)
+{
+    if (dtype == DType::kBool)
+        return rng.index(2) != 0 ? 1.0 : 0.0;
+    if (tensor::isFloat(dtype))
+        return rng.uniformReal(1.0, 9.0);
+    return static_cast<double>(rng.uniformInt(1, 9));
+}
+
+/** Carry a leaf binding across a type change: same shape converts
+ *  elementwise (preserving the %.17g-rendered values up to the dtype
+ *  cast), a new shape refills like exec::randomLeaves. */
+Tensor
+regenerateLeaf(const Tensor& old, const TensorType& type, Rng& rng)
+{
+    const Shape shape = type.concreteShape();
+    Tensor out = Tensor::zeros(type.dtype(), shape);
+    if (shape == old.shape()) {
+        for (int64_t i = 0; i < out.numel(); ++i)
+            out.setScalar(i, old.scalarAt(i));
+    } else {
+        for (int64_t i = 0; i < out.numel(); ++i)
+            out.setScalar(i, randomScalar(type.dtype(), rng));
+    }
+    return out;
+}
+
+/** Structural edits applied during a rebuild. */
+struct RebuildSpec {
+    /** node id -> replacement operator (out types re-derived). */
+    std::map<int, std::shared_ptr<OpBase>> replaceOps;
+    /** leaf node id -> new leaf type (binding carried/refilled). */
+    std::map<int, TensorType> leafTypes;
+    /** Re-derive every op's output types through typeTransfer (needed
+     *  when leafTypes changes ripple downstream). */
+    bool repropagateTypes = false;
+};
+
+/**
+ * Rebuild @p keep_ops (a producer-closed set) densely in topological
+ * order — reduce/reducer.cpp's extract idiom — applying @p spec.
+ * Returns nullopt when the edit cannot type (no matching dtype combo,
+ * a symbolic fold left a non-concrete dim, or no op survived); the
+ * caller falls back to value perturbation.
+ */
+std::optional<GraphSeedCase>
+rebuild(const Graph& g, const exec::LeafValues& leaves,
+        const std::set<int>& keep_ops, const RebuildSpec& spec, Rng& rng)
+{
+    GraphSeedCase out;
+    std::map<int, int> value_map; // old value id -> new value id
+
+    std::set<int> needed_leaves;
+    for (int id : keep_ops) {
+        for (int v : g.node(id).inputs) {
+            const auto& producer = g.node(g.value(v).producer);
+            if (producer.kind != NodeKind::kOp)
+                needed_leaves.insert(producer.id);
+        }
+    }
+
+    for (int id : g.topoOrder()) {
+        const auto& node = g.node(id);
+        if (node.kind != NodeKind::kOp) {
+            if (needed_leaves.count(id) == 0)
+                continue;
+            const int old_value = node.outputs[0];
+            TensorType type = g.value(old_value).type;
+            const auto override_it = spec.leafTypes.find(id);
+            if (override_it != spec.leafTypes.end())
+                type = override_it->second;
+            const int new_value =
+                out.graph.addLeaf(node.kind, type, g.value(old_value).name);
+            value_map[old_value] = new_value;
+            const auto bound = leaves.find(old_value);
+            if (bound != leaves.end()) {
+                if (override_it == spec.leafTypes.end())
+                    out.leaves.emplace(new_value, bound->second);
+                else
+                    out.leaves.emplace(
+                        new_value, regenerateLeaf(bound->second, type, rng));
+            }
+        } else if (keep_ops.count(id) != 0) {
+            std::vector<int> inputs;
+            inputs.reserve(node.inputs.size());
+            for (int v : node.inputs)
+                inputs.push_back(value_map.at(v));
+
+            std::shared_ptr<OpBase> op = node.op;
+            const auto replace_it = spec.replaceOps.find(id);
+            if (replace_it != spec.replaceOps.end())
+                op = replace_it->second;
+
+            std::vector<TensorType> out_types;
+            if (spec.repropagateTypes ||
+                replace_it != spec.replaceOps.end()) {
+                std::vector<TensorType> in_types;
+                std::vector<DType> in_dtypes;
+                for (int v : inputs) {
+                    in_types.push_back(out.graph.value(v).type);
+                    in_dtypes.push_back(in_types.back().dtype());
+                }
+                if (op->inDTypes() != in_dtypes) {
+                    // The edit moved an input dtype: re-pick the
+                    // operator's combo, or report the edit untypeable.
+                    bool matched = false;
+                    for (const auto& combo : op->dtypeCombos()) {
+                        if (combo.in != in_dtypes)
+                            continue;
+                        auto clone = op->clone();
+                        clone->setDTypes(combo);
+                        op = std::shared_ptr<OpBase>(std::move(clone));
+                        matched = true;
+                        break;
+                    }
+                    if (!matched)
+                        return std::nullopt;
+                }
+                for (const auto& derived : op->typeTransfer(in_types)) {
+                    std::vector<symbolic::ExprRef> folded;
+                    folded.reserve(derived.shape().size());
+                    for (const auto& dim : derived.shape())
+                        folded.push_back(symbolic::simplify(dim));
+                    TensorType type(derived.dtype(), std::move(folded));
+                    if (!type.isConcrete())
+                        return std::nullopt;
+                    out_types.push_back(std::move(type));
+                }
+                if (out_types.size() != node.outputs.size())
+                    return std::nullopt;
+            } else {
+                for (int v : node.outputs)
+                    out_types.push_back(g.value(v).type);
+            }
+
+            const int new_id = out.graph.addOp(op, inputs, out_types);
+            const auto& rebuilt = out.graph.node(new_id);
+            for (size_t i = 0; i < node.outputs.size(); ++i)
+                value_map[node.outputs[i]] = rebuilt.outputs[i];
+        }
+    }
+    if (out.graph.numOpNodes() == 0)
+        return std::nullopt;
+    return out;
+}
+
+// ---- mutation operators ----------------------------------------------------
+
+/** Attr-free unary kinds safe to insert/swap per input dtype (total on
+ *  their domain — no Log/Sqrt/Asin NaN traps). */
+const std::vector<std::string>&
+unaryNamesFor(DType dtype)
+{
+    static const std::vector<std::string> float_names = {
+        "Relu", "Sigmoid", "Tanh", "Sin",   "Cos",  "Atan",
+        "Abs",  "Neg",     "Exp",  "Floor", "Ceil", "Round"};
+    static const std::vector<std::string> int_names = {"Abs", "Neg"};
+    static const std::vector<std::string> bool_names = {"Not"};
+    static const std::vector<std::string> none;
+    if (tensor::isFloat(dtype))
+        return float_names;
+    if (dtype == DType::kI32 || dtype == DType::kI64)
+        return int_names;
+    if (dtype == DType::kBool)
+        return bool_names;
+    return none;
+}
+
+/** Reconstruct a registered op by name through the same OpRegistry
+ *  machinery the corpus parser uses, then pin @p in_dtypes' combo. */
+std::shared_ptr<OpBase>
+reconstructFor(const std::string& name, const ops::AttrMap& attrs,
+               const std::vector<DType>& in_dtypes)
+{
+    const ops::OpMeta* meta = ops::OpRegistry::global().find(name);
+    if (meta == nullptr || !meta->reconstruct)
+        return nullptr;
+    auto op = meta->reconstruct(attrs);
+    for (const auto& combo : op->dtypeCombos()) {
+        if (combo.in == in_dtypes) {
+            op->setDTypes(combo);
+            return std::shared_ptr<OpBase>(std::move(op));
+        }
+    }
+    return nullptr;
+}
+
+std::shared_ptr<OpBase>
+makeUnary(const std::string& name, DType dtype)
+{
+    return reconstructFor(name, ops::AttrMap{}, {dtype});
+}
+
+/** A no-broadcast arithmetic binary applied as `x op x` — shapes are
+ *  trivially compatible under the all-equal mask. */
+std::shared_ptr<OpBase>
+makeSelfBinary(DType dtype, Rng& rng)
+{
+    static const std::vector<std::string> names = {"Add", "Sub", "Mul",
+                                                   "Max", "Min"};
+    if (dtype == DType::kBool)
+        return nullptr;
+    ops::AttrMap attrs;
+    for (int i = 0; i < ops::kMaxRank; ++i)
+        attrs["bm" + std::to_string(i)] =
+            static_cast<int64_t>(ops::BcastMask::kEqual);
+    return reconstructFor(names[rng.index(names.size())], attrs,
+                          {dtype, dtype});
+}
+
+std::shared_ptr<OpBase>
+makeSoftmax(const TensorType& type, Rng& rng)
+{
+    if (!tensor::isFloat(type.dtype()) || type.rank() < 1 ||
+        type.rank() > 4)
+        return nullptr;
+    ops::AttrMap attrs;
+    attrs["rank"] = type.rank();
+    attrs["axis"] = static_cast<int64_t>(
+        rng.index(static_cast<size_t>(type.rank())));
+    return reconstructFor("Softmax", attrs, {type.dtype()});
+}
+
+/** Insert: grow the mutant by hanging 1-4 fresh ops (unary, `x op x`
+ *  binary, or Softmax) off random values. Minimized repros are tiny,
+ *  so insertion regains some of the op diversity a fresh 10-op draw
+ *  would have; the graph stays connected and densely topo-numbered —
+ *  each new node is appended last. */
+std::optional<GraphSeedCase>
+tryInsert(const GraphSeedCase& seed, Rng& rng)
+{
+    auto rebuilt =
+        rebuild(seed.graph, seed.leaves, allOpSet(seed.graph), {}, rng);
+    if (!rebuilt.has_value())
+        return std::nullopt;
+    Graph& g = rebuilt->graph;
+    if (g.values().empty())
+        return std::nullopt;
+    const int inserts = 1 + static_cast<int>(rng.index(4));
+    bool inserted = false;
+    for (int k = 0; k < inserts; ++k) {
+        const int value_id =
+            static_cast<int>(rng.index(g.values().size()));
+        const TensorType type = g.value(value_id).type;
+        std::shared_ptr<OpBase> op;
+        switch (rng.index(3)) {
+          case 0: op = makeSelfBinary(type.dtype(), rng); break;
+          case 1: op = makeSoftmax(type, rng); break;
+          default: break;
+        }
+        if (op == nullptr) {
+            const auto& names = unaryNamesFor(type.dtype());
+            if (names.empty())
+                continue;
+            op = makeUnary(names[rng.index(names.size())], type.dtype());
+        }
+        if (op == nullptr)
+            continue;
+        const std::vector<int> inputs =
+            op->numInputs() == 2 ? std::vector<int>{value_id, value_id}
+                                 : std::vector<int>{value_id};
+        g.addOp(std::move(op), inputs, {type});
+        inserted = true;
+    }
+    if (!inserted)
+        return std::nullopt;
+    return rebuilt;
+}
+
+/** Delete: drop a random op and its transitive consumers (the kept set
+ *  is producer-closed by construction); validate() rejects the mutant
+ *  if the removal disconnects the graph. */
+std::optional<GraphSeedCase>
+tryDelete(const GraphSeedCase& seed, Rng& rng)
+{
+    const auto ops_in_order = opNodeIds(seed.graph);
+    if (ops_in_order.size() < 2)
+        return std::nullopt; // deleting the only op leaves no graph
+    const int victim = ops_in_order[rng.index(ops_in_order.size())];
+
+    std::set<int> removed = {victim};
+    for (int id : seed.graph.topoOrder()) {
+        const auto& node = seed.graph.node(id);
+        if (node.kind != NodeKind::kOp || removed.count(id) != 0)
+            continue;
+        for (int v : node.inputs) {
+            if (removed.count(seed.graph.value(v).producer) != 0) {
+                removed.insert(id);
+                break;
+            }
+        }
+    }
+    std::set<int> keep;
+    for (int id : ops_in_order)
+        if (removed.count(id) == 0)
+            keep.insert(id);
+    if (keep.empty())
+        return std::nullopt;
+    return rebuild(seed.graph, seed.leaves, keep, {}, rng);
+}
+
+/** Swap: replace one attr-free unary op with another of the same
+ *  dtype signature. */
+std::optional<GraphSeedCase>
+trySwap(const GraphSeedCase& seed, Rng& rng)
+{
+    std::vector<int> candidates;
+    for (int id : opNodeIds(seed.graph)) {
+        const auto& op = *seed.graph.node(id).op;
+        if (op.numInputs() != 1 || op.numOutputs() != 1 ||
+            op.inDTypes().size() != 1 ||
+            op.inDTypes() != op.outDTypes())
+            continue;
+        const auto& names = unaryNamesFor(op.inDTypes()[0]);
+        if (std::find(names.begin(), names.end(), op.name()) != names.end())
+            candidates.push_back(id);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    const int target = candidates[rng.index(candidates.size())];
+    const auto& current = *seed.graph.node(target).op;
+    const DType dtype = current.inDTypes()[0];
+    std::vector<std::string> alternatives;
+    for (const auto& name : unaryNamesFor(dtype))
+        if (name != current.name())
+            alternatives.push_back(name);
+    if (alternatives.empty())
+        return std::nullopt;
+    auto replacement =
+        makeUnary(alternatives[rng.index(alternatives.size())], dtype);
+    if (replacement == nullptr)
+        return std::nullopt;
+    RebuildSpec spec;
+    spec.replaceOps[target] = std::move(replacement);
+    return rebuild(seed.graph, seed.leaves, allOpSet(seed.graph), spec, rng);
+}
+
+DType
+flipPartner(DType dtype)
+{
+    switch (dtype) {
+      case DType::kF32: return DType::kF64;
+      case DType::kF64: return DType::kF32;
+      case DType::kI32: return DType::kI64;
+      case DType::kI64: return DType::kI32;
+      default: return dtype;
+    }
+}
+
+/** Leaf nodes (Input/Weight) feeding at least one kept op. */
+std::vector<int>
+leafNodeIds(const Graph& g)
+{
+    std::set<int> fed;
+    for (int id : opNodeIds(g)) {
+        for (int v : g.node(id).inputs) {
+            const auto& producer = g.node(g.value(v).producer);
+            if (producer.kind != NodeKind::kOp)
+                fed.insert(producer.id);
+        }
+    }
+    return {fed.begin(), fed.end()};
+}
+
+/** Dtype flip: widen/narrow one leaf (f32<->f64, i32<->i64) and
+ *  repropagate type transfer through the whole graph. */
+std::optional<GraphSeedCase>
+tryDtypeFlip(const GraphSeedCase& seed, Rng& rng)
+{
+    std::vector<int> candidates;
+    for (int id : leafNodeIds(seed.graph)) {
+        const DType dtype =
+            seed.graph.value(seed.graph.node(id).outputs[0]).type.dtype();
+        if (flipPartner(dtype) != dtype)
+            candidates.push_back(id);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    const int leaf = candidates[rng.index(candidates.size())];
+    const TensorType old_type =
+        seed.graph.value(seed.graph.node(leaf).outputs[0]).type;
+    RebuildSpec spec;
+    spec.leafTypes[leaf] = TensorType::concrete(
+        flipPartner(old_type.dtype()), old_type.concreteShape());
+    spec.repropagateTypes = true;
+    return rebuild(seed.graph, seed.leaves, allOpSet(seed.graph), spec, rng);
+}
+
+/** Shape perturb: grow/shrink one dimension of one leaf by 1 and
+ *  repropagate; ops whose requirements break fail validate() and fall
+ *  back. */
+std::optional<GraphSeedCase>
+tryShapePerturb(const GraphSeedCase& seed, Rng& rng)
+{
+    std::vector<int> candidates;
+    for (int id : leafNodeIds(seed.graph)) {
+        if (seed.graph.value(seed.graph.node(id).outputs[0]).type.rank() > 0)
+            candidates.push_back(id);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    const int leaf = candidates[rng.index(candidates.size())];
+    const TensorType old_type =
+        seed.graph.value(seed.graph.node(leaf).outputs[0]).type;
+    Shape shape = old_type.concreteShape();
+    const size_t dim = rng.index(shape.dims.size());
+    int64_t& d = shape.dims[dim];
+    if (d <= 1)
+        d += 1;
+    else if (d >= 8)
+        d -= 1;
+    else
+        d += rng.chance(0.5) ? 1 : -1;
+    RebuildSpec spec;
+    spec.leafTypes[leaf] = TensorType::concrete(old_type.dtype(), shape);
+    spec.repropagateTypes = true;
+    return rebuild(seed.graph, seed.leaves, allOpSet(seed.graph), spec, rng);
+}
+
+/** The always-valid fallback: canonical rebuild + one leaf scalar
+ *  nudged (types untouched, so validity is the seed's). */
+GraphSeedCase
+perturbLeafValues(const GraphSeedCase& seed, Rng& rng)
+{
+    auto rebuilt =
+        rebuild(seed.graph, seed.leaves, allOpSet(seed.graph), {}, rng);
+    GraphSeedCase out = rebuilt.has_value() ? std::move(*rebuilt) : seed;
+    if (out.leaves.empty())
+        return out;
+    auto it = out.leaves.begin();
+    std::advance(it, rng.index(out.leaves.size()));
+    Tensor& bound = it->second;
+    if (bound.numel() == 0)
+        return out;
+    const int64_t i = static_cast<int64_t>(
+        rng.index(static_cast<size_t>(bound.numel())));
+    const double v = bound.scalarAt(i);
+    double nudged;
+    if (bound.dtype() == DType::kBool) {
+        nudged = v != 0.0 ? 0.0 : 1.0;
+    } else if (tensor::isFloat(bound.dtype())) {
+        nudged = v * rng.uniformReal(0.5, 1.5) + rng.uniformReal(-1.0, 1.0);
+        if (!std::isfinite(nudged))
+            nudged = rng.uniformReal(1.0, 9.0);
+    } else {
+        nudged = static_cast<double>(static_cast<int64_t>(v) +
+                                     rng.uniformInt(-2, 2));
+    }
+    bound.setScalar(i, nudged);
+    return out;
+}
+
+/** The same shape every sequence registry gets: splice a registered
+ *  pass, drop an element, or swap two positions — never empty. */
+std::vector<std::string>
+mutateSequence(const std::vector<std::string>& sequence,
+               const std::vector<std::string>& registry, Rng& rng)
+{
+    std::vector<std::string> out = sequence;
+    if (out.empty())
+        return {registry[rng.index(registry.size())]};
+    switch (rng.index(3)) {
+      case 0: { // splice
+        const auto& pass = registry[rng.index(registry.size())];
+        out.insert(out.begin() +
+                       static_cast<std::ptrdiff_t>(rng.index(out.size() + 1)),
+                   pass);
+        break;
+      }
+      case 1: { // truncate (keep nonempty)
+        if (out.size() >= 2)
+            out.erase(out.begin() +
+                      static_cast<std::ptrdiff_t>(rng.index(out.size())));
+        else
+            out.push_back(registry[rng.index(registry.size())]);
+        break;
+      }
+      default: { // reorder
+        if (out.size() >= 2) {
+            const size_t a = rng.index(out.size());
+            const size_t b = rng.index(out.size());
+            std::swap(out[a], out[b]);
+        } else {
+            out.push_back(registry[rng.index(registry.size())]);
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+/** Instance keys in GeneratedModel::instanceKeys() format, so mutant
+ *  coverage lands in the same op-instance bins as fresh draws. */
+std::vector<std::string>
+graphInstanceKeys(const Graph& g)
+{
+    std::vector<std::string> keys;
+    for (const auto& node : g.nodes()) {
+        if (node.dead || node.kind != NodeKind::kOp)
+            continue;
+        std::ostringstream os;
+        os << node.op->name() << "|";
+        for (int v : node.inputs)
+            os << g.value(v).type.toString() << ",";
+        os << "|";
+        for (const auto& attr : node.op->attrs())
+            os << attr.name << "=" << attr.value << ",";
+        keys.push_back(os.str());
+    }
+    return keys;
+}
+
+} // namespace
+
+// ---- public mutation entry points ------------------------------------------
+
+GraphSeedCase
+mutateGraphCase(const GraphSeedCase& seed, Rng& rng)
+{
+    std::optional<GraphSeedCase> mutant;
+    switch (rng.index(6)) {
+      case 0: mutant = tryInsert(seed, rng); break;
+      case 1: mutant = tryDelete(seed, rng); break;
+      case 2: mutant = trySwap(seed, rng); break;
+      case 3: mutant = tryDtypeFlip(seed, rng); break;
+      case 4: mutant = tryShapePerturb(seed, rng); break;
+      default: break; // value perturbation
+    }
+    if (mutant.has_value() && graph::validate(mutant->graph).ok())
+        return std::move(*mutant);
+    return perturbLeafValues(seed, rng);
+}
+
+std::vector<std::string>
+mutateTirSequence(const std::vector<std::string>& sequence, Rng& rng)
+{
+    std::vector<std::string> registry;
+    for (const auto& pass : tirlite::tirPasses())
+        registry.push_back(pass.name);
+    return mutateSequence(sequence, registry, rng);
+}
+
+std::vector<std::string>
+mutateGraphPassSequence(const std::string& backend,
+                        const std::vector<std::string>& sequence, Rng& rng)
+{
+    std::vector<std::string> registry;
+    for (const auto& pass : backends::graphPasses(backend))
+        registry.push_back(pass.name);
+    return mutateSequence(sequence, registry, rng);
+}
+
+// ---- MutationPool ----------------------------------------------------------
+
+MutationPool
+MutationPool::fromCorpusDir(const std::string& dir)
+{
+    MutationPool pool;
+    for (const auto& entry : corpus::loadCorpusIndex(dir)) {
+        const std::string path =
+            (std::filesystem::path(dir) / entry.file).string();
+        try {
+            pool.addBug(corpus::parseRepro(corpus::readCorpusFile(path)));
+        } catch (const corpus::ParseError&) {
+            // Replay classifies this file as parse-error; it cannot
+            // seed mutations either.
+        }
+    }
+    return pool;
+}
+
+void
+MutationPool::addBug(const BugRecord& bug)
+{
+    if (bug.graphRepro != nullptr) {
+        graphs_.push_back({bug.graphRepro->graph, bug.graphRepro->leaves});
+    } else if (bug.graphSeqRepro != nullptr) {
+        graphSeqs_.push_back({bug.backend, bug.graphSeqRepro->graph,
+                              bug.graphSeqRepro->leaves,
+                              bug.graphSeqRepro->sequence});
+    } else if (bug.seqRepro != nullptr) {
+        tirSeqs_.push_back({bug.seqRepro->program, bug.seqRepro->sequence});
+    }
+}
+
+// ---- CorpusGuidedFuzzer ----------------------------------------------------
+
+CorpusGuidedFuzzer::CorpusGuidedFuzzer(std::unique_ptr<Fuzzer> inner,
+                                       std::shared_ptr<const MutationPool> pool,
+                                       uint64_t seed)
+    : CorpusGuidedFuzzer(std::move(inner), std::move(pool), seed, Options())
+{
+}
+
+CorpusGuidedFuzzer::CorpusGuidedFuzzer(std::unique_ptr<Fuzzer> inner,
+                                       std::shared_ptr<const MutationPool> pool,
+                                       uint64_t seed, Options options)
+    : inner_(std::move(inner)), pool_(std::move(pool)), options_(options),
+      rng_(seed)
+{
+    NNSMITH_ASSERT(inner_ != nullptr, "CorpusGuidedFuzzer: null inner fuzzer");
+    NNSMITH_ASSERT(pool_ != nullptr, "CorpusGuidedFuzzer: null pool");
+}
+
+IterationOutcome
+CorpusGuidedFuzzer::iterate(
+    const std::vector<backends::Backend*>& backend_list)
+{
+    // Applicable seeds: graph repros need a difftest backend list;
+    // graph-pass sequence repros need their owning backend present.
+    // Both facts are fixed per campaign, so the candidate list — and
+    // with it every draw below — depends only on the constructor seed.
+    struct Candidate {
+        int kind; // 0 = graph, 1 = TIR sequence, 2 = graph-pass sequence
+        size_t index;
+    };
+    std::vector<Candidate> candidates;
+    if (!backend_list.empty()) {
+        for (size_t i = 0; i < pool_->graphSeeds().size(); ++i)
+            candidates.push_back({0, i});
+    }
+    for (size_t i = 0; i < pool_->tirSeqSeeds().size(); ++i)
+        candidates.push_back({1, i});
+    for (size_t i = 0; i < pool_->graphSeqSeeds().size(); ++i) {
+        for (const backends::Backend* backend : backend_list) {
+            if (backend != nullptr &&
+                backend->name() == pool_->graphSeqSeeds()[i].backend) {
+                candidates.push_back({2, i});
+                break;
+            }
+        }
+    }
+
+    if (candidates.empty() || !rng_.chance(options_.mutationRate))
+        return inner_->iterate(backend_list);
+
+    IterationOutcome outcome;
+    for (int b = 0; b < std::max(1, options_.mutationBurst); ++b) {
+        const Candidate pick = candidates[rng_.index(candidates.size())];
+        IterationOutcome one;
+        switch (pick.kind) {
+          case 0:
+            one = runGraphMutant(pool_->graphSeeds()[pick.index],
+                                 backend_list);
+            break;
+          case 1:
+            one = runTirSeqMutant(pool_->tirSeqSeeds()[pick.index]);
+            break;
+          default:
+            one = runGraphSeqMutant(pool_->graphSeqSeeds()[pick.index],
+                                    backend_list);
+            break;
+        }
+        outcome.produced = outcome.produced || one.produced;
+        outcome.cost += one.cost;
+        for (auto& bug : one.bugs)
+            outcome.bugs.push_back(std::move(bug));
+        for (auto& key : one.instanceKeys)
+            outcome.instanceKeys.push_back(std::move(key));
+    }
+    return outcome;
+}
+
+IterationOutcome
+CorpusGuidedFuzzer::runGraphMutant(
+    const GraphSeedCase& seed,
+    const std::vector<backends::Backend*>& backend_list)
+{
+    const GraphSeedCase mutant = mutateGraphCase(seed, rng_);
+    IterationOutcome outcome = executeGraphCase(mutant.graph, mutant.leaves,
+                                                backend_list, options_.cost);
+    // Mutation rebuilds instead of constraint-solving: a quarter of
+    // the per-op generation cost.
+    outcome.cost += options_.cost.generationPerOp / 4 *
+                    std::max(1, mutant.graph.numOpNodes());
+    outcome.instanceKeys = graphInstanceKeys(mutant.graph);
+
+    // The sequence half of the loop, applied to graph seeds: drive the
+    // mutant through a mutated pass pipeline of one pass-capable
+    // backend. Fresh sampling always compiles with the fixed default
+    // pipeline, so spliced/truncated/reordered pipelines reach
+    // `<backend>/pass` branches and `<backend>/pass/seq` bins fresh
+    // iterations cannot.
+    std::vector<backends::Backend*> seq_backends;
+    for (backends::Backend* backend : backend_list) {
+        if (backend != nullptr &&
+            backends::isGraphPassBackend(backend->name()))
+            seq_backends.push_back(backend);
+    }
+    for (backends::Backend* backend : seq_backends) {
+        auto sequence =
+            backends::defaultGraphPipeline(backend->name());
+        const int steps = 1 + static_cast<int>(rng_.index(2));
+        for (int s = 0; s < steps; ++s)
+            sequence =
+                mutateGraphPassSequence(backend->name(), sequence, rng_);
+        IterationOutcome seq = runGraphSequenceCase(
+            *backend, mutant.graph, mutant.leaves, sequence,
+            options_.cost);
+        outcome.produced = outcome.produced || seq.produced;
+        outcome.cost += seq.cost;
+        for (auto& bug : seq.bugs)
+            outcome.bugs.push_back(std::move(bug));
+        for (auto& key : seq.instanceKeys)
+            outcome.instanceKeys.push_back(std::move(key));
+    }
+    return outcome;
+}
+
+IterationOutcome
+CorpusGuidedFuzzer::runTirSeqMutant(const TirSeqSeedCase& seed)
+{
+    tirlite::TirProgram program = seed.program;
+    const int steps = static_cast<int>(rng_.index(3));
+    for (int i = 0; i < steps; ++i)
+        program = tirlite::mutate(program, rng_);
+    const auto sequence = mutateTirSequence(seed.sequence, rng_);
+    return runTirSequenceCase(program, sequence, /*case_cost=*/500, rng_);
+}
+
+IterationOutcome
+CorpusGuidedFuzzer::runGraphSeqMutant(
+    const GraphSeqSeedCase& seed,
+    const std::vector<backends::Backend*>& backend_list)
+{
+    backends::Backend* backend = nullptr;
+    for (backends::Backend* candidate : backend_list) {
+        if (candidate != nullptr && candidate->name() == seed.backend)
+            backend = candidate;
+    }
+    NNSMITH_ASSERT(backend != nullptr,
+                   "corpus-guided: backend ", seed.backend,
+                   " vanished from the campaign's backend list");
+
+    GraphSeedCase mutant = {seed.graph, seed.leaves};
+    if (rng_.chance(0.5))
+        mutant = mutateGraphCase(mutant, rng_);
+    const auto sequence =
+        mutateGraphPassSequence(seed.backend, seed.sequence, rng_);
+    IterationOutcome outcome = runGraphSequenceCase(
+        *backend, mutant.graph, mutant.leaves, sequence, options_.cost);
+    outcome.cost += options_.cost.generationPerOp / 4 *
+                    std::max(1, mutant.graph.numOpNodes());
+    return outcome;
+}
+
+} // namespace nnsmith::fuzz

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "corpus/replay.h"
+#include "fuzz/mutator.h"
 #include "fuzz/wire.h"
 #include "fuzz/worker_runtime.h"
 #include "reduce/report.h"
@@ -151,14 +152,32 @@ runParallelCampaign(const ParallelCampaignConfig& config)
         corpus::writeRegressions(config.campaign.corpusDir, regressions);
     }
 
+    ParallelCampaignConfig effective = config;
+    if (config.campaign.corpusGuided) {
+        if (config.campaign.corpusDir.empty())
+            fatal("runParallelCampaign: corpusGuided requires corpusDir");
+        // Parse the corpus once, here on the coordinator (so the
+        // immutable pool pre-exists process workers' fork()), and wrap
+        // the factory: each derived iteration seed gets its own
+        // CorpusGuidedFuzzer over the shared read-only pool, keeping
+        // iterations independent and the merge byte-identical.
+        auto pool = std::make_shared<const MutationPool>(
+            MutationPool::fromCorpusDir(config.campaign.corpusDir));
+        const auto inner = config.fuzzerFactory;
+        effective.fuzzerFactory = [inner, pool](uint64_t seed) {
+            return std::make_unique<CorpusGuidedFuzzer>(inner(seed), pool,
+                                                        seed);
+        };
+    }
+
     // Execute the rounds on the configured worker runtime — threads or
     // forked processes; the wire-format shard results merge the same
     // either way.
-    const auto runtime = makeWorkerRuntime(config.workerMode);
-    std::vector<ShardResult> results = runtime->runShards(config);
+    const auto runtime = makeWorkerRuntime(effective.workerMode);
+    std::vector<ShardResult> results = runtime->runShards(effective);
 
     const auto probe =
-        config.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));
+        effective.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));
     CampaignResult merged =
         mergeShardResults(results, config.campaign, probe->name());
     merged.regressions = std::move(regressions);

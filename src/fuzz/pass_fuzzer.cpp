@@ -56,10 +56,6 @@ PassSequenceFuzzer::iterate(
 IterationOutcome
 PassSequenceFuzzer::iterateTir()
 {
-    IterationOutcome outcome;
-    outcome.produced = true;
-    outcome.cost = options_.caseCost;
-
     // Program: a fresh random TIR case, optionally mutated a few steps
     // (mutation introduces the Seq/extra-store shapes that make
     // pass-interaction defects like fusion-then-DSE reachable).
@@ -72,6 +68,18 @@ PassSequenceFuzzer::iterateTir()
 
     // Sequence: random subset + order of the registry.
     const auto sequence = tirlite::drawPassSequence(rng_);
+    return runTirSequenceCase(program, sequence, options_.caseCost, rng_);
+}
+
+IterationOutcome
+runTirSequenceCase(const tirlite::TirProgram& program,
+                   const std::vector<std::string>& sequence,
+                   VirtualMs case_cost, Rng& rng)
+{
+    IterationOutcome outcome;
+    outcome.produced = true;
+    outcome.cost = case_cost;
+
     tirlite::recordSequenceCoverage(sequence);
     outcome.instanceKeys.push_back("tirseq/" + joinSequence(sequence));
 
@@ -80,7 +88,7 @@ PassSequenceFuzzer::iterateTir()
     // Differential oracle: unoptimized vs optimized interpretation
     // over identical initial buffers.
     const tirlite::Buffers initial =
-        tirlite::makeBuffers(program, rng_);
+        tirlite::makeBuffers(program, rng);
     tirlite::Buffers reference = initial;
     tirlite::run(program, reference);
 
@@ -148,29 +156,46 @@ PassSequenceFuzzer::iterateGraph(
                    "PassSequenceFuzzer: backend ", options_.backend,
                    " not in the campaign's backend list");
 
-    IterationOutcome outcome;
-    const auto& cost = options_.cost;
-    outcome.cost =
-        cost.generationPerOp * options_.generator.targetOpNodes;
+    const VirtualMs generation_cost =
+        options_.cost.generationPerOp * options_.generator.targetOpNodes;
 
     gen::GraphGenerator generator(options_.generator, rng_.next());
     const auto model = generator.generate();
-    if (!model.has_value())
+    if (!model.has_value()) {
+        IterationOutcome outcome;
+        outcome.cost = generation_cost;
         return outcome; // produced stays false; rare, retried next iter
-    outcome.produced = true;
+    }
     const exec::LeafValues leaves = exec::randomLeaves(model->graph, rng_);
 
     // Sequence: random subset + order of the backend's registry.
     const auto sequence =
         backends::drawGraphPassSequence(options_.backend, rng_);
-    backends::recordGraphSequenceCoverage(options_.backend, sequence);
-    outcome.instanceKeys.push_back("passseq/" + options_.backend + "/" +
+
+    IterationOutcome outcome = runGraphSequenceCase(
+        *backend, model->graph, leaves, sequence, options_.cost);
+    outcome.cost += generation_cost;
+    return outcome;
+}
+
+IterationOutcome
+runGraphSequenceCase(backends::Backend& backend, const graph::Graph& graph,
+                     const exec::LeafValues& leaves,
+                     const std::vector<std::string>& sequence,
+                     const CostModel& cost)
+{
+    const std::string backend_name = backend.name();
+    IterationOutcome outcome;
+    outcome.produced = true;
+
+    backends::recordGraphSequenceCoverage(backend_name, sequence);
+    outcome.instanceKeys.push_back("passseq/" + backend_name + "/" +
                                    joinSequence(sequence));
 
     DefectRegistry::TraceScope trace_scope;
     onnx::OnnxModel onnx_model;
     try {
-        onnx_model = onnx::exportGraph(model->graph);
+        onnx_model = onnx::exportGraph(graph);
     } catch (const BackendError&) {
         // Exporter defects are the graph campaign's quarry, not a
         // pass-sequence find: the sequence never ran. Skip the case.
@@ -180,25 +205,25 @@ PassSequenceFuzzer::iterateGraph(
     // Differential oracle: the backend's own pass-off (kO0) run vs the
     // drawn sequence. Two compiles + two runs of virtual cost.
     const VirtualMs compile =
-        options_.backend == "TrtLite" ? cost.backendCompileTrt
-                                      : cost.backendCompileOrt;
+        backend_name == "TrtLite" ? cost.backendCompileTrt
+                                  : cost.backendCompileOrt;
     outcome.cost += 2 * compile + 2 * cost.run;
 
     const RunResult reference =
-        backend->run(onnx_model, leaves, backends::OptLevel::kO0);
+        backend.run(onnx_model, leaves, backends::OptLevel::kO0);
     if (reference.status == RunResult::Status::kCrash) {
         // An import-stage crash fires with or without passes — not a
         // pass-sequence find. Skip.
         return outcome;
     }
     const RunResult result =
-        backend->runWithPasses(onnx_model, leaves, sequence);
+        backend.runWithPasses(onnx_model, leaves, sequence);
 
     if (result.status == RunResult::Status::kCrash) {
         BugRecord bug;
         bug.dedupKey =
-            options_.backend + "|crash|" + result.crashKind;
-        bug.backend = options_.backend;
+            backend_name + "|crash|" + result.crashKind;
+        bug.backend = backend_name;
         bug.kind = "crash";
         bug.detail = result.crashMessage;
         bug.defects = trace_scope.trace();
@@ -215,8 +240,8 @@ PassSequenceFuzzer::iterateGraph(
         }
         for (const auto& defect : novel) {
             BugRecord bug;
-            bug.dedupKey = options_.backend + "|wrong|" + defect;
-            bug.backend = options_.backend;
+            bug.dedupKey = backend_name + "|wrong|" + defect;
+            bug.backend = backend_name;
             bug.kind = "wrong-result";
             bug.detail = defect;
             bug.defects = {defect};
@@ -231,8 +256,8 @@ PassSequenceFuzzer::iterateGraph(
             // so the property test keeps this unreachable).
             BugRecord bug;
             bug.dedupKey =
-                options_.backend + "|wrong|graph.seq.miscompile";
-            bug.backend = options_.backend;
+                backend_name + "|wrong|graph.seq.miscompile";
+            bug.backend = backend_name;
             bug.kind = "wrong-result";
             bug.detail = "pass sequence " + joinSequence(sequence) +
                          " changed backend output";
@@ -241,7 +266,7 @@ PassSequenceFuzzer::iterateGraph(
     }
     if (!outcome.bugs.empty()) {
         auto repro = std::make_shared<GraphSeqRepro>();
-        repro->graph = model->graph;
+        repro->graph = graph;
         repro->leaves = leaves;
         repro->sequence = sequence;
         for (auto& bug : outcome.bugs)

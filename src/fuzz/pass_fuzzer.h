@@ -78,6 +78,29 @@ class PassSequenceFuzzer final : public Fuzzer {
     Rng rng_;
 };
 
+/**
+ * Run the TIR pass-sequence differential oracle over one case:
+ * record sequence coverage, draw initial buffers from @p rng, and
+ * compare the unoptimized interpretation against @p sequence.
+ * Flagged records carry a SeqRepro. Shared by PassSequenceFuzzer and
+ * the corpus-guided mutator (fuzz/mutator.h).
+ */
+IterationOutcome runTirSequenceCase(const tirlite::TirProgram& program,
+                                    const std::vector<std::string>& sequence,
+                                    VirtualMs case_cost, Rng& rng);
+
+/**
+ * Run @p backend's graph-pass oracle over one exported case:
+ * run(kO0) vs runWithPasses(@p sequence), import-stage firings
+ * subtracted. The returned cost covers the two compiles + two runs
+ * only; the caller adds its generation (or mutation) cost.
+ */
+IterationOutcome runGraphSequenceCase(backends::Backend& backend,
+                                      const graph::Graph& graph,
+                                      const exec::LeafValues& leaves,
+                                      const std::vector<std::string>& sequence,
+                                      const CostModel& cost);
+
 } // namespace nnsmith::fuzz
 
 #endif // NNSMITH_FUZZ_PASS_FUZZER_H

@@ -11,6 +11,7 @@
 #include "baselines/graphfuzzer.h"
 #include "baselines/lemon.h"
 #include "baselines/tzer.h"
+#include "fuzz/parallel_campaign.h"
 #include "graph/validate.h"
 #include "ops/registry.h"
 
@@ -129,6 +130,59 @@ TEST(TzerProperties, CanFindLowLevelDefects)
     for (const auto& d : defects)
         EXPECT_EQ(d.rfind("tvm.tir.", 0), 0u) << d;
     EXPECT_GE(defects.size(), 1u);
+}
+
+TEST(TzerProperties, FreshIterationsAreCorpusStateIndependent)
+{
+    // Regression test for the seed-corpus selection fix: every draw of
+    // iteration i comes from a private RNG keyed off
+    // deriveIterationSeed(seed, i), and the fresh-vs-mutate coin is
+    // tossed before the corpus is consulted. A fresh iteration must
+    // therefore produce the same program — and the same bugs — no
+    // matter how the coverage-guided corpus diverged earlier. (With
+    // the old shared-RNG stream, corpus divergence shifted every later
+    // draw, including fresh ones.)
+    auto& registry = coverage::CoverageRegistry::instance();
+    const uint64_t seed = 99;
+    const int iters = 40;
+    auto run = [&](bool cold_coverage) {
+        if (cold_coverage)
+            registry.resetHits();
+        TzerFuzzer fuzzer(seed);
+        std::vector<std::vector<std::string>> keys;
+        for (int i = 0; i < iters; ++i) {
+            const auto outcome = fuzzer.iterate({});
+            std::vector<std::string> iteration_keys;
+            for (const auto& bug : outcome.bugs)
+                iteration_keys.push_back(bug.dedupKey);
+            keys.push_back(std::move(iteration_keys));
+        }
+        return keys;
+    };
+    // Cold coverage: the corpus grows on every early coverage gain.
+    // Saturated coverage (no reset after the first run): the push
+    // signal mostly stays flat, so the second corpus diverges hard.
+    const auto cold = run(/*cold_coverage=*/true);
+    const auto saturated = run(/*cold_coverage=*/false);
+
+    // Recompute each iteration's coin exactly as the fuzzer does: the
+    // first draw of the per-iteration RNG.
+    size_t fresh_count = 0;
+    for (int i = 0; i < iters; ++i) {
+        Rng it_rng(
+            fuzz::deriveIterationSeed(seed, static_cast<uint64_t>(i)));
+        if (!it_rng.chance(0.2))
+            continue;
+        ++fresh_count;
+        EXPECT_EQ(cold[static_cast<size_t>(i)],
+                  saturated[static_cast<size_t>(i)])
+            << "fresh iteration " << i << " depended on corpus state";
+    }
+    EXPECT_GT(fresh_count, 0u);
+
+    // Identical conditions still give identical streams end to end.
+    EXPECT_EQ(run(true), run(true));
+    registry.resetHits();
 }
 
 TEST(CostModel, LemonIsOrdersOfMagnitudeSlower)

@@ -436,7 +436,7 @@ TEST(GoldenCorpus, SeedRegressionSuiteStillFires)
         std::filesystem::path(NNSMITH_TEST_DATA_DIR) / "corpus";
     auto owned = difftest::makeAllBackends();
     const auto replay = corpus::replayCorpus(data.string(), borrow(owned));
-    ASSERT_EQ(replay.total(), 7u);
+    ASSERT_EQ(replay.total(), 11u);
     for (const auto& outcome : replay.outcomes) {
         EXPECT_EQ(outcome.status, ReplayStatus::kStillFires)
             << outcome.fingerprint << ": "

@@ -394,6 +394,61 @@ TEST(ParallelCampaign, CorpusReplayIsShardInvariant)
     std::filesystem::remove_all(dir);
 }
 
+TEST(ParallelCampaign, CorpusGuidedIsShardAndWorkerModeInvariant)
+{
+    // --corpus-guided diverts a seeded fraction of iterations into
+    // corpus mutation (fuzz/mutator.h). The pool is loaded once on the
+    // coordinator before any worker starts and each iteration's
+    // CorpusGuidedFuzzer consumes only its own derived-seed RNG, so
+    // the full matrix {thread, process} x shards {1, 2, 4} — with
+    // --minimize and --corpus replay on top — must merge
+    // byte-identically, regressions.tsv included.
+    const auto dir = std::filesystem::path(testing::TempDir()) /
+                     "nnsmith-corpus-guided-shards";
+    std::filesystem::remove_all(dir);
+    auto emit = testConfig(2, 2023);
+    emit.campaign.minimize = true;
+    emit.campaign.reportDir = dir.string();
+    const auto emitted = fuzz::runParallelCampaign(emit);
+    ASSERT_GT(emitted.bugs.size(), 0u);
+
+    auto read_tsv = [&]() {
+        std::ifstream in(dir / "regressions.tsv", std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+    std::vector<fuzz::CampaignResult> results;
+    std::vector<std::string> tsvs;
+    for (const auto mode :
+         {fuzz::WorkerMode::kThread, fuzz::WorkerMode::kProcess}) {
+        for (const int shards : {1, 2, 4}) {
+            auto config = testConfig(shards, 2023);
+            config.workerMode = mode;
+            config.campaign.minimize = true;
+            config.campaign.corpusDir = dir.string();
+            config.campaign.corpusGuided = true;
+            results.push_back(fuzz::runParallelCampaign(config));
+            tsvs.push_back(read_tsv());
+        }
+    }
+    ASSERT_FALSE(tsvs[0].empty());
+    for (size_t i = 1; i < results.size(); ++i) {
+        expectIdentical(results[0], results[i]);
+        EXPECT_EQ(tsvs[0], tsvs[i]);
+    }
+    EXPECT_EQ(results[0].fuzzer, "NNSmith+corpus");
+
+    // Guidance changes what the diverted iterations run: the guided
+    // campaign must actually diverge from the unguided one.
+    auto unguided = testConfig(1, 2023);
+    unguided.campaign.minimize = true;
+    unguided.campaign.corpusDir = dir.string();
+    const auto baseline = fuzz::runParallelCampaign(unguided);
+    EXPECT_NE(results[0].instanceKeys, baseline.instanceKeys);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ParallelCampaign, SeedDerivationIsStableAndSpreads)
 {
     EXPECT_EQ(fuzz::deriveIterationSeed(42, 0),
