@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Telemetry inertness + overhead bench.
+ *
+ * The telemetry subsystem (src/obs/) promises to be *provably inert*:
+ * metrics, phase traces, worker heartbeats and the progress line
+ * observe a campaign but never change what it concludes. This bench is
+ * the executable statement of that contract, in two parts:
+ *
+ *  1. Identity matrix — the same minimizing, corpus-replaying NNSmith
+ *     vs ONNXRuntime campaign across {thread, process} × shards
+ *     {1, 2, 4} × telemetry {off, on}. Every cell must produce a
+ *     merged CampaignResult, a minimized-repro report tree and a
+ *     regressions.tsv byte-identical to the telemetry-off reference.
+ *     Any mismatch exits nonzero.
+ *
+ *  2. Overhead probe — repeated telemetry-off vs telemetry-on runs of
+ *     the thread×1 cell; the recorded overhead_pct is the wall-clock
+ *     cost of full instrumentation (metrics + trace + heartbeats).
+ *     The committed record stays below 3%.
+ *
+ * BENCH_observability.json at the repo root is a committed record of
+ * this output; CI re-runs the matrix with --iters 60 on every push.
+ *
+ *   ./bench/bench_observability [--seed N] [--iters N] [--minutes N]
+ *                               [--out FILE]
+ */
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "corpus/replay.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace nnsmith;
+
+fuzz::ParallelCampaignConfig
+campaignFor(int shards, fuzz::WorkerMode mode,
+            const bench::BenchOptions& options,
+            const std::string& report_dir, const std::string& corpus_dir)
+{
+    fuzz::ParallelCampaignConfig config;
+    config.campaign.virtualBudget =
+        static_cast<VirtualMs>(options.minutes) * 60 * 1000;
+    config.campaign.maxIterations = options.iters;
+    config.campaign.coverageComponent = "ortlite";
+    config.campaign.sampleEveryMinutes = 10;
+    config.campaign.minimize = true;
+    config.campaign.reportDir = report_dir;
+    config.campaign.corpusDir = corpus_dir;
+    config.shards = shards;
+    config.workerMode = mode;
+    config.masterSeed = options.seed;
+    config.fuzzerFactory = [](uint64_t seed) {
+        fuzz::NNSmithFuzzer::Options fuzzer_options;
+        fuzzer_options.generator.targetOpNodes = 10;
+        // Byte-identity needs the seed-pure configuration: the value
+        // search runs under a wall-clock budget (see bench_fabric.cpp).
+        fuzzer_options.runValueSearch = false;
+        return std::make_unique<fuzz::NNSmithFuzzer>(fuzzer_options,
+                                                     seed);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    return config;
+}
+
+/** Relative paths + raw bytes of every file under @p dir, in sorted
+ *  path order — equal strings mean byte-identical report trees. */
+std::string
+treeDigest(const std::filesystem::path& dir)
+{
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::exists(dir)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    std::string digest;
+    for (const auto& path : files) {
+        digest += std::filesystem::relative(path, dir).string();
+        digest += '\0';
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        digest += buffer.str();
+        digest += '\0';
+    }
+    return digest;
+}
+
+bool
+sameMerged(const fuzz::CampaignResult& a, const fuzz::CampaignResult& b)
+{
+    auto keys = [](const fuzz::CampaignResult& r) {
+        std::vector<std::string> out;
+        for (const auto& [key, bug] : r.bugs)
+            out.push_back(key);
+        return out;
+    };
+    auto series = [](const fuzz::CampaignResult& r) {
+        std::vector<std::tuple<double, size_t, size_t, size_t>> out;
+        for (const auto& point : r.series)
+            out.emplace_back(point.minutes, point.iterations,
+                             point.coverageAll, point.coveragePass);
+        return out;
+    };
+    return a.iterations == b.iterations && a.produced == b.produced &&
+           a.virtualTime == b.virtualTime &&
+           a.activeTime == b.activeTime &&
+           a.coverAll.branches() == b.coverAll.branches() &&
+           a.coverPass.branches() == b.coverPass.branches() &&
+           keys(a) == keys(b) && a.instanceKeys == b.instanceKeys &&
+           a.defectsFound == b.defectsFound && series(a) == series(b);
+}
+
+/** Flip the whole telemetry stack on (metrics + trace + progress gets
+ *  attached per-campaign by the caller) or off. */
+void
+setTelemetry(bool on, const std::string& trace_path)
+{
+    if (on) {
+        obs::setMetricsEnabled(true);
+        obs::traceOpen(trace_path);
+    } else {
+        obs::setMetricsEnabled(false);
+        obs::traceClose();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith;
+    bench::BenchOptions options = bench::parseArgs(argc, argv);
+    const char* out_path = nullptr;
+    bool iters_given = false;
+    for (int i = 1; i < argc; ++i) {
+        iters_given = iters_given || std::strcmp(argv[i], "--iters") == 0;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[i + 1];
+    }
+    if (!iters_given)
+        options.iters = 200; // the ISSUE-mandated overhead workload
+
+    const auto base = std::filesystem::temp_directory_path() /
+                      "nnsmith-bench-observability";
+    std::filesystem::remove_all(base);
+    const std::string trace_path = (base / "trace.jsonl").string();
+    std::filesystem::create_directories(base);
+
+    // Seed corpus: one telemetry-off campaign writes the report tree
+    // that every matrix cell then replays, so regressions.tsv is part
+    // of the identity surface.
+    const auto corpus_dir = base / "corpus";
+    (void)fuzz::runParallelCampaign(
+        campaignFor(1, fuzz::WorkerMode::kThread, options,
+                    corpus_dir.string(), /*corpus_dir=*/""));
+
+    struct Cell {
+        fuzz::WorkerMode mode;
+        int shards;
+        bool telemetry;
+        double seconds;
+        bool identical; ///< merged result + report tree + tsv match
+    };
+    std::vector<Cell> cells;
+    fuzz::CampaignResult reference;
+    std::string reference_tree;
+    std::string reference_tsv;
+    for (const auto mode :
+         {fuzz::WorkerMode::kThread, fuzz::WorkerMode::kProcess}) {
+        for (const int shards : {1, 2, 4}) {
+            for (const bool telemetry : {false, true}) {
+                const auto report_dir =
+                    base / (std::string(fuzz::workerModeName(mode)) +
+                            "-" + std::to_string(shards) +
+                            (telemetry ? "-on" : "-off"));
+                auto config =
+                    campaignFor(shards, mode, options,
+                                report_dir.string(), corpus_dir.string());
+                setTelemetry(telemetry, trace_path);
+                if (telemetry) {
+                    config.telemetry = true;
+                    obs::ProgressOptions popts;
+                    popts.printToStderr = false;
+                    config.progress =
+                        std::make_shared<obs::ProgressAggregator>(popts);
+                }
+                const auto start = std::chrono::steady_clock::now();
+                auto result = fuzz::runParallelCampaign(config);
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                setTelemetry(false, trace_path);
+                const std::string tree = treeDigest(report_dir);
+                const std::string tsv =
+                    corpus::renderRegressions(result.regressions);
+                if (cells.empty()) {
+                    reference = result;
+                    reference_tree = tree;
+                    reference_tsv = tsv;
+                }
+                const bool merged_same = sameMerged(reference, result);
+                const bool tree_same = tree == reference_tree;
+                const bool tsv_same = tsv == reference_tsv;
+                if (!merged_same || !tree_same || !tsv_same)
+                    std::printf("MISMATCH: merged=%d tree=%d tsv=%d\n",
+                                merged_same, tree_same, tsv_same);
+                const bool identical =
+                    merged_same && tree_same && tsv_same;
+                cells.push_back(Cell{mode, shards, telemetry,
+                                     elapsed.count(), identical});
+                std::printf("mode=%-7s shards=%d telemetry=%-3s  %.3fs  "
+                            "iters=%zu bugs=%zu  identical=%s\n",
+                            fuzz::workerModeName(mode), shards,
+                            telemetry ? "on" : "off", elapsed.count(),
+                            result.iterations, result.bugs.size(),
+                            identical ? "yes" : "NO — BUG");
+            }
+        }
+    }
+
+    // Overhead probe: interleaved off/on thread×1 runs. Wall-clock on
+    // shared machines drifts far more between *runs* than telemetry
+    // costs within one, so the estimator is paired: each adjacent
+    // off/on pair shares its time window, the per-pair on/off ratio
+    // cancels the drift, and the median ratio discards the windows a
+    // noisy neighbor spoiled. Min times are recorded alongside.
+    const int kReps = 7;
+    double off_best = 1e100, on_best = 1e100;
+    std::vector<double> ratios;
+    for (int rep = 0; rep < kReps; ++rep) {
+        double pair[2] = {0.0, 0.0};
+        for (const bool telemetry : {false, true}) {
+            auto config = campaignFor(1, fuzz::WorkerMode::kThread,
+                                      options, /*report_dir=*/"",
+                                      corpus_dir.string());
+            setTelemetry(telemetry, trace_path);
+            config.telemetry = telemetry;
+            const auto start = std::chrono::steady_clock::now();
+            (void)fuzz::runParallelCampaign(config);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            setTelemetry(false, trace_path);
+            pair[telemetry ? 1 : 0] = elapsed.count();
+            auto& best = telemetry ? on_best : off_best;
+            best = std::min(best, elapsed.count());
+        }
+        if (pair[0] > 0)
+            ratios.push_back(pair[1] / pair[0]);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double median_ratio =
+        ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+    const double overhead_pct = (median_ratio - 1.0) * 100.0;
+    std::printf("overhead: off=%.3fs on=%.3fs (min of %d); median "
+                "paired ratio %+.2f%%\n",
+                off_best, on_best, kReps, overhead_pct);
+
+    std::filesystem::remove_all(base);
+
+    bool all_identical = true;
+    for (const auto& cell : cells)
+        all_identical = all_identical && cell.identical;
+    // ok gates identity only: wall-clock overhead is recorded, not
+    // asserted, so a loaded CI machine cannot flake the bench.
+    const bool ok = all_identical && !reference.bugs.empty() &&
+                    !reference_tree.empty() && !reference_tsv.empty();
+    std::printf("telemetry inertness (result + report tree + "
+                "regressions.tsv) across {thread, process} x {1, 2, 4} "
+                "x {off, on}: %s\n",
+                ok ? "yes" : "NO — BUG");
+
+    FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"observability\",\n");
+    std::fprintf(out, "  \"fuzzer\": \"NNSmith\",\n");
+    std::fprintf(out, "  \"component\": \"ortlite\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(out, "  \"iterations\": %zu,\n", reference.iterations);
+    std::fprintf(out, "  \"bugs\": %zu,\n", reference.bugs.size());
+    std::fprintf(out, "  \"coverage\": %zu,\n",
+                 reference.coverAll.count());
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"overhead_off_seconds\": %.3f,\n", off_best);
+    std::fprintf(out, "  \"overhead_on_seconds\": %.3f,\n", on_best);
+    std::fprintf(out, "  \"overhead_pct\": %.2f,\n", overhead_pct);
+    std::fprintf(out, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"worker_mode\": \"%s\", \"shards\": %d, "
+                     "\"telemetry\": %s, \"wall_seconds\": %.3f, "
+                     "\"identical\": %s}%s\n",
+                     fuzz::workerModeName(cells[i].mode),
+                     cells[i].shards,
+                     cells[i].telemetry ? "true" : "false",
+                     cells[i].seconds,
+                     cells[i].identical ? "true" : "false",
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return ok ? 0 : 1;
+}

@@ -46,6 +46,26 @@
  *                   immutable after load, so merged results stay
  *                   byte-identical across shard counts and worker
  *                   modes.
+ *   --out FILE      machine-readable bench output (the BENCH_*.json
+ *                   files); consumed by the individual drivers
+ *   --trace-out F   write chrome-trace-compatible JSONL phase spans
+ *                   (gen / exec:<backend> / oracle / minimize /
+ *                   replay) to F (obs/trace.h); load in Perfetto by
+ *                   wrapping the lines in [...]
+ *   --metrics-out F enable the metrics registry (obs/metrics.h) and
+ *                   dump the final merged snapshot — iterations,
+ *                   per-phase timing histograms, oracle comparisons,
+ *                   mutation outcomes, ddmin budget, worker respawns —
+ *                   to F as canonical JSON at exit
+ *   --progress      live throttled progress line on stderr (iters/sec,
+ *                   hits, bugs, per-worker liveness with stalled
+ *                   workers flagged distinctly from crashed ones;
+ *                   obs/progress.h)
+ *
+ * All telemetry flags are inert by contract: merged campaign results,
+ * report trees and regressions.tsv are byte-identical with them on or
+ * off (DESIGN.md "Telemetry"). Unknown flags are rejected with a
+ * one-line error (exit code 2) instead of being silently ignored.
  *
  * Virtual time: iteration costs follow the calibrated CostModel in
  * fuzz/fuzzer.h, so per-iteration cost *ratios* (LEMON ~100x slower,
@@ -59,7 +79,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +90,9 @@
 #include "baselines/tzer.h"
 #include "fuzz/campaign.h"
 #include "fuzz/parallel_campaign.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace nnsmith::bench {
 
@@ -83,15 +108,30 @@ struct BenchOptions {
     std::string reportDir;  ///< write minimized repro reports here
     std::string corpusDir;  ///< replay this regression corpus first
     bool corpusGuided = false; ///< mutate corpus entries (fuzz/mutator.h)
+    std::string outPath;    ///< --out: BENCH_*.json destination
+    std::string traceOut;   ///< --trace-out: phase-span JSONL sink
+    std::string metricsOut; ///< --metrics-out: final metrics snapshot
+    bool progress = false;  ///< --progress: live stderr progress line
 };
 
+/**
+ * Strict parse: an unknown flag or a value-taking flag at the end of
+ * the line throws FatalError instead of being silently ignored — a
+ * mistyped `--metrics-outt` must not turn a telemetry run into a
+ * silent no-telemetry run. Drivers go through parseArgs (below), which
+ * turns the throw into a one-line error and exit(2).
+ */
 inline BenchOptions
-parseArgs(int argc, char** argv)
+parseArgsOrThrow(int argc, char** argv)
 {
     BenchOptions options;
     for (int i = 1; i < argc; ++i) {
         auto want = [&](const char* flag) {
-            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal(std::string(flag) + " requires a value");
+            return true;
         };
         if (want("--seed"))
             options.seed = std::stoull(argv[++i]);
@@ -120,8 +160,71 @@ parseArgs(int argc, char** argv)
             options.corpusDir = argv[++i];
         else if (std::strcmp(argv[i], "--corpus-guided") == 0)
             options.corpusGuided = true;
+        else if (want("--out"))
+            options.outPath = argv[++i];
+        else if (want("--trace-out"))
+            options.traceOut = argv[++i];
+        else if (want("--metrics-out"))
+            options.metricsOut = argv[++i];
+        else if (std::strcmp(argv[i], "--progress") == 0)
+            options.progress = true;
+        else
+            fatal("unknown flag '" + std::string(argv[i]) +
+                  "' (see the flag list in bench/bench_util.h)");
     }
     return options;
+}
+
+/** Where the atexit hook dumps the final metrics snapshot. */
+inline std::string&
+metricsOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Turn the telemetry flags on for this process. The metrics snapshot
+ * is written (and the trace closed) from an atexit hook, so every
+ * campaign driver gets `--metrics-out`/`--trace-out` behavior without
+ * individual wiring — whatever path the binary exits through, the
+ * merged snapshot of everything it recorded lands on disk.
+ */
+inline void
+initTelemetry(const BenchOptions& options)
+{
+    if (!options.traceOut.empty())
+        obs::traceOpen(options.traceOut);
+    if (!options.metricsOut.empty()) {
+        obs::setMetricsEnabled(true);
+        metricsOutPath() = options.metricsOut;
+    }
+    if (options.progress)
+        obs::setProgressRequested(true);
+    if (!options.traceOut.empty() || !options.metricsOut.empty()) {
+        std::atexit([] {
+            if (!metricsOutPath().empty()) {
+                std::ofstream out(metricsOutPath(), std::ios::binary);
+                out << obs::metricsSnapshot().renderJson();
+            }
+            obs::traceClose();
+        });
+    }
+}
+
+/** Driver-facing parse: strict flags, telemetry initialized, errors
+ *  reported as one line on stderr + exit(2). */
+inline BenchOptions
+parseArgs(int argc, char** argv)
+{
+    try {
+        const BenchOptions options = parseArgsOrThrow(argc, argv);
+        initTelemetry(options);
+        return options;
+    } catch (const FatalError& error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        std::exit(2);
+    }
 }
 
 /** A backend-under-test selector. */
@@ -183,6 +286,9 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
         parallel.shards = options.shards;
         parallel.workerMode = options.workerMode;
         parallel.masterSeed = options.seed;
+        // Telemetry (metrics frames, progress aggregator) attaches
+        // inside runParallelCampaign from the process-global flags
+        // initTelemetry set — inert either way.
         parallel.fuzzerFactory = [fuzzer_name](uint64_t seed) {
             return makeFuzzer(fuzzer_name, seed);
         };

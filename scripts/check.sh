@@ -55,8 +55,22 @@ echo "== fabric probe: thread vs process workers merge byte-identically =="
 # A 60-iteration minimizing campaign across {thread, process} x
 # shards {1, 2, 4} — covering --worker-mode process --workers 2 vs
 # --workers 1 — exits nonzero unless every cell's merged result and
-# repro report tree match.
-./build/bench/bench_fabric --iters 60 --out build/BENCH_fabric_smoke.json
+# repro report tree match. The telemetry flags double as the smoke
+# source for the trace/metrics validation below.
+rm -f build/trace-smoke.jsonl build/metrics-smoke.json
+./build/bench/bench_fabric --iters 60 --out build/BENCH_fabric_smoke.json \
+    --trace-out build/trace-smoke.jsonl --metrics-out build/metrics-smoke.json
+
+echo "== observability probe: telemetry inertness across the matrix =="
+# Exits nonzero unless merged results, report trees and regressions.tsv
+# are byte-identical with telemetry {off, on} across {thread, process}
+# x shards {1, 2, 4} (the inertness contract, DESIGN.md "Telemetry").
+./build/bench/bench_observability --iters 60 \
+    --out build/BENCH_observability_smoke.json
+
+echo "== telemetry output: emitted trace/metrics files are valid =="
+scripts/check_docs.sh --validate-telemetry \
+    build/trace-smoke.jsonl build/metrics-smoke.json
 
 echo "== corpus replay probe: re-check the emitted repros =="
 # Replaying a corpus just emitted by the same binary must re-fire every

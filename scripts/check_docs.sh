@@ -4,9 +4,45 @@
 # table cannot silently rot as drivers are added or renamed.
 #
 # Run standalone or via scripts/check.sh / CI.
+#
+# Second mode:
+#   scripts/check_docs.sh --validate-telemetry TRACE.jsonl METRICS.json
+# validates files emitted by --trace-out / --metrics-out: every trace
+# line must be a standalone JSON object with the chrome-trace
+# complete-span fields, and the metrics snapshot must be a JSON object
+# with counters/gauges/histograms maps.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--validate-telemetry" ]]; then
+    trace="${2:?usage: check_docs.sh --validate-telemetry TRACE METRICS}"
+    metrics="${3:?usage: check_docs.sh --validate-telemetry TRACE METRICS}"
+    python3 - "$trace" "$metrics" <<'EOF'
+import json, sys
+trace, metrics = sys.argv[1], sys.argv[2]
+lines = 0
+with open(trace) as f:
+    for n, line in enumerate(f, 1):
+        event = json.loads(line)  # raises on malformed output
+        for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+            assert field in event, f"{trace}:{n}: missing {field!r}"
+        assert event["ph"] == "X", f"{trace}:{n}: ph != 'X'"
+        lines += 1
+assert lines > 0, f"{trace}: no trace events emitted"
+with open(metrics) as f:
+    snapshot = json.load(f)
+for section in ("counters", "gauges", "histograms"):
+    assert isinstance(snapshot.get(section), dict), \
+        f"{metrics}: missing {section!r} object"
+assert snapshot["counters"].get("campaign.iterations", 0) > 0, \
+    f"{metrics}: campaign.iterations not recorded"
+print(f"check_docs: telemetry valid ({lines} trace events, "
+      f"{len(snapshot['counters'])} counters)")
+EOF
+    exit 0
+fi
+
 fail=0
 
 # Every bench driver must appear (as `driver`) in README's table.
@@ -69,6 +105,19 @@ if ! grep -q -- '--corpus-guided' README.md; then
 fi
 if ! grep -q '^## Corpus-guided generation' DESIGN.md; then
     echo "check_docs: DESIGN.md is missing the 'Corpus-guided generation' section"
+    fail=1
+fi
+
+# The telemetry subsystem ships documented: README must list all three
+# flags and DESIGN.md must carry the inertness contract.
+for flag in '--trace-out' '--metrics-out' '--progress'; do
+    if ! grep -q -- "$flag" README.md; then
+        echo "check_docs: README.md does not document '$flag'"
+        fail=1
+    fi
+done
+if ! grep -q '^## Telemetry' DESIGN.md; then
+    echo "check_docs: DESIGN.md is missing the 'Telemetry' section"
     fail=1
 fi
 

@@ -1,5 +1,7 @@
 #include "difftest/oracle.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "onnx/exporter.h"
 #include "support/logging.h"
 
@@ -48,7 +50,10 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
 
     // Reference (oracle) execution — a "free lunch" by-product of the
     // gradient search (§4).
-    const auto reference = exec::execute(graph, leaves);
+    const auto reference = [&] {
+        obs::PhaseSpan span("oracle");
+        return exec::execute(graph, leaves);
+    }();
     result.referenceValid = reference.numericallyValid();
 
     // Export to OnnxLite; exporter bugs surface here.
@@ -65,16 +70,22 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
     for (Backend* backend : backend_list) {
         BackendVerdict verdict;
         verdict.backend = backend->name();
-        const RunResult o3 = backend->run(model, leaves, OptLevel::kO3);
+        const RunResult o3 = [&] {
+            obs::PhaseSpan span("exec:", backend->name());
+            return backend->run(model, leaves, OptLevel::kO3);
+        }();
+        obs::counterAdd("oracle.comparisons");
         if (o3.status == RunResult::Status::kCrash) {
             verdict.verdict = Verdict::kCrash;
             verdict.crashKind = o3.crashKind;
             verdict.detail = o3.crashMessage;
+            obs::counterAdd("oracle.crashes");
         } else if (!result.referenceValid) {
             // NaN/Inf anywhere in the reference: no comparison (§2.3's
             // numeric-validity requirement).
             verdict.verdict = Verdict::kSkippedNaN;
         } else if (!allClose(o3.outputs, reference.outputs, options)) {
+            obs::counterAdd("oracle.mismatches");
             verdict.verdict = Verdict::kWrongResult;
             verdict.detail =
                 firstDifference(o3.outputs, reference.outputs, options);

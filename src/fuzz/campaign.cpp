@@ -1,5 +1,7 @@
 #include "fuzz/campaign.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reduce/reducer.h"
 #include "reduce/report.h"
 #include "support/logging.h"
@@ -22,6 +24,7 @@ runCampaign(Fuzzer& fuzzer,
         // Re-check every known bug before fresh fuzzing. The scratch
         // collector keeps replay's oracle runs out of the global hit
         // bits, so --corpus cannot perturb campaign coverage.
+        obs::PhaseSpan span("replay");
         coverage::CoverageCollector scratch;
         try {
             result.regressions =
@@ -54,6 +57,11 @@ runCampaign(Fuzzer& fuzzer,
         IterationOutcome outcome = fuzzer.iterate(backends);
         ++result.iterations;
         result.produced += outcome.produced ? 1 : 0;
+        obs::counterAdd("campaign.iterations");
+        if (outcome.produced)
+            obs::counterAdd("campaign.produced");
+        if (!outcome.bugs.empty())
+            obs::counterAdd("campaign.bugs.flagged", outcome.bugs.size());
         clock.advance(std::max<VirtualMs>(outcome.cost, 1));
         if (config.minimize && !outcome.bugs.empty()) {
             // Keep the reduction's oracle re-runs out of the global

@@ -84,6 +84,24 @@ struct CampaignPoint {
     size_t coveragePass = 0;
 };
 
+/**
+ * One worker-fabric incident observed during a sharded run
+ * (fuzz/worker_runtime.h): a crashed worker process (pipe EOF, the
+ * worker was respawned and the round re-run) or an error frame (the
+ * worker reported a structured failure instead of a result block).
+ * Faults are telemetry — surfaced for post-run inspection, never part
+ * of the deterministic merge, so a run that survives its faults still
+ * produces the byte-identical campaign result.
+ */
+struct WorkerFault {
+    int shard = 0;
+    size_t roundBegin = 0; ///< global iteration range of the round
+    size_t roundEnd = 0;
+    std::string kind;   ///< "crash" | "error" | "stall"
+    std::string detail; ///< error text for kind == "error"
+    int attempt = 0;    ///< 0-based retry attempt the fault hit
+};
+
 /** Everything a campaign produces. */
 struct CampaignResult {
     std::string fuzzer;
@@ -99,6 +117,16 @@ struct CampaignResult {
     size_t produced = 0;
     VirtualMs virtualTime = 0;  ///< total, including converged plateau
     VirtualMs activeTime = 0;   ///< virtual time actually spent fuzzing
+
+    /**
+     * Worker-fabric telemetry from sharded runs (empty for the serial
+     * driver and thread workers that never fault). Deliberately
+     * excluded from result comparisons: two runs that merged the same
+     * records are the same campaign even if one needed respawns.
+     */
+    std::vector<WorkerFault> workerFaults;
+    /** Total worker respawns (crash recoveries) during the run. */
+    size_t respawns = 0;
 };
 
 /** Run @p fuzzer for the configured budget. Resets coverage hits. */

@@ -1,7 +1,9 @@
 #include "fuzz/fuzzer.h"
 
+#include <optional>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace nnsmith::fuzz {
@@ -91,6 +93,10 @@ IterationOutcome
 NNSmithFuzzer::iterate(const std::vector<backends::Backend*>& backend_list)
 {
     gen::GraphGenerator generator(options_.generator, next_seed_++);
+    // The "gen" phase covers graph synthesis and value search — all
+    // the work of building a test case before any backend runs it.
+    std::optional<obs::PhaseSpan> gen_span;
+    gen_span.emplace("gen");
     const auto model = generator.generate();
     if (!model) {
         IterationOutcome outcome;
@@ -112,6 +118,7 @@ NNSmithFuzzer::iterate(const std::vector<backends::Backend*>& backend_list)
     } else {
         leaves = exec::randomLeaves(model->graph, rng_);
     }
+    gen_span.reset();
 
     IterationOutcome outcome =
         executeGraphCase(model->graph, leaves, backend_list, options_.cost);

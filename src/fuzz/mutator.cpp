@@ -13,6 +13,7 @@
 #include "corpus/parser.h"
 #include "fuzz/pass_fuzzer.h"
 #include "graph/validate.h"
+#include "obs/metrics.h"
 #include "ops/broadcast.h"
 #include "ops/registry.h"
 #include "symbolic/expr.h"
@@ -581,8 +582,11 @@ mutateGraphCase(const GraphSeedCase& seed, Rng& rng)
       case 4: mutant = tryShapePerturb(seed, rng); break;
       default: break; // value perturbation
     }
-    if (mutant.has_value() && graph::validate(mutant->graph).ok())
+    if (mutant.has_value() && graph::validate(mutant->graph).ok()) {
+        obs::counterAdd("mutate.graph.accepted");
         return std::move(*mutant);
+    }
+    obs::counterAdd("mutate.graph.fallback");
     return perturbLeafValues(seed, rng);
 }
 
@@ -686,8 +690,11 @@ CorpusGuidedFuzzer::iterate(
         }
     }
 
-    if (candidates.empty() || !rng_.chance(options_.mutationRate))
+    if (candidates.empty() || !rng_.chance(options_.mutationRate)) {
+        obs::counterAdd("mutate.guided.fresh");
         return inner_->iterate(backend_list);
+    }
+    obs::counterAdd("mutate.guided.mutated");
 
     IterationOutcome outcome;
     for (int b = 0; b < std::max(1, options_.mutationBurst); ++b) {

@@ -6,6 +6,9 @@
 #include "fuzz/mutator.h"
 #include "fuzz/wire.h"
 #include "fuzz/worker_runtime.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "reduce/report.h"
 #include "support/logging.h"
 
@@ -134,6 +137,7 @@ runParallelCampaign(const ParallelCampaignConfig& config)
         // both backend construction and replay's oracle runs, so the
         // merged campaign result is unchanged by --corpus and stays
         // byte-identical for any shard count.
+        obs::PhaseSpan span("replay");
         coverage::CoverageCollector scratch;
         auto owned = config.backendFactory();
         std::vector<backends::Backend*> backend_list;
@@ -170,17 +174,47 @@ runParallelCampaign(const ParallelCampaignConfig& config)
         };
     }
 
+    // Telemetry enablement follows the process-global flags even when
+    // the driver never wired the config fields: --metrics-out must
+    // collect from process workers and --progress must render in every
+    // campaign driver, not just those that set them explicitly.
+    if (effective.progress == nullptr && obs::progressRequested())
+        effective.progress = std::make_shared<obs::ProgressAggregator>();
+    effective.telemetry = config.telemetry || obs::metricsEnabled() ||
+                          effective.progress != nullptr;
+    const auto progress = effective.progress;
+
     // Execute the rounds on the configured worker runtime — threads or
     // forked processes; the wire-format shard results merge the same
     // either way.
     const auto runtime = makeWorkerRuntime(effective.workerMode);
-    std::vector<ShardResult> results = runtime->runShards(effective);
+    if (progress != nullptr)
+        progress->attach(config.shards, runtime->name());
+    std::vector<ShardResult> results;
+    try {
+        results = runtime->runShards(effective);
+    } catch (...) {
+        if (progress != nullptr)
+            progress->finish(); // unstick the \r line first
+        throw;
+    }
+    if (progress != nullptr)
+        progress->finish();
 
     const auto probe =
         effective.fuzzerFactory(deriveIterationSeed(config.masterSeed, 0));
     CampaignResult merged =
         mergeShardResults(results, config.campaign, probe->name());
     merged.regressions = std::move(regressions);
+    // Fault telemetry rides alongside the merge, never through it:
+    // workerFaults and respawns describe the run, not the result.
+    for (auto& shard : results) {
+        for (auto& fault : shard.faults) {
+            if (fault.kind == "crash")
+                ++merged.respawns;
+            merged.workerFaults.push_back(std::move(fault));
+        }
+    }
     if (!config.campaign.reportDir.empty())
         reduce::writeReproReports(merged.bugs, config.campaign.reportDir);
     return merged;

@@ -45,6 +45,10 @@
 #include "backends/backend.h"
 #include "fuzz/campaign.h"
 
+namespace nnsmith::obs {
+class ProgressAggregator;
+}
+
 namespace nnsmith::fuzz {
 
 /** Builds a fresh fuzzer for one iteration from its derived seed. */
@@ -96,6 +100,22 @@ struct ParallelCampaignConfig {
 
     FuzzerFactory fuzzerFactory;
     BackendFactory backendFactory;
+
+    /**
+     * Worker telemetry (heartbeats, per-round metrics frames from
+     * process workers). Telemetry is inert by contract (DESIGN.md
+     * "Telemetry"): the merged result is byte-identical with it on or
+     * off — it only adds observation, never behavior.
+     */
+    bool telemetry = false;
+
+    /**
+     * Live progress aggregation (obs/progress.h). When set, the
+     * runtime attaches it, feeds it per-round heartbeats and liveness
+     * transitions (stalled / crashed / errored workers) and finishes
+     * it after the last round. Independent of `telemetry`; also inert.
+     */
+    std::shared_ptr<obs::ProgressAggregator> progress;
 };
 
 /** One serialized coverage hit: canonical site key + pass tag. */
@@ -136,6 +156,10 @@ struct ShardResult {
 
     /** Records for indexes {i : i mod shards == shard}, ascending. */
     std::vector<IterationRecord> records;
+
+    /** Fabric incidents this shard survived (crashes, error frames,
+     *  stalls). Telemetry only — never consumed by the merge. */
+    std::vector<WorkerFault> faults;
 };
 
 /**

@@ -18,6 +18,8 @@ namespace {
 constexpr const char* kBlockMagic = "nnsmith-wire 1";
 /** First line of a header-only (repro-less) bug document. */
 constexpr const char* kWireBugMagic = "# nnsmith wire bug (no repro)";
+/** First line of a telemetry frame (version-bearing). */
+constexpr const char* kTelemetryMagic = "nnsmith-telemetry 1";
 
 [[noreturn]] void
 fail(const std::string& what)
@@ -321,6 +323,176 @@ decodeRecords(const std::string& text)
     if (!cursor.done())
         fail("trailing bytes after end-block");
     return records;
+}
+
+namespace {
+
+/** Lenient unsigned parse for telemetry fields: telemetry is advisory,
+ *  so malformed numbers surface as nullopt, never as a throw. */
+std::optional<uint64_t>
+tryParseU64(const std::string& token)
+{
+    if (token.empty() || token.size() > 20)
+        return std::nullopt;
+    for (const char c : token) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<int64_t>
+tryParseI64(const std::string& token)
+{
+    const bool negative = !token.empty() && token[0] == '-';
+    const auto magnitude =
+        tryParseU64(negative ? token.substr(1) : token);
+    if (!magnitude)
+        return std::nullopt;
+    if (negative) {
+        if (*magnitude >
+            static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1)
+            return std::nullopt;
+        return static_cast<int64_t>(0 - *magnitude);
+    }
+    if (*magnitude >
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max()))
+        return std::nullopt;
+    return static_cast<int64_t>(*magnitude);
+}
+
+} // namespace
+
+std::string
+encodeTelemetry(const TelemetryFrame& frame)
+{
+    std::string out;
+    out += kTelemetryMagic;
+    out += '\n';
+    out += "heartbeat " + std::to_string(frame.shard) + " " +
+           std::to_string(frame.round) + " " +
+           std::to_string(frame.iters) + " " +
+           std::to_string(frame.bugs) + " " +
+           std::to_string(frame.hits) + "\n";
+    // Metric names go last on each line so they may contain spaces;
+    // the numeric fields are fixed-position prefixes.
+    for (const auto& [name, value] : frame.metrics.counters)
+        out += "counter " + std::to_string(value) + " " + name + "\n";
+    for (const auto& [name, value] : frame.metrics.gauges)
+        out += "gauge " + std::to_string(value) + " " + name + "\n";
+    for (const auto& [name, data] : frame.metrics.histograms) {
+        out += "hist " + std::to_string(data.count) + " " +
+               std::to_string(data.sum);
+        for (const auto bucket : data.buckets)
+            out += " " + std::to_string(bucket);
+        out += " " + name + "\n";
+    }
+    out += "end-telemetry\n";
+    return out;
+}
+
+std::optional<TelemetryFrame>
+decodeTelemetry(const std::string& text)
+{
+    // Hand-rolled lenient scan (no Cursor: that throws on truncation).
+    size_t pos = 0;
+    const auto nextLine = [&]() -> std::optional<std::string> {
+        if (pos >= text.size())
+            return std::nullopt;
+        const auto nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return std::nullopt;
+        std::string out = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return out;
+    };
+
+    const auto magic = nextLine();
+    if (!magic || *magic != kTelemetryMagic)
+        return std::nullopt;
+
+    TelemetryFrame frame;
+    bool sawHeartbeat = false;
+    while (true) {
+        const auto line = nextLine();
+        if (!line)
+            return std::nullopt; // truncated frame
+        if (*line == "end-telemetry")
+            break;
+        const auto tokens = splitTokens(*line);
+        if (tokens.empty())
+            return std::nullopt;
+        if (tokens[0] == "heartbeat") {
+            if (tokens.size() != 6)
+                return std::nullopt;
+            const auto shard = tryParseU64(tokens[1]);
+            const auto round = tryParseU64(tokens[2]);
+            const auto iters = tryParseU64(tokens[3]);
+            const auto bugs = tryParseU64(tokens[4]);
+            const auto hits = tryParseU64(tokens[5]);
+            if (!shard || !round || !iters || !bugs || !hits ||
+                *shard > static_cast<uint64_t>(
+                             std::numeric_limits<int>::max()))
+                return std::nullopt;
+            frame.shard = static_cast<int>(*shard);
+            frame.round = *round;
+            frame.iters = *iters;
+            frame.bugs = *bugs;
+            frame.hits = *hits;
+            sawHeartbeat = true;
+        } else if (tokens[0] == "counter") {
+            if (tokens.size() < 3)
+                return std::nullopt;
+            const auto value = tryParseU64(tokens[1]);
+            if (!value)
+                return std::nullopt;
+            const auto nameStart =
+                tokens[0].size() + 1 + tokens[1].size() + 1;
+            frame.metrics.counters[line->substr(nameStart)] += *value;
+        } else if (tokens[0] == "gauge") {
+            if (tokens.size() < 3)
+                return std::nullopt;
+            const auto value = tryParseI64(tokens[1]);
+            if (!value)
+                return std::nullopt;
+            const auto nameStart =
+                tokens[0].size() + 1 + tokens[1].size() + 1;
+            frame.metrics.gauges[line->substr(nameStart)] = *value;
+        } else if (tokens[0] == "hist") {
+            if (tokens.size() < 3 + obs::kHistBuckets + 1)
+                return std::nullopt;
+            const auto count = tryParseU64(tokens[1]);
+            const auto sum = tryParseU64(tokens[2]);
+            if (!count || !sum)
+                return std::nullopt;
+            obs::HistogramData data;
+            data.count = *count;
+            data.sum = *sum;
+            size_t consumed = 5 + tokens[1].size() + tokens[2].size() + 2;
+            for (size_t i = 0; i < obs::kHistBuckets; ++i) {
+                const auto bucket = tryParseU64(tokens[3 + i]);
+                if (!bucket)
+                    return std::nullopt;
+                data.buckets[i] = *bucket;
+                consumed += tokens[3 + i].size() + 1;
+            }
+            if (consumed >= line->size())
+                return std::nullopt;
+            frame.metrics.histograms[line->substr(consumed)]
+                .mergeFrom(data);
+        }
+        // Unknown line kinds are skipped: a newer worker may emit
+        // fields this coordinator predates.
+    }
+    if (!sawHeartbeat)
+        return std::nullopt;
+    return frame;
 }
 
 } // namespace nnsmith::fuzz::wire

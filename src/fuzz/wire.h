@@ -31,11 +31,13 @@
 #ifndef NNSMITH_FUZZ_WIRE_H
 #define NNSMITH_FUZZ_WIRE_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "coverage/coverage.h"
 #include "fuzz/parallel_campaign.h"
+#include "obs/metrics.h"
 
 namespace nnsmith::fuzz::wire {
 
@@ -82,6 +84,38 @@ std::string encodeRecords(
  */
 std::vector<ShardResult::IterationRecord> decodeRecords(
     const std::string& text);
+
+/**
+ * One worker's per-round telemetry: a heartbeat (cumulative progress
+ * counters) plus the round's metrics delta (obs::metricsDrain in the
+ * worker). Telemetry frames are *ignorable by contract*: they ride the
+ * wire ahead of the result frame, a coordinator that does not
+ * understand them (or a future version) skips them without affecting
+ * the campaign, and nothing in them reaches mergeShardResults.
+ */
+struct TelemetryFrame {
+    int shard = 0;
+    uint64_t round = 0; ///< round index just finished
+    uint64_t iters = 0; ///< cumulative iterations in this worker
+    uint64_t bugs = 0;  ///< cumulative flagged bug records
+    uint64_t hits = 0;  ///< cumulative coverage hits (pre-dedup)
+    obs::MetricsSnapshot metrics; ///< this round's metrics delta
+};
+
+/**
+ * Serialize a telemetry frame. Versioned, line-oriented grammar
+ * ("nnsmith-telemetry 1" ... "end-telemetry"; see DESIGN.md
+ * "Telemetry") so coordinators can skip frames from newer workers.
+ */
+std::string encodeTelemetry(const TelemetryFrame& frame);
+
+/**
+ * Parse a telemetry frame. Deliberately lenient — telemetry is
+ * advisory, so an unknown version, unknown line kind or malformed
+ * field yields std::nullopt (never a throw): the coordinator drops
+ * the frame and the campaign proceeds untouched.
+ */
+std::optional<TelemetryFrame> decodeTelemetry(const std::string& text);
 
 } // namespace nnsmith::fuzz::wire
 

@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <mutex>
 #include <thread>
 
+#include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "backends/defects.h"
 #include "fuzz/wire.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "reduce/reducer.h"
 #include "support/logging.h"
 
@@ -46,6 +51,11 @@ runOneIteration(const ParallelCampaignConfig& config, size_t index,
     record.produced = outcome.produced;
     record.instanceKeys = std::move(outcome.instanceKeys);
     record.hits = wire::hitsToWire(collector.take());
+    obs::counterAdd("campaign.iterations");
+    if (record.produced)
+        obs::counterAdd("campaign.produced");
+    if (!outcome.bugs.empty())
+        obs::counterAdd("campaign.bugs.flagged", outcome.bugs.size());
     if (!outcome.bugs.empty()) {
         if (config.campaign.minimize) {
             // Minimize inside the shard: ddmin is a pure function of
@@ -95,6 +105,9 @@ struct RoundBarrier {
     int workersIdle = 0;
     int workersDead = 0; ///< workers lost to an exception
     bool stop = false;
+    /** Per-worker idle flag for the current round — lets the
+     *  coordinator name *which* worker is stalled, not just how many. */
+    std::vector<uint8_t> idle;
 };
 
 class ThreadRuntime final : public WorkerRuntime {
@@ -110,6 +123,12 @@ class ThreadRuntime final : public WorkerRuntime {
         std::vector<std::exception_ptr> errors(
             static_cast<size_t>(shard_count));
         RoundBarrier barrier;
+        barrier.idle.assign(static_cast<size_t>(shard_count), 1);
+        obs::gaugeSet("fabric.workers", shard_count);
+        obs::ProgressAggregator* const progress = config.progress.get();
+        /** Stall flags raised by the coordinator; appended to the
+         *  shard results only after the workers joined. */
+        std::vector<WorkerFault> stallFaults;
 
         auto worker = [&](int shard) {
             ShardResult& mine = results[static_cast<size_t>(shard)];
@@ -127,6 +146,7 @@ class ThreadRuntime final : public WorkerRuntime {
                     backend_list.push_back(backend.get());
                 collector.take(); // drop backend-construction hits
                 uint64_t seen_round = 0;
+                uint64_t hb_iters = 0, hb_bugs = 0, hb_hits = 0;
                 while (true) {
                     size_t begin, end;
                     {
@@ -141,6 +161,7 @@ class ThreadRuntime final : public WorkerRuntime {
                             // coordinator is still waiting out this
                             // round.
                             ++barrier.workersIdle;
+                            barrier.idle[static_cast<size_t>(shard)] = 1;
                             lock.unlock();
                             barrier.doneCv.notify_one();
                             return;
@@ -155,10 +176,25 @@ class ThreadRuntime final : public WorkerRuntime {
                          index += static_cast<size_t>(shard_count)) {
                         mine.records.push_back(runOneIteration(
                             config, index, backend_list, collector));
+                        const auto& record = mine.records.back();
+                        ++hb_iters;
+                        hb_bugs += record.bugs.size();
+                        hb_hits += record.hits.size();
+                    }
+                    if (progress != nullptr) {
+                        // Heartbeat outside the barrier lock: the
+                        // aggregator has its own mutex, and ordering
+                        // barrier.mu before aggregator.mu only on the
+                        // coordinator side keeps the locks acyclic.
+                        progress->onHeartbeat(obs::Heartbeat{
+                            shard, seen_round, hb_iters, hb_bugs,
+                            hb_hits});
+                        obs::counterAdd("fabric.heartbeats");
                     }
                     {
                         std::lock_guard<std::mutex> lock(barrier.mu);
                         ++barrier.workersIdle;
+                        barrier.idle[static_cast<size_t>(shard)] = 1;
                     }
                     barrier.doneCv.notify_one();
                 }
@@ -168,6 +204,9 @@ class ThreadRuntime final : public WorkerRuntime {
                 {
                     std::lock_guard<std::mutex> lock(barrier.mu);
                     ++barrier.workersDead;
+                    // Dead, not stalled: don't let the stall scan
+                    // flag a worker that already aborted.
+                    barrier.idle[static_cast<size_t>(shard)] = 1;
                     barrier.stop = true; // abort remaining rounds
                 }
                 barrier.doneCv.notify_one();
@@ -200,15 +239,45 @@ class ThreadRuntime final : public WorkerRuntime {
                     barrier.begin = executed;
                     barrier.end = end;
                     barrier.workersIdle = 0;
+                    std::fill(barrier.idle.begin(), barrier.idle.end(),
+                              static_cast<uint8_t>(0));
                     ++barrier.round;
                 }
                 barrier.workCv.notify_all();
                 {
                     std::unique_lock<std::mutex> lock(barrier.mu);
-                    barrier.doneCv.wait(lock, [&] {
+                    const auto allIdle = [&] {
                         return barrier.workersIdle >=
                                shard_count - barrier.workersDead;
-                    });
+                    };
+                    if (progress != nullptr) {
+                        // Timed waits double as a stall scan: a worker
+                        // silent past the threshold is flagged stalled
+                        // (it may still finish — unlike a dead one).
+                        std::vector<uint8_t> flagged(
+                            static_cast<size_t>(shard_count), 0);
+                        while (!barrier.doneCv.wait_for(
+                            lock,
+                            std::chrono::milliseconds(
+                                progress->stallAfterMs()),
+                            allIdle)) {
+                            for (int shard = 0; shard < shard_count;
+                                 ++shard) {
+                                const auto s =
+                                    static_cast<size_t>(shard);
+                                if (barrier.idle[s] || flagged[s])
+                                    continue;
+                                flagged[s] = 1;
+                                progress->onStalled(shard);
+                                obs::counterAdd("fabric.worker_stalls");
+                                stallFaults.push_back(WorkerFault{
+                                    shard, executed, end, "stall", "",
+                                    0});
+                            }
+                        }
+                    } else {
+                        barrier.doneCv.wait(lock, allIdle);
+                    }
                     if (barrier.stop)
                         break;
                 }
@@ -234,6 +303,9 @@ class ThreadRuntime final : public WorkerRuntime {
             if (error)
                 std::rethrow_exception(error);
         }
+        for (auto& fault : stallFaults)
+            results[static_cast<size_t>(fault.shard)].faults.push_back(
+                std::move(fault));
         return results;
     }
 };
@@ -319,11 +391,19 @@ readExact(int fd, std::string& out, size_t size)
 workerChildLoop(const ParallelCampaignConfig& config, int shard,
                 int cmd_fd, int res_fd)
 {
+    // The parent flushed its trace buffer before forking; whatever we
+    // inherited would be emitted twice. Same for the metrics shards:
+    // the coordinator's counts are not ours to report.
+    obs::traceOnFork();
+    obs::metricsReset();
+
     const int shard_count = config.shards;
     std::unique_ptr<coverage::CoverageCollector> collector;
     std::vector<std::unique_ptr<backends::Backend>> owned;
     std::vector<backends::Backend*> backend_list;
     bool initialized = false;
+    uint64_t rounds = 0;
+    uint64_t cum_iters = 0, cum_bugs = 0, cum_hits = 0;
 
     std::string command;
     while (readLineFd(cmd_fd, command)) {
@@ -353,15 +433,37 @@ workerChildLoop(const ParallelCampaignConfig& config, int shard,
                  index += static_cast<size_t>(shard_count)) {
                 records.push_back(runOneIteration(
                     config, index, backend_list, *collector));
+                ++cum_iters;
+                cum_bugs += records.back().bugs.size();
+                cum_hits += records.back().hits.size();
             }
+            if (config.telemetry) {
+                // Heartbeat + this round's metrics delta ride ahead of
+                // the result frame. Ignorable by contract: a
+                // coordinator that skips them loses observability,
+                // never results.
+                wire::TelemetryFrame telemetry;
+                telemetry.shard = shard;
+                telemetry.round = rounds;
+                telemetry.iters = cum_iters;
+                telemetry.bugs = cum_bugs;
+                telemetry.hits = cum_hits;
+                telemetry.metrics = obs::metricsDrain();
+                const std::string blob =
+                    wire::encodeTelemetry(telemetry);
+                frame = "telemetry " + std::to_string(blob.size()) +
+                        "\n" + blob;
+            }
+            ++rounds;
             const std::string payload = wire::encodeRecords(records);
-            frame = "ok " + std::to_string(payload.size()) + "\n" +
-                    payload;
+            frame += "ok " + std::to_string(payload.size()) + "\n" +
+                     payload;
         } catch (const std::exception& error) {
             const std::string what = error.what();
             frame = "error " + std::to_string(what.size()) + "\n" +
                     what;
         }
+        obs::traceFlush(); // trace spans land before a possible crash
         if (!writeAll(res_fd, frame))
             ::_exit(2); // coordinator went away
     }
@@ -380,6 +482,7 @@ class ProcessRuntime final : public WorkerRuntime {
             static_cast<size_t>(shard_count));
         for (int shard = 0; shard < shard_count; ++shard)
             results[static_cast<size_t>(shard)].shard = shard;
+        obs::gaugeSet("fabric.workers", shard_count);
 
         // A worker that died mid-write must surface as an EPIPE write
         // error (and a respawn), not kill the coordinator.
@@ -419,6 +522,10 @@ class ProcessRuntime final : public WorkerRuntime {
         if (::pipe(down) != 0 || ::pipe(up) != 0)
             fatal("ProcessRuntime: pipe() failed: " +
                   std::string(std::strerror(errno)));
+        // Flush buffered trace events so the child inherits an empty
+        // buffer (workerChildLoop drops any stragglers via
+        // traceOnFork) — no event is lost or written twice.
+        obs::traceFlush();
         const pid_t pid = ::fork();
         if (pid < 0)
             fatal("ProcessRuntime: fork() failed: " +
@@ -477,27 +584,100 @@ class ProcessRuntime final : public WorkerRuntime {
                                       " " + std::to_string(end) + "\n");
     }
 
-    /** Read one result frame; false when the worker died. */
-    static bool
-    readFrame(const Proc& proc, std::string& payload, bool& is_error)
+    /** Fold one worker telemetry blob into coordinator-side state.
+     *  Best-effort: a frame that fails the lenient decode is dropped. */
+    static void
+    handleTelemetry(const ParallelCampaignConfig& config,
+                    const std::string& blob)
     {
-        std::string header;
-        if (!readLineFd(proc.res, header))
-            return false;
-        uint64_t size = 0;
-        if (std::sscanf(header.c_str(), "ok %llu",
-                        reinterpret_cast<unsigned long long*>(&size)) ==
-            1) {
-            is_error = false;
-        } else if (std::sscanf(header.c_str(), "error %llu",
-                               reinterpret_cast<unsigned long long*>(
-                                   &size)) == 1) {
-            is_error = true;
-        } else {
-            return false; // garbled header: treat as a crash
+        const auto frame = wire::decodeTelemetry(blob);
+        if (!frame)
+            return;
+        if (config.progress != nullptr) {
+            config.progress->onHeartbeat(obs::Heartbeat{
+                frame->shard, frame->round, frame->iters, frame->bugs,
+                frame->hits});
         }
-        return readExact(proc.res, payload,
-                         static_cast<size_t>(size));
+        if (obs::metricsEnabled()) {
+            obs::metricsMergeExternal(frame->metrics);
+            obs::counterAdd("fabric.heartbeats");
+        }
+    }
+
+    /**
+     * Read one result frame; false when the worker died. Telemetry
+     * frames riding ahead of the result are consumed here — they are
+     * observability, not results, so callers only ever see ok/error.
+     */
+    static bool
+    readFrame(const Proc& proc, const ParallelCampaignConfig& config,
+              std::string& payload, bool& is_error)
+    {
+        while (true) {
+            std::string header;
+            if (!readLineFd(proc.res, header))
+                return false;
+            uint64_t size = 0;
+            if (std::sscanf(header.c_str(), "telemetry %llu",
+                            reinterpret_cast<unsigned long long*>(
+                                &size)) == 1) {
+                std::string blob;
+                if (!readExact(proc.res, blob,
+                               static_cast<size_t>(size)))
+                    return false;
+                handleTelemetry(config, blob);
+                continue;
+            }
+            if (std::sscanf(header.c_str(), "ok %llu",
+                            reinterpret_cast<unsigned long long*>(
+                                &size)) == 1) {
+                is_error = false;
+            } else if (std::sscanf(header.c_str(), "error %llu",
+                                   reinterpret_cast<unsigned long long*>(
+                                       &size)) == 1) {
+                is_error = true;
+            } else {
+                return false; // garbled header: treat as a crash
+            }
+            return readExact(proc.res, payload,
+                             static_cast<size_t>(size));
+        }
+    }
+
+    /**
+     * Block until worker @p shard's pipe is readable, flagging the
+     * worker stalled (once) after the progress aggregator's threshold.
+     * Pure observation — the wait itself is unbounded either way.
+     */
+    static void
+    awaitReadable(const Proc& proc,
+                  const ParallelCampaignConfig& config, int shard,
+                  size_t begin, size_t end,
+                  std::vector<ShardResult>& results)
+    {
+        if (config.progress == nullptr)
+            return; // plain blocking reads diagnose nothing
+        bool flagged = false;
+        struct pollfd pfd = {};
+        pfd.fd = proc.res;
+        pfd.events = POLLIN;
+        while (true) {
+            const int timeout =
+                flagged ? -1 : config.progress->stallAfterMs();
+            const int ready = ::poll(&pfd, 1, timeout);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // let the read path report the failure
+            }
+            if (ready > 0)
+                return; // data or EOF: either way the read resolves it
+            flagged = true;
+            config.progress->onStalled(shard);
+            obs::counterAdd("fabric.worker_stalls");
+            results[static_cast<size_t>(shard)].faults.push_back(
+                WorkerFault{shard, begin, end, "stall", "", 0});
+        }
     }
 
     static void
@@ -517,6 +697,7 @@ class ProcessRuntime final : public WorkerRuntime {
             for (int shard = 0; shard < shard_count; ++shard) {
                 if (!sendRound(procs[static_cast<size_t>(shard)],
                                executed, end)) {
+                    noteCrash(config, shard, executed, end, 0, results);
                     respawnWorker(procs, shard, config);
                     if (!sendRound(procs[static_cast<size_t>(shard)],
                                    executed, end))
@@ -533,10 +714,25 @@ class ProcessRuntime final : public WorkerRuntime {
         }
     }
 
+    /** Record a crash fault (telemetry) for @p shard. */
+    static void
+    noteCrash(const ParallelCampaignConfig& config, int shard,
+              size_t begin, size_t end, int attempt,
+              std::vector<ShardResult>& results)
+    {
+        results[static_cast<size_t>(shard)].faults.push_back(
+            WorkerFault{shard, begin, end, "crash", "", attempt});
+        obs::counterAdd("fabric.respawns");
+        if (config.progress != nullptr)
+            config.progress->onCrashed(shard);
+    }
+
     /**
-     * Read worker @p shard's frame for round [begin, end),
-     * respawning and deterministically re-running the block on a
-     * crash (bounded by kMaxRespawnsPerRound).
+     * Read worker @p shard's frame for round [begin, end), respawning
+     * and deterministically re-running the block on a crash *or* a
+     * reported error (bounded by kMaxRespawnsPerRound). Both outcomes
+     * land in the shard's fault log; only exhausted retries — a
+     * deterministically failing block — abort the campaign.
      */
     static void
     collectRound(std::vector<Proc>& procs, int shard,
@@ -548,12 +744,31 @@ class ProcessRuntime final : public WorkerRuntime {
         while (true) {
             std::string payload;
             bool is_error = false;
-            if (readFrame(procs[static_cast<size_t>(shard)], payload,
-                          is_error)) {
-                if (is_error)
-                    throw std::runtime_error(
-                        "parallel campaign worker " +
-                        std::to_string(shard) + ": " + payload);
+            awaitReadable(procs[static_cast<size_t>(shard)], config,
+                          shard, begin, end, results);
+            if (readFrame(procs[static_cast<size_t>(shard)], config,
+                          payload, is_error)) {
+                if (is_error) {
+                    results[static_cast<size_t>(shard)]
+                        .faults.push_back(WorkerFault{
+                            shard, begin, end, "error", payload,
+                            attempts});
+                    obs::counterAdd("fabric.worker_errors");
+                    if (config.progress != nullptr)
+                        config.progress->onErrored(shard);
+                    if (++attempts > kMaxRespawnsPerRound)
+                        throw std::runtime_error(
+                            "parallel campaign worker " +
+                            std::to_string(shard) + ": " + payload);
+                    // The worker survives an error frame, but its
+                    // lazily-built state is suspect; a fresh process
+                    // re-runs the identical self-seeded block.
+                    respawnWorker(procs, shard, config);
+                    if (!sendRound(procs[static_cast<size_t>(shard)],
+                                   begin, end))
+                        continue; // died; the next readFrame EOFs
+                    continue;
+                }
                 auto records = wire::decodeRecords(payload);
                 auto& mine =
                     results[static_cast<size_t>(shard)].records;
@@ -567,6 +782,7 @@ class ProcessRuntime final : public WorkerRuntime {
             // The worker crashed (SIGKILL, abort, a crashing test
             // case). Iterations are self-seeded, so a fresh worker
             // re-runs the identical block from the seed stream.
+            noteCrash(config, shard, begin, end, attempts, results);
             if (++attempts > kMaxRespawnsPerRound)
                 throw std::runtime_error(
                     "parallel campaign worker " +

@@ -1,0 +1,185 @@
+#include "obs/progress.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace nnsmith::obs {
+
+namespace {
+
+std::atomic<bool> g_progress_requested{false};
+
+} // namespace
+
+bool
+progressRequested()
+{
+    return g_progress_requested.load(std::memory_order_relaxed);
+}
+
+void
+setProgressRequested(bool requested)
+{
+    g_progress_requested.store(requested, std::memory_order_relaxed);
+}
+
+namespace {
+
+char
+stateChar(ProgressAggregator::WorkerState state)
+{
+    switch (state) {
+      case ProgressAggregator::WorkerState::kUnknown: return '?';
+      case ProgressAggregator::WorkerState::kOk: return '.';
+      case ProgressAggregator::WorkerState::kStalled: return 'S';
+      case ProgressAggregator::WorkerState::kCrashed: return 'X';
+      case ProgressAggregator::WorkerState::kErrored: return 'E';
+    }
+    return '?';
+}
+
+} // namespace
+
+ProgressAggregator::ProgressAggregator(ProgressOptions options)
+    : options_(options), start_(std::chrono::steady_clock::now()),
+      lastPrint_(start_ - std::chrono::hours(1))
+{
+}
+
+void
+ProgressAggregator::attach(int shards, const std::string& mode)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = mode;
+    workers_.assign(static_cast<size_t>(shards < 0 ? 0 : shards),
+                    WorkerView{});
+}
+
+void
+ProgressAggregator::onHeartbeat(const Heartbeat& heartbeat)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heartbeat.shard < 0 ||
+        static_cast<size_t>(heartbeat.shard) >= workers_.size())
+        return; // malformed frame: ignore, telemetry is best-effort
+    WorkerView& w = workers_[static_cast<size_t>(heartbeat.shard)];
+    w.state = WorkerState::kOk;
+    w.iters = heartbeat.iters;
+    w.bugs = heartbeat.bugs;
+    w.hits = heartbeat.hits;
+    w.lastRound = heartbeat.round;
+    ++heartbeats_;
+    printLocked(/*force=*/false);
+}
+
+void
+ProgressAggregator::onStalled(int shard)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard < 0 || static_cast<size_t>(shard) >= workers_.size())
+        return;
+    WorkerView& w = workers_[static_cast<size_t>(shard)];
+    // A crashed worker is not "stalled" — EOF already diagnosed it.
+    if (w.state == WorkerState::kCrashed)
+        return;
+    w.state = WorkerState::kStalled;
+    ++stallEvents_;
+    printLocked(/*force=*/true);
+}
+
+void
+ProgressAggregator::onCrashed(int shard)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard < 0 || static_cast<size_t>(shard) >= workers_.size())
+        return;
+    WorkerView& w = workers_[static_cast<size_t>(shard)];
+    w.state = WorkerState::kCrashed;
+    ++w.respawns;
+    printLocked(/*force=*/true);
+}
+
+void
+ProgressAggregator::onErrored(int shard)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard < 0 || static_cast<size_t>(shard) >= workers_.size())
+        return;
+    WorkerView& w = workers_[static_cast<size_t>(shard)];
+    w.state = WorkerState::kErrored;
+    ++w.errors;
+    printLocked(/*force=*/true);
+}
+
+void
+ProgressAggregator::finish()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    printLocked(/*force=*/true);
+    if (printedAnything_) {
+        std::fputc('\n', stderr);
+        std::fflush(stderr);
+        printedAnything_ = false;
+    }
+}
+
+std::vector<ProgressAggregator::WorkerView>
+ProgressAggregator::workers() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_;
+}
+
+uint64_t
+ProgressAggregator::stallEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stallEvents_;
+}
+
+uint64_t
+ProgressAggregator::heartbeats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return heartbeats_;
+}
+
+void
+ProgressAggregator::printLocked(bool force)
+{
+    if (!options_.printToStderr)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (!force &&
+        now - lastPrint_ < std::chrono::milliseconds(options_.printEveryMs))
+        return;
+    lastPrint_ = now;
+
+    uint64_t iters = 0, bugs = 0, hits = 0;
+    std::string liveness;
+    liveness.reserve(workers_.size());
+    for (const WorkerView& w : workers_) {
+        iters += w.iters;
+        bugs += w.bugs;
+        hits += w.hits;
+        liveness += stateChar(w.state);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate = elapsed > 0.0 ? static_cast<double>(iters) / elapsed
+                                      : 0.0;
+    // \r keeps the line live in a terminal; each update overwrites the
+    // previous one and finish() terminates with a newline.
+    std::fprintf(stderr,
+                 "\r[%s x%zu] %llu iters (%.1f/s) | %llu hits | "
+                 "%llu bugs | workers [%s] | %llu stalls   ",
+                 mode_.c_str(), workers_.size(),
+                 static_cast<unsigned long long>(iters), rate,
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(bugs), liveness.c_str(),
+                 static_cast<unsigned long long>(stallEvents_));
+    std::fflush(stderr);
+    printedAnything_ = true;
+}
+
+} // namespace nnsmith::obs

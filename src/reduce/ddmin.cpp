@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace nnsmith::reduce {
 
 namespace {
@@ -44,12 +46,15 @@ ddmin(size_t n, const KeepPredicate& still_fails, DdminStats* stats,
 
     auto test = [&](const std::vector<size_t>& subset) {
         ++s.testsRun;
+        obs::counterAdd("ddmin.tests");
         return still_fails(subset);
     };
     auto budget_left = [&] {
         const bool left = max_tests == 0 || s.testsRun < max_tests;
-        if (!left)
+        if (!left && !s.budgetExhausted) {
             s.budgetExhausted = true;
+            obs::counterAdd("ddmin.budget_exhausted");
+        }
         return left;
     };
 

@@ -9,6 +9,7 @@
 #include "difftest/compare.h"
 #include "difftest/oracle.h"
 #include "graph/validate.h"
+#include "obs/trace.h"
 #include "onnx/exporter.h"
 #include "support/logging.h"
 #include "tirlite/tir_passes.h"
@@ -576,6 +577,7 @@ minimizeBugs(std::vector<BugRecord>& bugs,
              const std::vector<backends::Backend*>& backends,
              const ReduceOptions& options)
 {
+    obs::PhaseSpan span("minimize");
     // All records of one flagged case share a GraphRepro; run the
     // full-case precondition once and share the candidate cache, so
     // per-record ddmins do not repeat each other's oracle runs.
