@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Batched-execution bench: throughput + batched-vs-unbatched identity.
+ *
+ * Part 1 (throughput): runs the same NNSmith-vs-ONNXRuntime campaign
+ * at --batch 1, 4 and 16 and reports fuzz cases per wall-clock second.
+ * Batching amortizes graph generation across lanes and runs the
+ * reference through the batched executor (exec/batched.h: one topo
+ * walk, SIMD kernel sweeps), so throughput must rise with the batch
+ * size; the bench gates on >= 1.5x cases/sec at batch 16 vs batch 1.
+ *
+ * Part 2 (identity): the batched executor's contract is that lane l of
+ * a batch is bit-identical to running the lane as its own sequential
+ * case. This part proves it end-to-end at campaign scale: the same
+ * minimizing, corpus-replaying campaign runs with the batched sweep on
+ * and off across the full worker matrix {thread, process} x shards
+ * {1, 2, 4}, and every cell must produce an identical merged
+ * CampaignResult, a byte-identical minimized-repro report tree, and a
+ * byte-identical regressions.tsv. Exits nonzero on any mismatch or a
+ * missed throughput gate.
+ *
+ * BENCH_batch.json at the repo root is a committed record of this
+ * output; CI re-runs the bench with --iters 60 on every push.
+ *
+ *   ./bench/bench_batch [--seed N] [--iters N] [--minutes N]
+ *                       [--out FILE]
+ */
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace nnsmith;
+
+fuzz::ParallelCampaignConfig
+campaignFor(size_t batch, bool sweep, int shards, fuzz::WorkerMode mode,
+            const bench::BenchOptions& options,
+            const std::string& report_dir, const std::string& corpus_dir)
+{
+    fuzz::ParallelCampaignConfig config;
+    config.campaign.virtualBudget =
+        static_cast<VirtualMs>(options.minutes) * 60 * 1000;
+    config.campaign.maxIterations = options.iters;
+    config.campaign.coverageComponent = "ortlite";
+    config.campaign.sampleEveryMinutes = 10;
+    config.campaign.minimize = !report_dir.empty();
+    config.campaign.reportDir = report_dir;
+    config.campaign.corpusDir = corpus_dir;
+    config.shards = shards;
+    config.workerMode = mode;
+    config.masterSeed = options.seed;
+    config.fuzzerFactory = [batch, sweep](uint64_t seed) {
+        fuzz::NNSmithFuzzer::Options fuzzer_options;
+        fuzzer_options.generator.targetOpNodes = 10;
+        // The gradient value search runs under a *wall-clock* budget
+        // (autodiff/grad_search.h), so its leaf values depend on
+        // machine load, not just the seed. Both the throughput numbers
+        // and the byte-identity matrix need the seed-pure path.
+        fuzzer_options.runValueSearch = false;
+        fuzzer_options.batch = batch;
+        fuzzer_options.batchSweep = sweep;
+        return std::make_unique<fuzz::NNSmithFuzzer>(fuzzer_options,
+                                                     seed);
+    };
+    config.backendFactory = [] {
+        std::vector<std::unique_ptr<backends::Backend>> owned;
+        owned.push_back(backends::makeOrtLite());
+        return owned;
+    };
+    return config;
+}
+
+/** Relative paths + raw bytes of every file under @p dir, in sorted
+ *  path order — equal strings mean byte-identical report trees. */
+std::string
+treeDigest(const std::filesystem::path& dir)
+{
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::exists(dir)) {
+        for (const auto& entry :
+             std::filesystem::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file())
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    std::string digest;
+    for (const auto& path : files) {
+        digest += std::filesystem::relative(path, dir).string();
+        digest += '\0';
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        digest += buffer.str();
+        digest += '\0';
+    }
+    return digest;
+}
+
+std::string
+fileBytes(const std::filesystem::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool
+sameMerged(const fuzz::CampaignResult& a, const fuzz::CampaignResult& b)
+{
+    auto keys = [](const fuzz::CampaignResult& r) {
+        std::vector<std::string> out;
+        for (const auto& [key, bug] : r.bugs)
+            out.push_back(key);
+        return out;
+    };
+    auto series = [](const fuzz::CampaignResult& r) {
+        std::vector<std::tuple<double, size_t, size_t, size_t>> out;
+        for (const auto& point : r.series)
+            out.emplace_back(point.minutes, point.iterations,
+                             point.coverageAll, point.coveragePass);
+        return out;
+    };
+    return a.iterations == b.iterations && a.produced == b.produced &&
+           a.virtualTime == b.virtualTime &&
+           a.activeTime == b.activeTime &&
+           a.coverAll.branches() == b.coverAll.branches() &&
+           a.coverPass.branches() == b.coverPass.branches() &&
+           keys(a) == keys(b) && a.instanceKeys == b.instanceKeys &&
+           a.defectsFound == b.defectsFound && series(a) == series(b);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace nnsmith;
+    bench::BenchOptions options = bench::parseArgs(argc, argv);
+    const char* out_path = nullptr;
+    bool iters_given = false;
+    for (int i = 1; i < argc; ++i) {
+        iters_given = iters_given || std::strcmp(argv[i], "--iters") == 0;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[i + 1];
+    }
+    if (!iters_given)
+        options.iters = 120; // both halves saturate quickly
+
+    // ---- Part 1: throughput at batch 1 / 4 / 16. Every config runs
+    // the same number of *iterations*; a batch-B iteration executes B
+    // fuzz cases, so cases/sec is the comparable throughput unit.
+    struct Throughput {
+        size_t batch;
+        size_t iterations;
+        size_t cases;
+        double seconds;
+        double casesPerSec;
+    };
+    std::vector<Throughput> throughput;
+    for (const size_t batch : {size_t{1}, size_t{4}, size_t{16}}) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = fuzz::runParallelCampaign(
+            campaignFor(batch, /*sweep=*/true, /*shards=*/1,
+                        fuzz::WorkerMode::kThread, options,
+                        /*report_dir=*/"", /*corpus_dir=*/""));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        Throughput row;
+        row.batch = batch;
+        row.iterations = result.iterations;
+        row.cases = result.iterations * batch;
+        row.seconds = elapsed.count();
+        row.casesPerSec =
+            row.seconds > 0.0 ? static_cast<double>(row.cases) / row.seconds
+                              : 0.0;
+        throughput.push_back(row);
+        std::printf("batch=%-3zu iters=%zu cases=%zu  %.3fs  "
+                    "%.1f cases/sec\n",
+                    row.batch, row.iterations, row.cases, row.seconds,
+                    row.casesPerSec);
+    }
+    const double speedup =
+        throughput[0].casesPerSec > 0.0
+            ? throughput.back().casesPerSec / throughput[0].casesPerSec
+            : 0.0;
+    const bool fast_enough = speedup >= 1.5;
+    std::printf("throughput batch=16 vs batch=1: %.2fx (gate 1.50x): %s\n",
+                speedup, fast_enough ? "yes" : "NO — BUG");
+
+    // ---- Part 2: batched-vs-unbatched identity across the worker
+    // matrix. A corpus-seeding campaign first produces a report tree;
+    // every matrix cell then replays it (regressions.tsv) on top of
+    // minimizing fresh fuzzing.
+    const size_t kIdentityBatch = 4;
+    const auto base =
+        std::filesystem::temp_directory_path() / "nnsmith-bench-batch";
+    std::filesystem::remove_all(base);
+    const auto corpus_dir = base / "corpus";
+    (void)fuzz::runParallelCampaign(
+        campaignFor(kIdentityBatch, /*sweep=*/true, /*shards=*/1,
+                    fuzz::WorkerMode::kThread, options,
+                    corpus_dir.string(), /*corpus_dir=*/""));
+
+    struct Cell {
+        bool sweep;
+        fuzz::WorkerMode mode;
+        int shards;
+        double seconds;
+        bool identical; ///< merged result + trees match cell 0
+        fuzz::CampaignResult result;
+    };
+    std::vector<Cell> cells;
+    std::string reference_tree;
+    std::string reference_regressions;
+    for (const bool sweep : {true, false}) {
+        for (const auto mode :
+             {fuzz::WorkerMode::kThread, fuzz::WorkerMode::kProcess}) {
+            for (const int shards : {1, 2, 4}) {
+                const auto report_dir =
+                    base / (std::string(sweep ? "sweep" : "seq") + "-" +
+                            fuzz::workerModeName(mode) + "-" +
+                            std::to_string(shards));
+                const auto start = std::chrono::steady_clock::now();
+                auto result = fuzz::runParallelCampaign(campaignFor(
+                    kIdentityBatch, sweep, shards, mode, options,
+                    report_dir.string(), corpus_dir.string()));
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                const std::string tree = treeDigest(report_dir);
+                // Replay rewrites <corpus>/regressions.tsv in place on
+                // every run; capture this cell's copy before the next
+                // cell overwrites it.
+                const std::string regressions =
+                    fileBytes(corpus_dir / "regressions.tsv");
+                if (cells.empty()) {
+                    reference_tree = tree;
+                    reference_regressions = regressions;
+                }
+                const bool merged_same =
+                    cells.empty() || sameMerged(cells[0].result, result);
+                const bool tree_same = tree == reference_tree;
+                const bool regressions_same =
+                    regressions == reference_regressions;
+                if (!merged_same || !tree_same || !regressions_same)
+                    std::printf("MISMATCH: merged_same=%d tree_same=%d "
+                                "regressions_same=%d\n",
+                                merged_same, tree_same, regressions_same);
+                const bool identical =
+                    merged_same && tree_same && regressions_same;
+                cells.push_back(Cell{sweep, mode, shards, elapsed.count(),
+                                     identical, std::move(result)});
+                std::printf("sweep=%-3s mode=%-7s shards=%d  %.3fs  "
+                            "iters=%zu bugs=%zu  identical=%s\n",
+                            sweep ? "on" : "off",
+                            fuzz::workerModeName(mode), shards,
+                            cells.back().seconds,
+                            cells.back().result.iterations,
+                            cells.back().result.bugs.size(),
+                            identical ? "yes" : "NO — BUG");
+            }
+        }
+    }
+    std::filesystem::remove_all(base);
+
+    bool all_identical = true;
+    for (const auto& cell : cells)
+        all_identical = all_identical && cell.identical;
+    const bool ok = fast_enough && all_identical &&
+                    !cells[0].result.bugs.empty() &&
+                    !reference_tree.empty() &&
+                    !reference_regressions.empty();
+    std::printf("batched identity (merged result + report tree + "
+                "regressions.tsv) across sweep {on, off} x "
+                "{thread, process} x {1, 2, 4}: %s\n",
+                all_identical ? "yes" : "NO — BUG");
+
+    FILE* out = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"batch\",\n");
+    std::fprintf(out, "  \"fuzzer\": \"NNSmith\",\n");
+    std::fprintf(out, "  \"component\": \"ortlite\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"throughput\": [\n");
+    for (size_t i = 0; i < throughput.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"batch\": %zu, \"iterations\": %zu, "
+                     "\"cases\": %zu, \"wall_seconds\": %.3f, "
+                     "\"cases_per_sec\": %.1f}%s\n",
+                     throughput[i].batch, throughput[i].iterations,
+                     throughput[i].cases, throughput[i].seconds,
+                     throughput[i].casesPerSec,
+                     i + 1 < throughput.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"speedup_b16_vs_b1\": %.2f,\n", speedup);
+    std::fprintf(out, "  \"identity_batch\": %zu,\n", kIdentityBatch);
+    std::fprintf(out, "  \"identity_bugs\": %zu,\n",
+                 cells[0].result.bugs.size());
+    std::fprintf(out, "  \"identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"sweep\": %s, \"worker_mode\": \"%s\", "
+                     "\"shards\": %d, \"wall_seconds\": %.3f, "
+                     "\"identical\": %s}%s\n",
+                     cells[i].sweep ? "true" : "false",
+                     fuzz::workerModeName(cells[i].mode),
+                     cells[i].shards, cells[i].seconds,
+                     cells[i].identical ? "true" : "false",
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return ok ? 0 : 1;
+}

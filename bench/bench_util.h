@@ -46,6 +46,15 @@
  *                   immutable after load, so merged results stay
  *                   byte-identical across shard counts and worker
  *                   modes.
+ *   --batch N       fuzz cases per NNSmith iteration: each generated
+ *                   graph is executed on N independent input sets
+ *                   through the batched executor (exec/batched.h),
+ *                   amortizing generation/solving across lanes
+ *                   (default 1 = off). Per-lane outcomes are
+ *                   bit-identical to sequential runs, so merged
+ *                   results stay byte-identical across shard counts
+ *                   and worker modes at any fixed N (bench_batch
+ *                   gates this). Baseline fuzzers ignore the flag.
  *   --out FILE      machine-readable bench output (the BENCH_*.json
  *                   files); consumed by the individual drivers
  *   --trace-out F   write chrome-trace-compatible JSONL phase spans
@@ -108,6 +117,7 @@ struct BenchOptions {
     std::string reportDir;  ///< write minimized repro reports here
     std::string corpusDir;  ///< replay this regression corpus first
     bool corpusGuided = false; ///< mutate corpus entries (fuzz/mutator.h)
+    size_t batch = 1;       ///< --batch: NNSmith input lanes per graph
     std::string outPath;    ///< --out: BENCH_*.json destination
     std::string traceOut;   ///< --trace-out: phase-span JSONL sink
     std::string metricsOut; ///< --metrics-out: final metrics snapshot
@@ -160,6 +170,9 @@ parseArgsOrThrow(int argc, char** argv)
             options.corpusDir = argv[++i];
         else if (std::strcmp(argv[i], "--corpus-guided") == 0)
             options.corpusGuided = true;
+        else if (want("--batch"))
+            options.batch =
+                std::max<size_t>(1, std::stoull(argv[++i]));
         else if (want("--out"))
             options.outPath = argv[++i];
         else if (want("--trace-out"))
@@ -240,14 +253,17 @@ coverageSystems()
     return {{"ONNXRuntime", "ortlite", 0}, {"TVM", "tvmlite", 1}};
 }
 
-/** Make the standard fuzzer by name with figure-default options. */
+/** Make the standard fuzzer by name with figure-default options.
+ *  @p batch only affects NNSmith (input lanes per generated graph);
+ *  the baselines have no batched path and ignore it. */
 inline std::unique_ptr<fuzz::Fuzzer>
-makeFuzzer(const std::string& name, uint64_t seed)
+makeFuzzer(const std::string& name, uint64_t seed, size_t batch = 1)
 {
     if (name == "NNSmith") {
         fuzz::NNSmithFuzzer::Options options;
         options.generator.targetOpNodes = 10; // §5.1 default size
         options.search.timeBudgetMs = 8.0;
+        options.batch = batch;
         return std::make_unique<fuzz::NNSmithFuzzer>(options, seed);
     }
     if (name == "GraphFuzzer") {
@@ -289,8 +305,9 @@ runOne(const std::string& fuzzer_name, const SystemUnderTest& sut,
         // Telemetry (metrics frames, progress aggregator) attaches
         // inside runParallelCampaign from the process-global flags
         // initTelemetry set — inert either way.
-        parallel.fuzzerFactory = [fuzzer_name](uint64_t seed) {
-            return makeFuzzer(fuzzer_name, seed);
+        parallel.fuzzerFactory = [fuzzer_name,
+                                  batch = options.batch](uint64_t seed) {
+            return makeFuzzer(fuzzer_name, seed, batch);
         };
         parallel.backendFactory =
             [index = static_cast<size_t>(sut.backendIndex),

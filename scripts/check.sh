@@ -72,6 +72,12 @@ echo "== telemetry output: emitted trace/metrics files are valid =="
 scripts/check_docs.sh --validate-telemetry \
     build/trace-smoke.jsonl build/metrics-smoke.json
 
+echo "== batch probe: batched cases speed up and stay byte-identical =="
+# Exits nonzero unless cases/sec at --batch 16 is >= 1.5x --batch 1 and
+# merged results, report trees and regressions.tsv are byte-identical
+# batched-vs-unbatched across {thread, process} x shards {1, 2, 4}.
+./build/bench/bench_batch --iters 60 --out build/BENCH_batch_smoke.json
+
 echo "== corpus replay probe: re-check the emitted repros =="
 # Replaying a corpus just emitted by the same binary must re-fire every
 # fingerprint; bench_corpus --corpus exits nonzero unless all outcomes

@@ -108,6 +108,17 @@ if ! grep -q '^## Corpus-guided generation' DESIGN.md; then
     fail=1
 fi
 
+# Batched case execution ships documented: the --batch flag in README
+# and the lane-model/identity-contract section in DESIGN.md.
+if ! grep -q -- '--batch' README.md; then
+    echo "check_docs: README.md does not document '--batch'"
+    fail=1
+fi
+if ! grep -q '^## Batched execution' DESIGN.md; then
+    echo "check_docs: DESIGN.md is missing the 'Batched execution' section"
+    fail=1
+fi
+
 # The telemetry subsystem ships documented: README must list all three
 # flags and DESIGN.md must carry the inertness contract.
 for flag in '--trace-out' '--metrics-out' '--progress'; do

@@ -1,5 +1,8 @@
 #include "difftest/oracle.h"
 
+#include <algorithm>
+
+#include "exec/batched.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "onnx/exporter.h"
@@ -102,6 +105,98 @@ runCase(const graph::Graph& graph, const exec::LeafValues& leaves,
     }
     result.triggeredDefects = trace_scope.trace();
     return result;
+}
+
+std::vector<CaseResult>
+runCaseBatch(const graph::Graph& graph,
+             const std::vector<exec::LeafValues>& lanes,
+             const std::vector<Backend*>& backend_list,
+             const CompareOptions& options)
+{
+    std::vector<CaseResult> results(lanes.size());
+
+    // Batched reference execution: one topo walk for all lanes. The
+    // interpreter and kernels fire no defect triggers, so running the
+    // reference outside the per-lane trace windows below changes
+    // nothing about what each window records.
+    const auto references = [&] {
+        obs::PhaseSpan span("oracle");
+        return exec::executeBatched(graph, lanes);
+    }();
+
+    // Export once — it depends only on the graph, so every sequential
+    // per-case run would produce this exact outcome and this exact
+    // (deduplicated) trigger prefix.
+    std::vector<std::string> export_trace;
+    onnx::OnnxModel model;
+    bool export_ok = true;
+    std::string export_kind;
+    {
+        DefectRegistry::TraceScope export_scope;
+        try {
+            model = onnx::exportGraph(graph);
+        } catch (const BackendError& error) {
+            export_ok = false;
+            export_kind = error.kind();
+        }
+        export_trace = export_scope.trace();
+    }
+    if (!export_ok) {
+        for (size_t l = 0; l < lanes.size(); ++l) {
+            results[l].exportOk = false;
+            results[l].exportCrashKind = export_kind;
+            results[l].referenceValid = references[l].numericallyValid();
+            results[l].triggeredDefects = export_trace;
+        }
+        return results;
+    }
+
+    for (size_t l = 0; l < lanes.size(); ++l) {
+        CaseResult& result = results[l];
+        result.referenceValid = references[l].numericallyValid();
+        // Fresh per-lane window: backend triggers of one lane cannot
+        // leak into the next, exactly like per-case TraceScopes.
+        DefectRegistry::TraceScope lane_scope;
+        for (Backend* backend : backend_list) {
+            BackendVerdict verdict;
+            verdict.backend = backend->name();
+            const RunResult o3 = [&] {
+                obs::PhaseSpan span("exec:", backend->name());
+                return backend->run(model, lanes[l], OptLevel::kO3);
+            }();
+            obs::counterAdd("oracle.comparisons");
+            if (o3.status == RunResult::Status::kCrash) {
+                verdict.verdict = Verdict::kCrash;
+                verdict.crashKind = o3.crashKind;
+                verdict.detail = o3.crashMessage;
+                obs::counterAdd("oracle.crashes");
+            } else if (!result.referenceValid) {
+                verdict.verdict = Verdict::kSkippedNaN;
+            } else if (!allClose(o3.outputs, references[l].outputs,
+                                 options)) {
+                obs::counterAdd("oracle.mismatches");
+                verdict.verdict = Verdict::kWrongResult;
+                verdict.detail = firstDifference(
+                    o3.outputs, references[l].outputs, options);
+                const RunResult o0 =
+                    backend->run(model, lanes[l], OptLevel::kO0);
+                verdict.localizedToOptimizer =
+                    o0.status == RunResult::Status::kOk &&
+                    !allClose(o0.outputs, o3.outputs, options);
+            }
+            result.verdicts.push_back(std::move(verdict));
+        }
+        // Compose the lane's trace the way one sequential window would:
+        // export triggers first, then the lane's backend triggers with
+        // duplicates (already recorded by the export) dropped.
+        result.triggeredDefects = export_trace;
+        for (const std::string& id : lane_scope.trace()) {
+            if (std::find(export_trace.begin(), export_trace.end(), id) ==
+                export_trace.end())
+                result.triggeredDefects.push_back(id);
+        }
+    }
+    return results;
 }
 
 std::vector<std::unique_ptr<Backend>>

@@ -59,27 +59,50 @@ executeGraphCase(const graph::Graph& graph, const exec::LeafValues& leaves,
                  const std::vector<backends::Backend*>& backend_list,
                  const CostModel& cost)
 {
+    return executeGraphCaseBatch(graph, {leaves}, backend_list, cost,
+                                 /*sweep=*/false);
+}
+
+IterationOutcome
+executeGraphCaseBatch(const graph::Graph& graph,
+                      const std::vector<exec::LeafValues>& lanes,
+                      const std::vector<backends::Backend*>& backend_list,
+                      const CostModel& cost, bool sweep)
+{
     IterationOutcome outcome;
     outcome.produced = true;
-    const CaseResult result =
-        difftest::runCase(graph, leaves, backend_list);
-    outcome.bugs = bugsFromCase(result);
-    if (!outcome.bugs.empty()) {
-        // One shared repro for all of this case's records; the
-        // reduction subsystem (reduce/reducer.h) delta-debugs it.
-        auto repro = std::make_shared<GraphRepro>();
-        repro->graph = graph;
-        repro->leaves = leaves;
-        for (auto& bug : outcome.bugs)
-            bug.graphRepro = repro;
+    std::vector<CaseResult> results;
+    if (sweep) {
+        results = difftest::runCaseBatch(graph, lanes, backend_list);
+    } else {
+        results.reserve(lanes.size());
+        for (const auto& leaves : lanes)
+            results.push_back(difftest::runCase(graph, leaves, backend_list));
     }
-    for (const auto* backend : backend_list) {
-        if (backend->name() == "OrtLite")
-            outcome.cost += cost.backendCompileOrt + cost.run;
-        else if (backend->name() == "TVMLite")
-            outcome.cost += cost.backendCompileTvm + cost.run;
-        else
-            outcome.cost += cost.backendCompileTrt + cost.run;
+    for (size_t l = 0; l < lanes.size(); ++l) {
+        auto bugs = bugsFromCase(results[l]);
+        if (!bugs.empty()) {
+            // One shared repro for all of this lane's records; the
+            // reduction subsystem (reduce/reducer.h) delta-debugs it.
+            auto repro = std::make_shared<GraphRepro>();
+            repro->graph = graph;
+            repro->leaves = lanes[l];
+            for (auto& bug : bugs)
+                bug.graphRepro = repro;
+        }
+        for (auto& bug : bugs)
+            outcome.bugs.push_back(std::move(bug));
+        // Each lane is a full differential case: it pays the backend
+        // compile+run virtual cost. What batching amortizes is the
+        // per-iteration generation/search cost (added by the caller).
+        for (const auto* backend : backend_list) {
+            if (backend->name() == "OrtLite")
+                outcome.cost += cost.backendCompileOrt + cost.run;
+            else if (backend->name() == "TVMLite")
+                outcome.cost += cost.backendCompileTvm + cost.run;
+            else
+                outcome.cost += cost.backendCompileTrt + cost.run;
+        }
     }
     return outcome;
 }
@@ -118,10 +141,21 @@ NNSmithFuzzer::iterate(const std::vector<backends::Backend*>& backend_list)
     } else {
         leaves = exec::randomLeaves(model->graph, rng_);
     }
+    // Lane 0 is the sequential case's inputs verbatim; extra lanes are
+    // additional random input sets for the same graph. Drawing them
+    // here keeps all rng_ consumption inside case construction, so a
+    // fixed batch size stays deterministic across worker matrices
+    // (per-iteration fuzzers are seeded via deriveIterationSeed).
+    std::vector<exec::LeafValues> lanes;
+    lanes.reserve(options_.batch > 0 ? options_.batch : 1);
+    lanes.push_back(std::move(leaves));
+    for (size_t l = 1; l < options_.batch; ++l)
+        lanes.push_back(exec::randomLeaves(model->graph, rng_));
     gen_span.reset();
 
-    IterationOutcome outcome =
-        executeGraphCase(model->graph, leaves, backend_list, options_.cost);
+    IterationOutcome outcome = executeGraphCaseBatch(
+        model->graph, lanes, backend_list, options_.cost,
+        /*sweep=*/options_.batchSweep && lanes.size() > 1);
     outcome.cost += options_.cost.generationPerOp *
                         model->graph.numOpNodes() +
                     (options_.runValueSearch ? options_.cost.valueSearch

@@ -131,6 +131,24 @@ class NNSmithFuzzer final : public Fuzzer {
         autodiff::SearchConfig search;
         CostModel cost;
         bool runValueSearch = true;
+        /**
+         * Fuzz cases per iteration: one generated graph executed on
+         * `batch` independent input sets ("lanes"). Lane 0 keeps the
+         * exact sequential input path (value search or random leaves);
+         * extra lanes draw additional random leaves. Default 1 = off.
+         * Batching amortizes generation/solving cost across lanes —
+         * that is the virtual-time speedup — while per-lane outcomes
+         * stay bit-identical to running each lane as its own case.
+         */
+        size_t batch = 1;
+        /**
+         * When batch > 1, run lanes through the batched sweep executor
+         * (exec/batched.h: one topo walk, SIMD kernel sweeps) instead
+         * of per-lane sequential cases. Outcomes are bit-identical
+         * either way (bench_batch gates this); off exists only as the
+         * identity-check baseline.
+         */
+        bool batchSweep = true;
     };
 
     NNSmithFuzzer(Options options, uint64_t seed);
@@ -155,6 +173,20 @@ IterationOutcome
 executeGraphCase(const graph::Graph& graph, const exec::LeafValues& leaves,
                  const std::vector<backends::Backend*>& backend_list,
                  const CostModel& cost);
+
+/**
+ * Batched variant: one graph, `lanes.size()` independent input sets in
+ * one outcome. Bug records, repros and virtual cost are accounted per
+ * lane exactly as `lanes.size()` sequential executeGraphCase calls
+ * would produce them (in lane order). @p sweep picks the batched
+ * reference executor (difftest::runCaseBatch) over per-lane runCase;
+ * the outcome is bit-identical either way.
+ */
+IterationOutcome
+executeGraphCaseBatch(const graph::Graph& graph,
+                      const std::vector<exec::LeafValues>& lanes,
+                      const std::vector<backends::Backend*>& backend_list,
+                      const CostModel& cost, bool sweep);
 
 } // namespace nnsmith::fuzz
 

@@ -12,20 +12,6 @@ using tensor::Shape;
 
 namespace {
 
-/**
- * Apply a double->double function elementwise with one dtype dispatch.
- * Float math stays in double precision (the historical semantics);
- * only the store narrows to the element type.
- */
-template <typename F>
-Tensor
-mapViaDouble(const Tensor& in, F&& f)
-{
-    return tensor::applyUnary(in, [&f](auto x) {
-        return static_cast<decltype(x)>(f(static_cast<double>(x)));
-    });
-}
-
 double
 applyUnary(UnaryKind kind, double x)
 {
@@ -181,13 +167,29 @@ UnaryOp::clone() const
 std::vector<Tensor>
 UnaryOp::execute(const std::vector<Tensor>& inputs) const
 {
+    // Single code path with the batched kernel: a 1-lane batch is the
+    // sequential case, which makes the lane-identity contract hold by
+    // construction.
+    return std::move(
+        executeBatched(std::vector<std::vector<Tensor>>{inputs}).front());
+}
+
+std::vector<std::vector<Tensor>>
+UnaryOp::executeBatched(
+    const std::vector<std::vector<Tensor>>& lane_inputs) const
+{
+    std::vector<const Tensor*> ins;
+    ins.reserve(lane_inputs.size());
+    for (const auto& inputs : lane_inputs)
+        ins.push_back(&inputs[0]);
     const UnaryKind kind = kind_;
     // Abs/Neg also run on integer tensors: use native integer
     // arithmetic (wrapping at INT_MIN) so i64 values above 2^53 are
     // not corrupted by a double round-trip.
+    std::vector<Tensor> outs;
     switch (kind) {
       case UnaryKind::kAbs:
-        return {tensor::applyUnary(inputs[0], [](auto x) {
+        outs = tensor::applyUnaryBatched(ins, [](auto x) {
             using T = decltype(x);
             if constexpr (std::is_floating_point_v<T>)
                 return std::abs(x);
@@ -195,23 +197,35 @@ UnaryOp::execute(const std::vector<Tensor>& inputs) const
                 return x < 0 ? tensor::wrapSub(T{0}, x) : x;
             else
                 return x;
-        })};
+        });
+        break;
       case UnaryKind::kNeg:
-        return {tensor::applyUnary(inputs[0], [](auto x) {
+        outs = tensor::applyUnaryBatched(ins, [](auto x) {
             using T = decltype(x);
             if constexpr (std::is_floating_point_v<T>)
                 return static_cast<T>(-x);
             else
                 return tensor::wrapSub(T{0}, x);
-        })};
+        });
+        break;
       case UnaryKind::kNot:
-        return {tensor::applyUnary(
-            inputs[0], [](auto x) { return x != 0 ? 0 : 1; })};
+        outs = tensor::applyUnaryBatched(
+            ins, [](auto x) { return x != 0 ? 0 : 1; });
+        break;
       default:
-        return {mapViaDouble(inputs[0], [kind](double x) {
-            return applyUnary(kind, x);
-        })};
+        // Float math stays in double precision (the historical
+        // semantics); only the store narrows to the element type.
+        outs = tensor::applyUnaryBatched(ins, [kind](auto x) {
+            return static_cast<decltype(x)>(
+                applyUnary(kind, static_cast<double>(x)));
+        });
+        break;
     }
+    std::vector<std::vector<Tensor>> result;
+    result.reserve(outs.size());
+    for (auto& out : outs)
+        result.push_back({std::move(out)});
+    return result;
 }
 
 std::vector<Tensor>
@@ -316,7 +330,7 @@ SoftmaxOp::execute(const std::vector<Tensor>& inputs) const
     const Shape& shape = x.shape();
     const int ax = axis();
     const auto strides = rowMajorStrides(shape);
-    const int64_t axis_dim = shape.dims[static_cast<size_t>(ax)];
+    const int64_t axis_dim = tensor::axisDim(shape, ax);
     const int64_t axis_stride = strides[static_cast<size_t>(ax)];
 
     Tensor out = Tensor::zeros(x.dtype(), shape);
@@ -355,7 +369,7 @@ SoftmaxOp::backward(const std::vector<Tensor>& inputs,
     const Shape& shape = inputs[0].shape();
     const int ax = axis();
     const auto strides = rowMajorStrides(shape);
-    const int64_t axis_dim = shape.dims[static_cast<size_t>(ax)];
+    const int64_t axis_dim = tensor::axisDim(shape, ax);
     const int64_t axis_stride = strides[static_cast<size_t>(ax)];
 
     Tensor gx = Tensor::zeros(inputs[0].dtype(), shape);
@@ -444,16 +458,34 @@ ClipOp::clone() const
 std::vector<Tensor>
 ClipOp::execute(const std::vector<Tensor>& inputs) const
 {
+    return std::move(
+        executeBatched(std::vector<std::vector<Tensor>>{inputs}).front());
+}
+
+std::vector<std::vector<Tensor>>
+ClipOp::executeBatched(
+    const std::vector<std::vector<Tensor>>& lane_inputs) const
+{
     const int64_t lo = attrValue("lo");
     const int64_t hi = attrValue("hi");
+    std::vector<const Tensor*> ins;
+    ins.reserve(lane_inputs.size());
+    for (const auto& inputs : lane_inputs)
+        ins.push_back(&inputs[0]);
     // Clip bounds are small integer attributes, exactly representable
     // in every element type — clamp natively per dtype.
-    return {tensor::applyUnary(inputs[0], [lo, hi](auto x) {
-        using T = decltype(x);
-        const T tlo = static_cast<T>(lo);
-        const T thi = static_cast<T>(hi);
-        return x < tlo ? tlo : (x > thi ? thi : x);
-    })};
+    std::vector<Tensor> outs =
+        tensor::applyUnaryBatched(ins, [lo, hi](auto x) {
+            using T = decltype(x);
+            const T tlo = static_cast<T>(lo);
+            const T thi = static_cast<T>(hi);
+            return x < tlo ? tlo : (x > thi ? thi : x);
+        });
+    std::vector<std::vector<Tensor>> result;
+    result.reserve(outs.size());
+    for (auto& out : outs)
+        result.push_back({std::move(out)});
+    return result;
 }
 
 std::vector<Tensor>

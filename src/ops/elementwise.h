@@ -63,6 +63,9 @@ class UnaryOp final : public OpBase {
 
     std::vector<Tensor>
     execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<std::vector<Tensor>>
+    executeBatched(const std::vector<std::vector<Tensor>>& lane_inputs)
+        const override;
     std::vector<Tensor>
     backward(const std::vector<Tensor>& inputs,
              const std::vector<Tensor>& outputs,
@@ -125,6 +128,9 @@ class ClipOp final : public OpBase {
 
     std::vector<Tensor>
     execute(const std::vector<Tensor>& inputs) const override;
+    std::vector<std::vector<Tensor>>
+    executeBatched(const std::vector<std::vector<Tensor>>& lane_inputs)
+        const override;
     std::vector<Tensor>
     backward(const std::vector<Tensor>& inputs,
              const std::vector<Tensor>& outputs,

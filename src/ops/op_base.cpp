@@ -56,6 +56,17 @@ OpBase::backward(const std::vector<Tensor>&, const std::vector<Tensor>&,
     return {}; // no gradient by default
 }
 
+std::vector<std::vector<Tensor>>
+OpBase::executeBatched(
+    const std::vector<std::vector<Tensor>>& lane_inputs) const
+{
+    std::vector<std::vector<Tensor>> outs;
+    outs.reserve(lane_inputs.size());
+    for (const auto& inputs : lane_inputs)
+        outs.push_back(execute(inputs));
+    return outs;
+}
+
 namespace {
 bool g_proxy_derivatives = true;
 } // namespace

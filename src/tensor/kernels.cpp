@@ -57,6 +57,32 @@ BroadcastIndexer::map(int64_t out_flat) const
     return in_flat;
 }
 
+BroadcastRunner::BroadcastRunner(
+    const Shape& out, const std::vector<const BroadcastIndexer*>& inputs)
+{
+    const int rank = out.rank();
+    innerLen_ = rank > 0 ? out.dims[static_cast<size_t>(rank - 1)] : 1;
+    numRuns_ = innerLen_ > 0 ? out.numel() / innerLen_ : 0;
+    if (rank > 0)
+        outerDims_.assign(out.dims.begin(), out.dims.end() - 1);
+    innerSteps_.reserve(inputs.size());
+    strides_.reserve(inputs.size());
+    for (const BroadcastIndexer* idx : inputs) {
+        const auto& s = idx->strides();
+        NNSMITH_ASSERT(static_cast<int>(s.size()) == rank,
+                       "BroadcastRunner indexer rank mismatch");
+        // The innermost input stride of a dense row-major tensor is 1,
+        // so after broadcast masking the innermost step is 0 or 1 —
+        // which is what makes every run a contiguous or constant sweep.
+        innerSteps_.push_back(rank > 0 ? s[static_cast<size_t>(rank - 1)]
+                                       : 0);
+        if (rank > 0)
+            strides_.emplace_back(s.begin(), s.end() - 1);
+        else
+            strides_.emplace_back();
+    }
+}
+
 Tensor
 applyWhere(const Tensor& cond, const Tensor& on_true,
            const Tensor& on_false)
@@ -66,24 +92,40 @@ applyWhere(const Tensor& cond, const Tensor& on_true,
                    "applyWhere value dtype mismatch");
     const Shape out_shape = broadcastShapes(
         broadcastShapes(cond.shape(), on_true.shape()), on_false.shape());
+    const BroadcastIndexer ic(cond.shape(), out_shape);
+    const BroadcastIndexer it(on_true.shape(), out_shape);
+    const BroadcastIndexer iff(on_false.shape(), out_shape);
+    const bool identity =
+        ic.isIdentity() && it.isIdentity() && iff.isIdentity();
+    std::optional<BroadcastRunner> runner;
+    if (!identity)
+        runner.emplace(out_shape, std::vector<const BroadcastIndexer*>{
+                                      &ic, &it, &iff});
     return dispatchDType(on_true.dtype(), [&](auto tag) {
         using Tag = decltype(tag);
-        Tensor out = Tensor::zeros(on_true.dtype(), out_shape);
+        Tensor out = Tensor::uninitialized(on_true.dtype(), out_shape);
         const uint8_t* pc = cond.data<bool>();
         const auto* pt = on_true.data<Tag>();
         const auto* pf = on_false.data<Tag>();
         auto* dst = out.data<Tag>();
         const int64_t n = out.numel();
-        const BroadcastIndexer ic(cond.shape(), out_shape);
-        const BroadcastIndexer it(on_true.shape(), out_shape);
-        const BroadcastIndexer iff(on_false.shape(), out_shape);
-        if (ic.isIdentity() && it.isIdentity() && iff.isIdentity()) {
+        if (identity) {
+            NNSMITH_SIMD
             for (int64_t i = 0; i < n; ++i)
                 dst[i] = pc[i] != 0 ? pt[i] : pf[i];
         } else {
-            for (int64_t i = 0; i < n; ++i)
-                dst[i] = pc[ic.map(i)] != 0 ? pt[it.map(i)]
-                                            : pf[iff.map(i)];
+            const int64_t len = runner->innerLen();
+            const int64_t sc = runner->innerStep(0);
+            const int64_t st = runner->innerStep(1);
+            const int64_t sf = runner->innerStep(2);
+            runner->forEachRun([&](int64_t out_base, const int64_t* bases) {
+                const uint8_t* rc = pc + bases[0];
+                const auto* rt = pt + bases[1];
+                const auto* rf = pf + bases[2];
+                auto* rd = dst + out_base;
+                for (int64_t k = 0; k < len; ++k)
+                    rd[k] = rc[k * sc] != 0 ? rt[k * st] : rf[k * sf];
+            });
         }
         return out;
     });

@@ -36,19 +36,48 @@ Tensor::zeros(DType dtype, const Shape& shape)
     const size_t n = static_cast<size_t>(shape.numel());
     switch (dtype) {
       case DType::kF32:
-        t.storage_ = std::make_shared<Storage>(std::vector<float>(n, 0.0f));
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<float>(n, 0.0f));
         break;
       case DType::kF64:
-        t.storage_ = std::make_shared<Storage>(std::vector<double>(n, 0.0));
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<double>(n, 0.0));
         break;
       case DType::kI32:
-        t.storage_ = std::make_shared<Storage>(std::vector<int32_t>(n, 0));
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<int32_t>(n, 0));
         break;
       case DType::kI64:
-        t.storage_ = std::make_shared<Storage>(std::vector<int64_t>(n, 0));
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<int64_t>(n, 0));
         break;
       case DType::kBool:
-        t.storage_ = std::make_shared<Storage>(std::vector<uint8_t>(n, 0));
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<uint8_t>(n, 0));
+        break;
+    }
+    return t;
+}
+
+Tensor
+Tensor::uninitialized(DType dtype, const Shape& shape)
+{
+    Tensor t;
+    t.dtype_ = dtype;
+    t.shape_ = shape;
+    const size_t n = static_cast<size_t>(shape.numel());
+    // Sized Buffer construction default-initializes the (trivial)
+    // elements, i.e. leaves the allocation untouched.
+    switch (dtype) {
+      case DType::kF32:
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<float>(n));
+        break;
+      case DType::kF64:
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<double>(n));
+        break;
+      case DType::kI32:
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<int32_t>(n));
+        break;
+      case DType::kI64:
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<int64_t>(n));
+        break;
+      case DType::kBool:
+        t.storage_ = std::make_shared<Storage>(detail::Buffer<uint8_t>(n));
         break;
     }
     return t;
@@ -67,7 +96,7 @@ Tensor
 Tensor::random(DType dtype, const Shape& shape, Rng& rng, double lo,
                double hi)
 {
-    Tensor t = zeros(dtype, shape);
+    Tensor t = uninitialized(dtype, shape);
     dispatchDType(dtype, [&](auto tag) {
         using Tag = decltype(tag);
         auto* p = t.data<Tag>();
@@ -165,7 +194,7 @@ Tensor::castTo(DType target) const
 {
     if (target == dtype_)
         return *this;
-    Tensor t = zeros(target, shape_);
+    Tensor t = uninitialized(target, shape_);
     const int64_t n = numel();
     dispatchDType(dtype_, [&](auto src_tag) {
         using Src = decltype(src_tag);

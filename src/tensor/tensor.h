@@ -26,6 +26,38 @@ template <> struct DTypeOf<int32_t> { static constexpr DType value = DType::kI32
 template <> struct DTypeOf<int64_t> { static constexpr DType value = DType::kI64; };
 template <> struct DTypeOf<bool>    { static constexpr DType value = DType::kBool; };
 
+/**
+ * std::allocator whose parameterless construct() default-initializes
+ * instead of value-initializing — for the trivial element types used
+ * here that means the memory is left untouched. Backs
+ * Tensor::uninitialized so kernels that provably write every element
+ * (tensor/kernels.h apply*) skip the zero-fill pass Tensor::zeros
+ * pays on the hottest allocation path.
+ */
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+    template <typename U> struct rebind {
+        using other = DefaultInitAllocator<U>;
+    };
+    template <typename U>
+    void
+    construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void*>(p)) U;
+    }
+    template <typename U, typename... Args>
+    void
+    construct(U* p, Args&&... args)
+    {
+        ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+};
+
+/** Payload vector type: value semantics of std::vector, allocation
+ *  semantics (uninitialized on sized construction) of the allocator. */
+template <typename T>
+using Buffer = std::vector<T, DefaultInitAllocator<T>>;
+
 } // namespace detail
 
 /**
@@ -45,6 +77,14 @@ class Tensor {
 
     /** Zero-initialized tensor. */
     static Tensor zeros(DType dtype, const Shape& shape);
+
+    /**
+     * Tensor whose payload is allocated but NOT initialized. Only for
+     * callers that provably write every element before any read (the
+     * kernel apply* helpers); reading an element first is UB exactly
+     * like reading from malloc.
+     */
+    static Tensor uninitialized(DType dtype, const Shape& shape);
 
     /** Tensor filled with @p value (cast to dtype). */
     static Tensor full(DType dtype, const Shape& shape, double value);
@@ -106,7 +146,7 @@ class Tensor {
                        "tensor dtype mismatch");
         NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
         detach();
-        return std::get<std::vector<Stored>>(*storage_).data();
+        return std::get<detail::Buffer<Stored>>(*storage_).data();
     }
 
     template <typename T>
@@ -118,7 +158,7 @@ class Tensor {
         NNSMITH_ASSERT(detail::DTypeOf<T>::value == dtype_,
                        "tensor dtype mismatch");
         NNSMITH_ASSERT(storage_ != nullptr, "tensor has no storage");
-        return std::get<std::vector<Stored>>(*storage_).data();
+        return std::get<detail::Buffer<Stored>>(*storage_).data();
     }
 
     /**
@@ -161,9 +201,10 @@ class Tensor {
     std::string toString(int64_t max_elems = 16) const;
 
   private:
-    using Storage = std::variant<std::vector<float>, std::vector<double>,
-                                 std::vector<int32_t>, std::vector<int64_t>,
-                                 std::vector<uint8_t>>;
+    using Storage =
+        std::variant<detail::Buffer<float>, detail::Buffer<double>,
+                     detail::Buffer<int32_t>, detail::Buffer<int64_t>,
+                     detail::Buffer<uint8_t>>;
 
     /** Clone shared storage before a mutation (copy-on-write). */
     void

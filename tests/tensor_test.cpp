@@ -136,6 +136,27 @@ TEST(Tensor, EqualsIsBitAware)
     EXPECT_TRUE(a.equals(b));
 }
 
+TEST(Tensor, UninitializedHasShapeAndIsWritable)
+{
+    // uninitialized() is the no-fill allocation used by kernels that
+    // provably write every element; the payload is indeterminate until
+    // written, so the test only reads what it wrote.
+    auto t = Tensor::uninitialized(DType::kI64, Shape{{3, 2}});
+    EXPECT_EQ(t.dtype(), DType::kI64);
+    EXPECT_EQ(t.numel(), 6);
+    ASSERT_EQ(t.shape().rank(), 2);
+    EXPECT_EQ(t.shape().dims[0], 3);
+    EXPECT_EQ(t.shape().dims[1], 2);
+    int64_t* p = t.data<int64_t>();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = i * 7;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.data<int64_t>()[i], i * 7);
+
+    const auto empty = Tensor::uninitialized(DType::kF32, Shape{{0}});
+    EXPECT_EQ(empty.numel(), 0);
+}
+
 TEST(Tensor, RandomRespectsRangeAndDType)
 {
     Rng rng(5);

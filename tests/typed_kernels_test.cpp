@@ -381,5 +381,121 @@ TEST(TypedKernels, WrapArithmeticIsTwosComplement)
     EXPECT_EQ(tensor::wrapMul(max, int64_t{2}), -2);
 }
 
+// ---- empty-axis reductions (DESIGN.md "Numeric semantics") ----------------
+
+ops::ReduceOp
+reduceOver(ops::ReduceKind kind, int rank, int axis)
+{
+    return ops::ReduceOp(kind, AttrMap{{"rank", rank},
+                                       {"axis", axis},
+                                       {"keepdims", 0}});
+}
+
+TEST(TypedKernels, EmptyAxisFloatReduceYieldsIdentity)
+{
+    // Reducing over a zero-length axis must yield the reduction
+    // identity, not the 0 a zero-initialized output buffer happens to
+    // hold: Prod -> 1, Max -> -inf, Min -> +inf, Sum -> 0, Mean -> NaN.
+    const auto x = Tensor::zeros(DType::kF32, Shape{{2, 0}});
+
+    const auto prod = reduceOver(ops::ReduceKind::kProd, 2, 1)
+                          .execute({x})[0];
+    ASSERT_EQ(prod.numel(), 2);
+    EXPECT_EQ(prod.data<float>()[0], 1.0f);
+    EXPECT_EQ(prod.data<float>()[1], 1.0f);
+
+    const auto max = reduceOver(ops::ReduceKind::kMax, 2, 1)
+                         .execute({x})[0];
+    EXPECT_TRUE(std::isinf(max.data<float>()[0]));
+    EXPECT_LT(max.data<float>()[0], 0.0f);
+
+    const auto min = reduceOver(ops::ReduceKind::kMin, 2, 1)
+                         .execute({x})[0];
+    EXPECT_TRUE(std::isinf(min.data<float>()[0]));
+    EXPECT_GT(min.data<float>()[0], 0.0f);
+
+    const auto sum = reduceOver(ops::ReduceKind::kSum, 2, 1)
+                         .execute({x})[0];
+    EXPECT_EQ(sum.data<float>()[0], 0.0f);
+
+    const auto mean = reduceOver(ops::ReduceKind::kMean, 2, 1)
+                          .execute({x})[0];
+    EXPECT_TRUE(std::isnan(mean.data<float>()[0]));
+    EXPECT_TRUE(std::isnan(mean.data<float>()[1]));
+}
+
+TEST(TypedKernels, EmptyAxisIntReduceYieldsIdentity)
+{
+    const auto x = Tensor::zeros(DType::kI32, Shape{{3, 0}});
+
+    const auto prod = reduceOver(ops::ReduceKind::kProd, 2, 1)
+                          .execute({x})[0];
+    ASSERT_EQ(prod.numel(), 3);
+    EXPECT_EQ(prod.data<int32_t>()[0], 1);
+
+    const auto max = reduceOver(ops::ReduceKind::kMax, 2, 1)
+                         .execute({x})[0];
+    EXPECT_EQ(max.data<int32_t>()[0],
+              std::numeric_limits<int32_t>::min());
+
+    const auto min = reduceOver(ops::ReduceKind::kMin, 2, 1)
+                         .execute({x})[0];
+    EXPECT_EQ(min.data<int32_t>()[0],
+              std::numeric_limits<int32_t>::max());
+
+    const auto sum = reduceOver(ops::ReduceKind::kSum, 2, 1)
+                         .execute({x})[0];
+    EXPECT_EQ(sum.data<int32_t>()[0], 0);
+}
+
+TEST(TypedKernels, EmptyAxisReduceOfNonEmptyOuterKeepsEveryElement)
+{
+    // keepdims path over an empty middle axis: shape {2,0,3} -> {2,1,3},
+    // six identity elements — the old numel()/axis_dim slice count
+    // collapsed to zero and skipped them all.
+    const auto x = Tensor::zeros(DType::kF32, Shape{{2, 0, 3}});
+    ops::ReduceOp prod(ops::ReduceKind::kProd,
+                       AttrMap{{"rank", 3}, {"axis", 1}, {"keepdims", 1}});
+    const auto out = prod.execute({x})[0];
+    ASSERT_EQ(out.numel(), 6);
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(out.data<float>()[i], 1.0f);
+}
+
+// ---- axis rank guards -----------------------------------------------------
+
+TEST(TypedKernels, ForEachSliceRejectsOutOfRangeAxis)
+{
+    const Shape shape{{3, 2}};
+    const auto nop = [](int64_t, int64_t) {};
+    EXPECT_THROW(tensor::forEachSlice(shape, 2, nop), PanicError);
+    EXPECT_THROW(tensor::forEachSlice(shape, -1, nop), PanicError);
+    EXPECT_NO_THROW(tensor::forEachSlice(shape, 1, nop));
+}
+
+TEST(TypedKernels, ReduceRejectsOutOfRangeAxis)
+{
+    const auto x = Tensor::fromVector<float>({1.0f, 2.0f, 3.0f});
+    EXPECT_THROW(reduceOver(ops::ReduceKind::kSum, 1, 1).execute({x}),
+                 PanicError);
+}
+
+TEST(TypedKernels, BadAxisPanicsThroughInterpreter)
+{
+    // A hand-built (or corpus-mutated) op can carry an axis its input
+    // rank does not have; execution must panic at the guard instead of
+    // reading shape.dims out of bounds.
+    Graph graph;
+    const int a = addInput(graph, DType::kF32, Shape{{4}});
+    baselines::addConcreteOp(
+        graph,
+        std::make_shared<ops::SoftmaxOp>(AttrMap{{"rank", 1}, {"axis", 2}}),
+        {a});
+
+    exec::LeafValues leaves;
+    leaves.emplace(a, Tensor::fromVector<float>({1.0f, 2.0f, 3.0f, 4.0f}));
+    EXPECT_THROW(exec::execute(graph, leaves), PanicError);
+}
+
 } // namespace
 } // namespace nnsmith
